@@ -1,0 +1,101 @@
+//! Forecaster throughput benchmarks.
+//!
+//! The NWS forecaster must be "relatively cheap to compute" — it runs once
+//! per measurement per monitored resource across a whole grid. These
+//! benches report per-update cost for the full panel and for individual
+//! predictor families.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nws_forecast::{
+    AdaptiveWindowMean, ExpSmoothing, Forecaster, NwsForecaster, SlidingMean, SlidingMedian,
+};
+use nws_stats::{DaviesHarte, Rng};
+use std::hint::black_box;
+
+fn availability_series(n: usize) -> Vec<f64> {
+    // Realistic input: fGn with H = 0.7 mapped into [0, 1].
+    let noise = DaviesHarte::new(0.7)
+        .unwrap()
+        .sample(n, &mut Rng::new(7))
+        .unwrap();
+    noise
+        .into_iter()
+        .map(|z| (0.6 + 0.15 * z).clamp(0.0, 1.0))
+        .collect()
+}
+
+fn bench_full_panel(c: &mut Criterion) {
+    let series = availability_series(8640); // one day of 10s measurements
+    c.bench_function("nws_panel_update_8640", |b| {
+        b.iter_batched(
+            NwsForecaster::nws_default,
+            |mut nws| {
+                for &v in &series {
+                    black_box(nws.update(v));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_single_predictors(c: &mut Criterion) {
+    let series = availability_series(8640);
+    let mut group = c.benchmark_group("single_predictor_8640");
+    group.bench_function("sliding_mean_50", |b| {
+        b.iter_batched(
+            || SlidingMean::new(50),
+            |mut f| {
+                for &v in &series {
+                    f.observe(v);
+                    black_box(f.predict());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sliding_median_51", |b| {
+        b.iter_batched(
+            || SlidingMedian::new(51),
+            |mut f| {
+                for &v in &series {
+                    f.observe(v);
+                    black_box(f.predict());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("exp_smoothing", |b| {
+        b.iter_batched(
+            || ExpSmoothing::new(0.3),
+            |mut f| {
+                for &v in &series {
+                    f.observe(v);
+                    black_box(f.predict());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("adaptive_window", |b| {
+        b.iter_batched(
+            || AdaptiveWindowMean::new(3, 100),
+            |mut f| {
+                for &v in &series {
+                    f.observe(v);
+                    black_box(f.predict());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_full_panel, bench_single_predictors
+}
+criterion_main!(benches);

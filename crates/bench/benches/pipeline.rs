@@ -1,0 +1,62 @@
+//! End-to-end pipeline throughput: the full NWS monitor and the grid
+//! weather service, in simulated-hours per wall-second terms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nws_core::monitor::{Monitor, MonitorConfig};
+use nws_grid::GridMonitor;
+use nws_sim::HostProfile;
+use std::hint::black_box;
+
+fn bench_monitor_hour(c: &mut Criterion) {
+    c.bench_function("monitor_one_hour_thing2", |b| {
+        let monitor = Monitor::new(MonitorConfig {
+            duration: 3600.0,
+            warmup: 300.0,
+            test_period: Some(600.0),
+            ..MonitorConfig::default()
+        });
+        b.iter(|| {
+            let mut host = HostProfile::Thing2.build(3);
+            black_box(monitor.run(&mut host))
+        })
+    });
+}
+
+fn bench_grid_step(c: &mut Criterion) {
+    c.bench_function("grid_step_six_hosts", |b| {
+        let mut grid = GridMonitor::ucsd(5);
+        grid.run_steps(60); // warm
+        b.iter(|| {
+            grid.step();
+            black_box(grid.slots())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_monitor_hour, bench_grid_step, net_benches::bench_link
+}
+criterion_main!(benches);
+
+mod net_benches {
+    use super::*;
+    use nws_net::{BandwidthSensor, Link, LinkConfig};
+
+    pub fn bench_link(c: &mut Criterion) {
+        c.bench_function("link_advance_one_hour", |b| {
+            b.iter(|| {
+                let mut link = Link::new("wan", LinkConfig::wan_10mbit(), 7);
+                link.advance(3600.0);
+                black_box(link.delivered_bytes())
+            })
+        });
+        c.bench_function("bandwidth_probe_64k", |b| {
+            let mut link = Link::new("wan", LinkConfig::wan_10mbit(), 9);
+            link.advance(300.0);
+            let mut sensor = BandwidthSensor::nws_default();
+            b.iter(|| black_box(sensor.measure(&mut link)))
+        });
+    }
+}

@@ -1,0 +1,43 @@
+//! Sensor overhead: the paper argues the passive sensors are "relatively
+//! non-intrusive" and costs the probe at 2.5 % CPU. These benches report
+//! the *host-side* cost of taking measurements against the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nws_sensors::{HybridSensor, LoadAvgSensor, VmstatSensor};
+use nws_sim::HostProfile;
+use std::hint::black_box;
+
+fn bench_passive_sensors(c: &mut Criterion) {
+    let mut host = HostProfile::Thing1.build(17);
+    host.advance(1800.0);
+    let mut group = c.benchmark_group("passive_measurement");
+    group.bench_function("load_average", |b| {
+        let mut s = LoadAvgSensor::new();
+        b.iter(|| black_box(s.measure(&host)))
+    });
+    group.bench_function("vmstat", |b| {
+        let mut s = VmstatSensor::new();
+        b.iter(|| black_box(s.measure(&host)))
+    });
+    group.bench_function("hybrid_passive", |b| {
+        let mut s = HybridSensor::default();
+        b.iter(|| black_box(s.measure(&host)))
+    });
+    group.finish();
+}
+
+fn bench_probe_cycle(c: &mut Criterion) {
+    c.bench_function("hybrid_probe_cycle", |b| {
+        let mut host = HostProfile::Thing1.build(19);
+        host.advance(1800.0);
+        let mut s = HybridSensor::default();
+        b.iter(|| black_box(s.measure_with_probe(&mut host)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_passive_sensors, bench_probe_cycle
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Host-simulator throughput: simulated seconds per wall second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nws_sim::HostProfile;
+use std::hint::black_box;
+
+fn bench_host_hour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_hour");
+    for profile in [
+        HostProfile::Thing2,
+        HostProfile::Kongo,
+        HostProfile::Gremlin,
+    ] {
+        group.bench_function(profile.name(), |b| {
+            b.iter(|| {
+                let mut host = profile.build(11);
+                host.advance(3600.0);
+                black_box(host.accounting())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    c.bench_function("occupancy_probe_on_loaded_host", |b| {
+        let mut host = HostProfile::Thing2.build(13);
+        host.advance(1800.0);
+        b.iter(|| black_box(host.run_cpu_limited_probe("probe", 1.5, 8.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_host_hour, bench_probe
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Statistics substrate benchmarks.
+//!
+//! Includes the Hosking vs Davies–Harte fGn ablation called out in
+//! `DESIGN.md`: identical distribution, O(n²) vs O(n log n) cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nws_stats::{autocorrelation, hurst_rs, periodogram, DaviesHarte, Hosking, Rng};
+use std::hint::black_box;
+
+fn bench_fgn_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fgn_generation");
+    for &n in &[1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("hosking", n), &n, |b, &n| {
+            let gen = Hosking::new(0.7).unwrap();
+            b.iter(|| {
+                let mut rng = Rng::new(3);
+                black_box(gen.sample(n, &mut rng).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("davies_harte", n), &n, |b, &n| {
+            let gen = DaviesHarte::new(0.7).unwrap();
+            b.iter(|| {
+                let mut rng = Rng::new(3);
+                black_box(gen.sample(n, &mut rng).unwrap())
+            })
+        });
+    }
+    // Davies–Harte scales to week-long traces; Hosking would take minutes.
+    group.bench_function("davies_harte/65536", |b| {
+        let gen = DaviesHarte::new(0.7).unwrap();
+        b.iter(|| {
+            let mut rng = Rng::new(3);
+            black_box(gen.sample(65536, &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let series = DaviesHarte::new(0.7)
+        .unwrap()
+        .sample(60_480, &mut Rng::new(5)) // one week of 10 s samples
+        .unwrap();
+    let mut group = c.benchmark_group("series_analysis_week");
+    group.sample_size(10);
+    group.bench_function("acf_360_lags", |b| {
+        b.iter(|| black_box(autocorrelation(&series, 360)))
+    });
+    group.bench_function("hurst_rs", |b| b.iter(|| black_box(hurst_rs(&series, 10))));
+    group.bench_function("periodogram", |b| {
+        b.iter(|| black_box(periodogram(&series)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fgn_generators, bench_analysis
+}
+criterion_main!(benches);

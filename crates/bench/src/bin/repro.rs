@@ -1,0 +1,541 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [--seed N] <experiment>...
+//! experiments: table1 table2 table3 table4 table5 table6
+//!              fig1 fig2 fig3 fig4 ablation sched all
+//! ```
+//!
+//! Tables are printed with the paper's published value in parentheses next
+//! to each measured cell; every artifact is also written as CSV under
+//! `results/` (override with `NWS_RESULTS_DIR`).
+
+use nws_bench::write_artifact;
+use nws_core::experiments::{
+    aggregation_sweep, bias_ablation, fig1_from, fig2_from, fig3_from, fig4_from,
+    forecaster_ablation, horizon_sweep, load_statistics, medium_dataset, probe_duration_sweep,
+    seed_robustness, short_dataset, sweep_dataset, table1_from, table2_from, table3_from,
+    table4_from, table5_from, table6_from, weekly_load_series, ExperimentConfig,
+};
+use nws_core::monitor::MonitorOutput;
+use nws_core::paper;
+use nws_core::plot::{ascii_scatter, ascii_series};
+use nws_core::report::{
+    method_table_to_csv, pct, render_method_table, render_table4, table4_to_csv,
+};
+use nws_net::LinkMonitor;
+use nws_sched::data_aware::{run_data_sched_experiment, DataSchedConfig};
+use nws_sched::experiment::{run_scheduling_experiment, SchedConfig};
+use nws_sched::workqueue::compare_static_vs_dynamic;
+use nws_sim::HostProfile;
+use nws_timeseries::csv::series_to_csv;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+struct Args {
+    quick: bool,
+    seed: Option<u64>,
+    experiments: BTreeSet<String>,
+}
+
+fn parse_args() -> Args {
+    let mut quick = false;
+    let mut seed = None;
+    let mut experiments = BTreeSet::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let v = iter.next().unwrap_or_else(|| usage("--seed needs a value"));
+                seed = Some(v.parse().unwrap_or_else(|_| usage("bad seed")));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => {
+                experiments.insert(other.to_string());
+            }
+        }
+    }
+    if experiments.is_empty() {
+        experiments.insert("all".to_string());
+    }
+    Args {
+        quick,
+        seed,
+        experiments,
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: repro [--quick] [--seed N] <experiment>...\n\
+         experiments: table1 table2 table3 table4 table5 table6\n\
+         \x20            fig1 fig2 fig3 fig4 ablation sweep robustness\n\
+         \x20            sched datasched net loadstats all"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Caches the expensive dataset collections across experiments.
+#[derive(Default)]
+struct Datasets {
+    short: Option<Vec<MonitorOutput>>,
+    medium: Option<Vec<MonitorOutput>>,
+    weekly: Option<Vec<nws_timeseries::Series>>,
+}
+
+impl Datasets {
+    fn short(&mut self, cfg: &ExperimentConfig) -> &Vec<MonitorOutput> {
+        self.short.get_or_insert_with(|| {
+            eprintln!("collecting 24h short-test dataset (6 hosts)...");
+            short_dataset(cfg)
+        })
+    }
+
+    fn medium(&mut self, cfg: &ExperimentConfig) -> &Vec<MonitorOutput> {
+        self.medium.get_or_insert_with(|| {
+            eprintln!("collecting 24h medium-term dataset (6 hosts)...");
+            medium_dataset(cfg)
+        })
+    }
+
+    fn weekly(&mut self, cfg: &ExperimentConfig) -> &Vec<nws_timeseries::Series> {
+        self.weekly.get_or_insert_with(|| {
+            eprintln!("collecting week-long load traces (6 hosts)...");
+            weekly_load_series(cfg)
+        })
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = if args.quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    let run_all = args.experiments.contains("all");
+    let want = |name: &str| run_all || args.experiments.contains(name);
+    let mut data = Datasets::default();
+
+    if want("table1") {
+        let t = table1_from(data.short(&cfg));
+        println!("\n{}", render_method_table(&t, Some(&paper::TABLE1)));
+        write_artifact("table1.csv", &method_table_to_csv(&t));
+    }
+    if want("table2") {
+        let t = table2_from(data.short(&cfg));
+        println!("\n{}", render_method_table(&t, Some(&paper::TABLE2)));
+        write_artifact("table2.csv", &method_table_to_csv(&t));
+    }
+    if want("table3") {
+        let t = table3_from(data.short(&cfg));
+        println!("\n{}", render_method_table(&t, Some(&paper::TABLE3)));
+        write_artifact("table3.csv", &method_table_to_csv(&t));
+    }
+    if want("table4") {
+        data.short(&cfg);
+        data.weekly(&cfg);
+        let rows = table4_from(
+            data.short.as_ref().expect("just collected"),
+            data.weekly.as_ref().expect("just collected"),
+        );
+        println!("\n{}", render_table4(&rows, true));
+        write_artifact("table4.csv", &table4_to_csv(&rows));
+    }
+    if want("table5") {
+        let t = table5_from(data.short(&cfg));
+        println!("\n{}", render_method_table(&t, Some(&paper::TABLE5)));
+        write_artifact("table5.csv", &method_table_to_csv(&t));
+    }
+    if want("table6") {
+        let t = table6_from(data.medium(&cfg));
+        println!("\n{}", render_method_table(&t, Some(&paper::TABLE6)));
+        write_artifact("table6.csv", &method_table_to_csv(&t));
+    }
+    if want("fig1") {
+        let f = fig1_from(data.short(&cfg));
+        println!("\n{}", f.title);
+        for (host, series) in &f.series {
+            println!("{}", ascii_series(series, 100, 12));
+            write_artifact(&format!("fig1_{host}.csv"), &series_to_csv(series));
+        }
+    }
+    if want("fig2") {
+        let f = fig2_from(data.short(&cfg));
+        println!("\n{}", f.title);
+        for (host, series) in &f.series {
+            println!("{}", ascii_series(series, 100, 12));
+            write_artifact(&format!("fig2_{host}.csv"), &series_to_csv(series));
+        }
+    }
+    if want("fig3") {
+        let figs = fig3_from(data.weekly(&cfg), &nws_sim::UCSD_HOST_NAMES);
+
+        println!("\nFigure 3: R/S pox plots (Unix load average, one week)");
+        for fig in &figs {
+            let pts: Vec<(f64, f64)> = fig.points.iter().map(|p| (p.log10_d, p.log10_rs)).collect();
+            println!(
+                "{}",
+                ascii_scatter(
+                    &format!("{}  H = {:.2}", fig.host, fig.estimate.h),
+                    &pts,
+                    Some((fig.estimate.fit.slope, fig.estimate.fit.intercept)),
+                    80,
+                    20,
+                )
+            );
+            let mut csv = String::from("log10_d,log10_rs\n");
+            for p in &fig.points {
+                let _ = writeln!(csv, "{},{}", p.log10_d, p.log10_rs);
+            }
+            write_artifact(&format!("fig3_{}.csv", fig.host), &csv);
+        }
+    }
+    if want("fig4") {
+        let f = fig4_from(data.medium(&cfg));
+        println!("\n{}", f.title);
+        for (host, series) in &f.series {
+            println!("{}", ascii_series(series, 100, 12));
+            write_artifact(&format!("fig4_{host}.csv"), &series_to_csv(series));
+        }
+    }
+    if want("ablation") {
+        run_ablations(&cfg);
+    }
+    if want("sweep") {
+        run_sweeps(&cfg);
+    }
+    if want("robustness") {
+        run_robustness(&cfg);
+    }
+    if want("sched") {
+        run_sched(args.quick);
+    }
+    if want("datasched") {
+        run_data_sched(&cfg);
+    }
+    if want("net") {
+        run_net(&cfg);
+    }
+    if want("loadstats") {
+        run_loadstats(&cfg);
+    }
+}
+
+fn run_loadstats(cfg: &ExperimentConfig) {
+    println!("\nHost-load statistics (Dinda-O'Halloran style, raw 1-min load average)");
+    println!(
+        "{:<11} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} | {:>5} {:>5} {:>5}",
+        "host",
+        "mean",
+        "std",
+        "max",
+        "med",
+        "r(1)",
+        "r(6)",
+        "r(30)",
+        "r(360)",
+        "H_rs",
+        "H_av",
+        "H_pg"
+    );
+    let mut csv = String::from(
+        "host,n,mean,std,max,median,acf_10s,acf_1m,acf_5m,acf_1h,hurst_rs,hurst_av,hurst_pg\n",
+    );
+    for r in load_statistics(cfg) {
+        println!(
+            "{:<11} {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {:>5.2} {:>5.2} {:>5.2}",
+            r.host, r.mean, r.std_dev, r.max, r.median,
+            r.acf[0], r.acf[1], r.acf[2], r.acf[3],
+            r.hurst.0, r.hurst.1, r.hurst.2
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.host,
+            r.n,
+            r.mean,
+            r.std_dev,
+            r.max,
+            r.median,
+            r.acf[0],
+            r.acf[1],
+            r.acf[2],
+            r.acf[3],
+            r.hurst.0,
+            r.hurst.1,
+            r.hurst.2
+        );
+    }
+    write_artifact("loadstats.csv", &csv);
+}
+
+fn run_data_sched(cfg: &ExperimentConfig) {
+    println!(
+        "
+Data-aware scheduling: staging time vs compute time (AppLeS formulation)"
+    );
+    let dcfg = DataSchedConfig::demo(cfg.seed);
+    println!(
+        "  {} tasks, 128-256 MB inputs; site 0 = idle host behind congested WAN",
+        dcfg.tasks.len()
+    );
+    let outcomes = run_data_sched_experiment(&dcfg);
+    let best = outcomes
+        .iter()
+        .map(|o| o.makespan)
+        .fold(f64::INFINITY, f64::min);
+    let mut csv = String::from(
+        "policy,makespan_s,slowdown_vs_best,tasks_site0,tasks_site1,tasks_site2
+",
+    );
+    for o in &outcomes {
+        println!(
+            "  {:<15} makespan {:>7.0}s  (x{:.2} vs best)  tasks/site {:?}",
+            o.policy.name(),
+            o.makespan,
+            o.makespan / best,
+            o.tasks_per_site
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{}",
+            o.policy.name(),
+            o.makespan,
+            o.makespan / best,
+            o.tasks_per_site[0],
+            o.tasks_per_site[1],
+            o.tasks_per_site[2]
+        );
+    }
+    write_artifact("sched_data_aware.csv", &csv);
+}
+
+fn run_net(cfg: &ExperimentConfig) {
+    println!(
+        "
+Network weather: bandwidth/latency sensing + forecasting (8 h, 2-min probes)"
+    );
+    let mut monitor = LinkMonitor::demo_grid(cfg.seed);
+    monitor.run_probes(240);
+    let mut csv = String::from(
+        "link,mean_bandwidth_Bps,mean_latency_s,bandwidth_forecast_mae
+",
+    );
+    for r in monitor.report() {
+        println!(
+            "  {:<11} mean bw {:>6.2} Mbit/s  rtt {:>5.0} ms  1-step MAE {:>5.1}%",
+            r.name,
+            r.mean_bandwidth * 8.0 / 1e6,
+            r.mean_latency * 1000.0,
+            r.bandwidth_forecast_mae * 100.0
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{}",
+            r.name, r.mean_bandwidth, r.mean_latency, r.bandwidth_forecast_mae
+        );
+    }
+    write_artifact("net_links.csv", &csv);
+}
+
+fn run_sweeps(cfg: &ExperimentConfig) {
+    let out = sweep_dataset(cfg, HostProfile::Thing2);
+
+    println!(
+        "
+Extension: one-step error vs aggregation level (thing2)"
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "m", "span", "load", "vmstat", "hybrid", "n"
+    );
+    let mut csv = String::from(
+        "m,span_s,load_mae,vmstat_mae,hybrid_mae,n
+",
+    );
+    for p in aggregation_sweep(&out, &[1, 2, 3, 6, 12, 30, 60, 180]) {
+        println!(
+            "{:>6} {:>7.0}s {:>8} {:>8} {:>8} {:>7}",
+            p.m,
+            p.span,
+            pct(p.mae[0]),
+            pct(p.mae[1]),
+            pct(p.mae[2]),
+            p.n
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{}",
+            p.m, p.span, p.mae[0], p.mae[1], p.mae[2], p.n
+        );
+    }
+    write_artifact("sweep_aggregation.csv", &csv);
+
+    println!(
+        "
+Extension: forecast error vs horizon (thing2)"
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}",
+        "k", "lead", "load", "vmstat", "hybrid"
+    );
+    let mut csv = String::from(
+        "k,lead_s,load_mae,vmstat_mae,hybrid_mae
+",
+    );
+    for p in horizon_sweep(&out, &[1, 2, 3, 6, 12, 30, 60, 180, 360]) {
+        println!(
+            "{:>6} {:>7.0}s {:>8} {:>8} {:>8}",
+            p.k,
+            p.lead,
+            pct(p.mae[0]),
+            pct(p.mae[1]),
+            pct(p.mae[2])
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{}",
+            p.k, p.lead, p.mae[0], p.mae[1], p.mae[2]
+        );
+    }
+    write_artifact("sweep_horizon.csv", &csv);
+}
+
+fn run_robustness(cfg: &ExperimentConfig) {
+    println!(
+        "
+Extension: Table 1 across 8 seeds (mean +/- std per cell)"
+    );
+    let seeds: Vec<u64> = (0..8).map(|i| cfg.seed.wrapping_add(i * 7919)).collect();
+    let rows = seed_robustness(cfg, &seeds);
+    println!(
+        "{:<11} {:>16} {:>16} {:>16}",
+        "host", "load avg", "vmstat", "nws hybrid"
+    );
+    let mut csv = String::from(
+        "host,load_mean,load_std,vmstat_mean,vmstat_std,hybrid_mean,hybrid_std
+",
+    );
+    for r in &rows {
+        let fmt = |(m, s): (f64, f64)| format!("{} +/- {:.1}%", pct(m), s * 100.0);
+        println!(
+            "{:<11} {:>16} {:>16} {:>16}",
+            r.host,
+            fmt(r.cells[0]),
+            fmt(r.cells[1]),
+            fmt(r.cells[2])
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{}",
+            r.host,
+            r.cells[0].0,
+            r.cells[0].1,
+            r.cells[1].0,
+            r.cells[1].1,
+            r.cells[2].0,
+            r.cells[2].1
+        );
+    }
+    write_artifact("robustness_table1.csv", &csv);
+}
+
+fn run_ablations(cfg: &ExperimentConfig) {
+    println!("\nAblation 1: dynamic predictor selection vs fixed predictors (thing1, load avg)");
+    let ab = forecaster_ablation(cfg, HostProfile::Thing1);
+    let mut fixed = ab.fixed.clone();
+    fixed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite MAE"));
+    let mut csv = String::from("method,mae\n");
+    let _ = writeln!(csv, "nws-dynamic,{}", ab.dynamic);
+    println!("  {:<22} {}", "nws-dynamic", pct(ab.dynamic));
+    for (name, mae) in &fixed {
+        println!("  {:<22} {}", name, pct(*mae));
+        let _ = writeln!(csv, "{name},{mae}");
+    }
+    write_artifact("ablation_forecasters.csv", &csv);
+
+    println!("\nAblation 2: probe bias on/off");
+    let mut csv = String::from("host,with_bias,without_bias\n");
+    for host in [
+        HostProfile::Conundrum,
+        HostProfile::Kongo,
+        HostProfile::Thing1,
+    ] {
+        let b = bias_ablation(cfg, host);
+        println!(
+            "  {:<10} with bias {}  without bias {}",
+            b.host,
+            pct(b.with_bias),
+            pct(b.without_bias)
+        );
+        let _ = writeln!(csv, "{},{},{}", b.host, b.with_bias, b.without_bias);
+    }
+    write_artifact("ablation_bias.csv", &csv);
+
+    println!("\nAblation 3: probe duration sweep on kongo (error vs intrusiveness)");
+    let sweep = probe_duration_sweep(cfg, HostProfile::Kongo, &[0.5, 1.0, 1.5, 3.0, 5.0, 10.0]);
+    let mut csv = String::from("probe_duration_s,hybrid_error,overhead\n");
+    for p in &sweep {
+        println!(
+            "  probe {:>4.1}s  error {}  overhead {}",
+            p.probe_duration,
+            pct(p.hybrid_error),
+            pct(p.overhead)
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{}",
+            p.probe_duration, p.hybrid_error, p.overhead
+        );
+    }
+    write_artifact("ablation_probe_duration.csv", &csv);
+}
+
+fn run_sched(quick: bool) {
+    println!("\nScheduling experiment: bag-of-tasks over the six hosts");
+    let cfg = if quick {
+        SchedConfig::quick()
+    } else {
+        SchedConfig::default()
+    };
+    let outcomes = run_scheduling_experiment(&cfg);
+    let best = outcomes
+        .iter()
+        .map(|o| o.makespan)
+        .fold(f64::INFINITY, f64::min);
+    let mut csv = String::from("policy,makespan_s,predicted_s,slowdown_vs_best\n");
+    for o in &outcomes {
+        println!(
+            "  {:<14} makespan {:>8.0}s  (x{:.2} vs best)  tasks/host {:?}",
+            o.policy.name(),
+            o.makespan,
+            o.makespan / best,
+            o.tasks_per_host
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{}",
+            o.policy.name(),
+            o.makespan,
+            o.predicted_makespan,
+            o.makespan / best
+        );
+    }
+    write_artifact("sched_experiment.csv", &csv);
+
+    // Static placement vs dynamic self-scheduling on the same bag.
+    let cmp = compare_static_vs_dynamic(&cfg);
+    println!(
+        "  static forecast LPT {:>6.0}s vs dynamic work-queue {:>6.0}s  (dynamic tasks/host {:?})",
+        cmp.static_makespan, cmp.dynamic_makespan, cmp.dynamic_tasks_per_host
+    );
+}

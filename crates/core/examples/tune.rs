@@ -1,0 +1,51 @@
+//! Calibration harness: the table the host profiles were tuned against.
+//!
+//! ```sh
+//! cargo run --release -p nws-core --example tune [full]
+//! ```
+//!
+//! Prints, per host, the Table 1 measurement errors and the Table 3
+//! one-step prediction errors side by side with the mean availability the
+//! sensors report and the mean availability the test process actually
+//! observed. This is the loop `DESIGN.md` §6 describes: every workload
+//! parameter in `nws_sim::profiles` was chosen by watching this table
+//! converge toward the paper's. `full` runs the paper-scale 24-hour
+//! protocol; the default is a faster 4-hour pass.
+use nws_core::experiments::dataset::{short_dataset, ExperimentConfig};
+use nws_core::experiments::tables::{table1_from, table3_from};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let cfg = if arg == "full" {
+        ExperimentConfig::default()
+    } else {
+        ExperimentConfig {
+            duration: 4.0 * 3600.0,
+            hurst_duration: 24.0 * 3600.0,
+            short_test_period: 600.0,
+            warmup: 1800.0,
+            ..ExperimentConfig::default()
+        }
+    };
+    let data = short_dataset(&cfg);
+    let t1 = table1_from(&data);
+    let t3 = table3_from(&data);
+    println!("host        t1.load t1.vm  t1.hyb |  t3.load t3.vm  t3.hyb | means");
+    for (o, (r1, r3)) in data.iter().zip(t1.rows.iter().zip(&t3.rows)) {
+        let mean_avail: f64 =
+            o.series.load.values().iter().sum::<f64>() / o.series.load.len() as f64;
+        let mean_test: f64 = o.tests.iter().map(|t| t.value).sum::<f64>() / o.tests.len() as f64;
+        println!(
+            "{:<11} {:>6.3} {:>6.3} {:>6.3} | {:>7.3} {:>6.3} {:>6.3} | avail={:.2} test={:.2}",
+            r1.host,
+            r1.load,
+            r1.vmstat,
+            r1.hybrid,
+            r3.load,
+            r3.vmstat,
+            r3.hybrid,
+            mean_avail,
+            mean_test
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Dataset collection: the monitoring runs all tables/figures share.
+
+use crate::monitor::{Monitor, MonitorConfig, MonitorOutput};
+use nws_sim::{HostProfile, Seconds};
+use nws_timeseries::Series;
+
+/// Global experiment parameters.
+///
+/// The defaults reproduce the paper's protocol (24-hour traces, a one-week
+/// trace for the Hurst analysis). [`ExperimentConfig::quick`] shrinks
+/// everything for fast tests — the *shapes* still hold at that scale, the
+/// statistics are just noisier.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Base seed; per-host seeds derive from it.
+    pub seed: u64,
+    /// Monitored span for the 24-hour experiments (Tables 1–6).
+    pub duration: Seconds,
+    /// Monitored span for the self-similarity analysis (Figure 3, Table 4
+    /// column 2) — the paper used one week.
+    pub hurst_duration: Seconds,
+    /// Cadence of the 10-second test process (Tables 1–3).
+    pub short_test_period: Seconds,
+    /// Warm-up before recording.
+    pub warmup: Seconds,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1998,
+            duration: 24.0 * 3600.0,
+            hurst_duration: 7.0 * 24.0 * 3600.0,
+            short_test_period: 600.0,
+            warmup: 1800.0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for unit/integration tests: one simulated
+    /// hour of monitoring and a 6-hour Hurst trace.
+    pub fn quick() -> Self {
+        Self {
+            duration: 3600.0,
+            hurst_duration: 6.0 * 3600.0,
+            short_test_period: 300.0,
+            warmup: 600.0,
+            ..Self::default()
+        }
+    }
+
+    fn short_monitor(&self) -> MonitorConfig {
+        MonitorConfig {
+            duration: self.duration,
+            warmup: self.warmup,
+            test_period: Some(self.short_test_period),
+            ..MonitorConfig::default()
+        }
+    }
+
+    fn medium_monitor(&self) -> MonitorConfig {
+        MonitorConfig {
+            duration: self.duration,
+            warmup: self.warmup,
+            test_period: Some(3600.0_f64.min(self.duration / 2.0)),
+            test_duration: nws_sensors::TEST_DURATION_MEDIUM.min(self.duration / 12.0),
+            ..MonitorConfig::default()
+        }
+    }
+
+    fn per_host_seed(&self, name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ self.seed
+    }
+}
+
+/// Runs the short-test (10 s) monitor over all six hosts — the dataset
+/// behind Tables 1–5 and Figures 1–2.
+pub fn short_dataset(cfg: &ExperimentConfig) -> Vec<MonitorOutput> {
+    let monitor = Monitor::new(cfg.short_monitor());
+    HostProfile::all()
+        .iter()
+        .map(|p| {
+            let mut host = p.build(cfg.per_host_seed(p.name()));
+            monitor.run(&mut host)
+        })
+        .collect()
+}
+
+/// Runs the medium-term monitor (5-minute test process hourly) over all six
+/// hosts — the dataset behind Table 6 and Figure 4.
+pub fn medium_dataset(cfg: &ExperimentConfig) -> Vec<MonitorOutput> {
+    let monitor = Monitor::new(cfg.medium_monitor());
+    HostProfile::all()
+        .iter()
+        .map(|p| {
+            // Distinct sub-seed so the medium traces are not the identical
+            // realization as the short ones (a different day of monitoring).
+            let mut host = p.build(cfg.per_host_seed(p.name()).wrapping_add(0x5EED));
+            monitor.run(&mut host)
+        })
+        .collect()
+}
+
+/// Collects week-long load-average availability series for every host, with
+/// the test process disabled (the paper's pox plots come from plain
+/// measurement traces).
+pub fn weekly_load_series(cfg: &ExperimentConfig) -> Vec<Series> {
+    let monitor = Monitor::new(MonitorConfig {
+        duration: cfg.hurst_duration,
+        warmup: cfg.warmup,
+        test_period: None,
+        ..MonitorConfig::default()
+    });
+    HostProfile::all()
+        .iter()
+        .map(|p| {
+            let mut host = p.build(cfg.per_host_seed(p.name()).wrapping_add(0x7DA));
+            monitor.run(&mut host).series.load
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_dataset_covers_all_hosts() {
+        let cfg = ExperimentConfig::quick();
+        let data = short_dataset(&cfg);
+        assert_eq!(data.len(), 6);
+        for out in &data {
+            assert_eq!(out.series.load.len(), 360); // 3600 s / 10 s
+            assert!(!out.tests.is_empty());
+        }
+        let names: Vec<&str> = data.iter().map(|o| o.host.as_str()).collect();
+        assert_eq!(names, nws_sim::UCSD_HOST_NAMES.to_vec());
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let cfg = ExperimentConfig::quick();
+        let a = short_dataset(&cfg);
+        let b = short_dataset(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.series.load.values(), y.series.load.values());
+        }
+    }
+
+    #[test]
+    fn medium_dataset_uses_long_tests() {
+        let cfg = ExperimentConfig::quick();
+        let data = medium_dataset(&cfg);
+        for out in &data {
+            for t in &out.tests {
+                assert!(t.duration >= 100.0, "medium test too short");
+            }
+        }
+    }
+
+    #[test]
+    fn weekly_series_have_expected_length() {
+        let cfg = ExperimentConfig::quick();
+        let series = weekly_load_series(&cfg);
+        assert_eq!(series.len(), 6);
+        for s in &series {
+            assert_eq!(s.len(), (cfg.hurst_duration / 10.0) as usize);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Extension experiments beyond the paper's tables.
+//!
+//! - [`aggregation_sweep`] tests the paper's §3.2 hypothesis directly:
+//!   "smoothing may be more effective for certain time frames (aggregation
+//!   levels) than for others … in general, however, the improvement should
+//!   be small and there is no trend as a function of aggregation level
+//!   that we can detect." We sweep `m` and report one-step error per
+//!   level.
+//! - [`horizon_sweep`] measures how prediction degrades with lead time: at
+//!   each time `t` the standing NWS forecast is scored against the
+//!   measurement `k` steps ahead, for a ladder of horizons — the bridge
+//!   between the paper's one-step results and the long-term forecasting it
+//!   leaves to future work.
+//! - [`seed_robustness`] reruns Table 1 under many seeds and reports
+//!   per-cell means and standard deviations — evidence that the reproduced
+//!   shape is a property of the model, not of one lucky realization.
+
+use crate::experiments::dataset::{short_dataset, ExperimentConfig};
+use crate::experiments::tables::table1_from;
+use crate::monitor::{Monitor, MonitorConfig, MonitorOutput};
+use nws_forecast::{evaluate_one_step, NwsForecaster};
+use nws_sim::HostProfile;
+use nws_timeseries::aggregate_mean;
+
+/// One row of the aggregation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationPoint {
+    /// Aggregation level (measurements per block; 1 = unaggregated 10 s).
+    pub m: usize,
+    /// Block span in seconds.
+    pub span: f64,
+    /// One-step MAE on the aggregated series, per method
+    /// (load/vmstat/hybrid).
+    pub mae: [f64; 3],
+    /// Points in the aggregated series.
+    pub n: usize,
+}
+
+/// Sweeps aggregation levels on one host's 24-hour series.
+pub fn aggregation_sweep(output: &MonitorOutput, levels: &[usize]) -> Vec<AggregationPoint> {
+    levels
+        .iter()
+        .map(|&m| {
+            let mae = [
+                &output.series.load,
+                &output.series.vmstat,
+                &output.series.hybrid,
+            ]
+            .map(|s| {
+                let agg = aggregate_mean(s.values(), m);
+                let mut nws = NwsForecaster::nws_default();
+                evaluate_one_step(&mut nws, &agg)
+                    .map(|r| r.mae)
+                    .unwrap_or(f64::NAN)
+            });
+            let n = output.series.load.len() / m;
+            AggregationPoint {
+                m,
+                span: m as f64 * 10.0,
+                mae,
+                n,
+            }
+        })
+        .collect()
+}
+
+/// One row of the horizon sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorizonPoint {
+    /// Lead time in measurement steps (1 = the paper's one-step case).
+    pub k: usize,
+    /// Lead time in seconds.
+    pub lead: f64,
+    /// MAE of the standing forecast against the measurement `k` steps
+    /// ahead, per method.
+    pub mae: [f64; 3],
+}
+
+/// Scores the standing NWS forecast at horizons `ks` on one host's series.
+pub fn horizon_sweep(output: &MonitorOutput, ks: &[usize]) -> Vec<HorizonPoint> {
+    // Precompute each method's forecast-at-time-t stream once.
+    let methods = [
+        &output.series.load,
+        &output.series.vmstat,
+        &output.series.hybrid,
+    ];
+    let forecast_streams: Vec<Vec<Option<f64>>> = methods
+        .iter()
+        .map(|s| {
+            let mut nws = NwsForecaster::nws_default();
+            s.values()
+                .iter()
+                .map(|&v| {
+                    let standing = nws.forecast().map(|f| f.value);
+                    nws.update(v);
+                    standing
+                })
+                .collect()
+        })
+        .collect();
+    ks.iter()
+        .map(|&k| {
+            assert!(k >= 1, "horizon must be at least one step");
+            let mae = [0, 1, 2].map(|mi| {
+                let values = methods[mi].values();
+                let stream = &forecast_streams[mi];
+                let mut acc = 0.0;
+                let mut n = 0usize;
+                // The forecast standing just before index t (stream[t]) is
+                // scored against the value k-1 further on: stream[t] already
+                // is the 1-step forecast of values[t].
+                for t in 0..values.len().saturating_sub(k - 1) {
+                    if let Some(f) = stream[t] {
+                        acc += (f - values[t + k - 1]).abs();
+                        n += 1;
+                    }
+                }
+                if n == 0 {
+                    f64::NAN
+                } else {
+                    acc / n as f64
+                }
+            });
+            HorizonPoint {
+                k,
+                lead: k as f64 * 10.0,
+                mae,
+            }
+        })
+        .collect()
+}
+
+/// Per-cell mean and standard deviation of Table 1 across seeds.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// Host name.
+    pub host: String,
+    /// `(mean, std)` per method.
+    pub cells: [(f64, f64); 3],
+}
+
+/// Reruns Table 1 for each seed and aggregates per cell.
+pub fn seed_robustness(base: &ExperimentConfig, seeds: &[u64]) -> Vec<RobustnessRow> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let tables: Vec<_> = seeds
+        .iter()
+        .map(|&seed| table1_from(&short_dataset(&ExperimentConfig { seed, ..*base })))
+        .collect();
+    let hosts: Vec<String> = tables[0].rows.iter().map(|r| r.host.clone()).collect();
+    hosts
+        .iter()
+        .enumerate()
+        .map(|(hi, host)| {
+            let cells = [0, 1, 2].map(|mi| {
+                let samples: Vec<f64> = tables.iter().map(|t| t.rows[hi].values()[mi]).collect();
+                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+                    / samples.len() as f64;
+                (mean, var.sqrt())
+            });
+            RobustnessRow {
+                host: host.clone(),
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// Collects one host's 24-hour monitor output without test processes
+/// (shared by the sweeps, which only need the measurement series).
+pub fn sweep_dataset(cfg: &ExperimentConfig, host: HostProfile) -> MonitorOutput {
+    let monitor = Monitor::new(MonitorConfig {
+        duration: cfg.duration,
+        warmup: cfg.warmup,
+        test_period: None,
+        ..MonitorConfig::default()
+    });
+    let mut h = host.build(cfg.seed ^ 0x51ee9);
+    monitor.run(&mut h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_output() -> MonitorOutput {
+        sweep_dataset(&ExperimentConfig::quick(), HostProfile::Thing2)
+    }
+
+    #[test]
+    fn aggregation_sweep_covers_levels() {
+        let out = quick_output();
+        let sweep = aggregation_sweep(&out, &[1, 3, 6, 30]);
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep[0].m, 1);
+        assert_eq!(sweep[0].span, 10.0);
+        assert_eq!(sweep[3].span, 300.0);
+        for p in &sweep {
+            assert_eq!(p.n, out.series.load.len() / p.m);
+            for v in p.mae {
+                assert!(v.is_finite() && (0.0..=1.0).contains(&v), "m={}: {v}", p.m);
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_error_grows_with_lead_time() {
+        let out = quick_output();
+        let sweep = horizon_sweep(&out, &[1, 6, 30]);
+        assert_eq!(sweep.len(), 3);
+        // On a long-range-dependent series the error at a 5-minute lead
+        // exceeds the one-step error for the load-average method.
+        assert!(
+            sweep[2].mae[0] > sweep[0].mae[0],
+            "1-step {} vs 30-step {}",
+            sweep[0].mae[0],
+            sweep[2].mae[0]
+        );
+        for p in &sweep {
+            for v in p.mae {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_one_matches_one_step_eval() {
+        let out = quick_output();
+        let sweep = horizon_sweep(&out, &[1]);
+        let mut nws = NwsForecaster::nws_default();
+        let direct = evaluate_one_step(&mut nws, out.series.load.values())
+            .expect("long series")
+            .mae;
+        assert!(
+            (sweep[0].mae[0] - direct).abs() < 1e-9,
+            "sweep {} vs direct {direct}",
+            sweep[0].mae[0]
+        );
+    }
+
+    #[test]
+    fn robustness_reports_all_hosts_and_small_spread() {
+        let cfg = ExperimentConfig::quick();
+        let rows = seed_robustness(&cfg, &[1, 2, 3]);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            for (mean, std) in r.cells {
+                assert!((0.0..=1.0).contains(&mean), "{}: mean {mean}", r.host);
+                assert!((0.0..0.2).contains(&std), "{}: std {std}", r.host);
+            }
+        }
+        // The pathologies persist across seeds in expectation.
+        let con = rows.iter().find(|r| r.host == "conundrum").expect("row");
+        assert!(con.cells[0].0 > con.cells[2].0, "conundrum shape unstable");
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let out = quick_output();
+        horizon_sweep(&out, &[0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Figures 1–4 of the paper (as data series; rendering lives in
+//! [`crate::plot`] and the repro harness writes CSV for external plotting).
+
+use crate::experiments::dataset::{
+    medium_dataset, short_dataset, weekly_load_series, ExperimentConfig,
+};
+use crate::monitor::MonitorOutput;
+use nws_stats::{autocorrelation, hurst_rs, pox_plot, HurstEstimate, PoxPoint};
+use nws_timeseries::{aggregate_series, Series};
+
+/// A figure built from one series per featured host (thing1 and thing2).
+#[derive(Debug, Clone)]
+pub struct FigSeries {
+    /// Figure caption.
+    pub title: String,
+    /// `(host name, series)` pairs.
+    pub series: Vec<(String, Series)>,
+}
+
+/// Figure 3's content for one host: the pox-plot point cloud and the
+/// least-squares Hurst fit.
+#[derive(Debug, Clone)]
+pub struct PoxFigure {
+    /// Host name.
+    pub host: String,
+    /// All `(log10 d, log10 R/S)` samples.
+    pub points: Vec<PoxPoint>,
+    /// The per-`d` mean regression whose slope is the Hurst estimate.
+    pub estimate: HurstEstimate,
+}
+
+/// The two hosts the paper's figures feature.
+const FEATURED: [&str; 2] = ["thing1", "thing2"];
+
+fn featured(outputs: &[MonitorOutput]) -> Vec<&MonitorOutput> {
+    FEATURED
+        .iter()
+        .filter_map(|name| outputs.iter().find(|o| o.host == *name))
+        .collect()
+}
+
+/// Figure 1: 24-hour CPU availability traces (load-average method) for
+/// thing1 and thing2.
+pub fn fig1_from(outputs: &[MonitorOutput]) -> FigSeries {
+    FigSeries {
+        title: "Figure 1: CPU Availability Measurements (Unix Load Average)".into(),
+        series: featured(outputs)
+            .into_iter()
+            .map(|o| (o.host.clone(), o.series.load.clone()))
+            .collect(),
+    }
+}
+
+/// Convenience wrapper for Figure 1.
+pub fn fig1(cfg: &ExperimentConfig) -> FigSeries {
+    fig1_from(&short_dataset(cfg))
+}
+
+/// Figure 2: the first 360 autocorrelations of the Figure 1 series.
+///
+/// Each output series is indexed by lag (1 lag = one 10 s measurement), so
+/// lag 360 is one hour of history.
+pub fn fig2_from(outputs: &[MonitorOutput]) -> FigSeries {
+    let series = featured(outputs)
+        .into_iter()
+        .map(|o| {
+            let values = o.series.load.values();
+            let max_lag = 360.min(values.len().saturating_sub(2));
+            let rho = autocorrelation(values, max_lag).unwrap_or_default();
+            let s = Series::from_values(format!("{}-acf", o.host), 0.0, 1.0, rho)
+                .expect("lags are increasing");
+            (o.host.clone(), s)
+        })
+        .collect();
+    FigSeries {
+        title: "Figure 2: CPU Availability Autocorrelations (Unix Load Average)".into(),
+        series,
+    }
+}
+
+/// Convenience wrapper for Figure 2.
+pub fn fig2(cfg: &ExperimentConfig) -> FigSeries {
+    fig2_from(&short_dataset(cfg))
+}
+
+/// Figure 3: R/S pox plots with the least-squares Hurst fit, from the
+/// week-long load-average traces of thing1 and thing2.
+pub fn fig3_from(weekly_load: &[Series], host_names: &[&str]) -> Vec<PoxFigure> {
+    weekly_load
+        .iter()
+        .zip(host_names)
+        .filter(|(_, name)| FEATURED.contains(*name))
+        .filter_map(|(series, name)| {
+            let estimate = hurst_rs(series.values(), 10)?;
+            Some(PoxFigure {
+                host: (*name).to_string(),
+                points: pox_plot(series.values(), 10),
+                estimate,
+            })
+        })
+        .collect()
+}
+
+/// Convenience wrapper for Figure 3.
+pub fn fig3(cfg: &ExperimentConfig) -> Vec<PoxFigure> {
+    let weekly = weekly_load_series(cfg);
+    fig3_from(&weekly, &nws_sim::UCSD_HOST_NAMES)
+}
+
+/// Figure 4: 5-minute aggregated availability (load-average method) from
+/// the medium-term runs — the periodic signature of the hourly 5-minute
+/// test process is visible in these series.
+pub fn fig4_from(outputs: &[MonitorOutput]) -> FigSeries {
+    FigSeries {
+        title: "Figure 4: 5 Minute Aggregated CPU Availability (Unix Load Average)".into(),
+        series: featured(outputs)
+            .into_iter()
+            .map(|o| (o.host.clone(), aggregate_series(&o.series.load, 30)))
+            .collect(),
+    }
+}
+
+/// Convenience wrapper for Figure 4.
+pub fn fig4(cfg: &ExperimentConfig) -> FigSeries {
+    fig4_from(&medium_dataset(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::dataset::short_dataset;
+
+    #[test]
+    fn fig1_features_thing1_and_thing2() {
+        let cfg = ExperimentConfig::quick();
+        let f = fig1_from(&short_dataset(&cfg));
+        let hosts: Vec<&str> = f.series.iter().map(|(h, _)| h.as_str()).collect();
+        assert_eq!(hosts, vec!["thing1", "thing2"]);
+        for (_, s) in &f.series {
+            assert_eq!(s.len(), 360);
+        }
+    }
+
+    #[test]
+    fn fig2_acf_starts_at_one_and_is_bounded() {
+        // At quick scale (1 simulated hour) only the short-lag structure is
+        // statistically stable; the slow-decay claim is asserted at full
+        // scale below.
+        let cfg = ExperimentConfig::quick();
+        let f = fig2_from(&short_dataset(&cfg));
+        for (host, s) in &f.series {
+            let rho = s.values();
+            assert!((rho[0] - 1.0).abs() < 1e-9, "{host}: rho(0) != 1");
+            assert!(rho[1] > 0.5, "{host}: rho(1) = {}", rho[1]);
+            assert!(rho.iter().all(|r| r.abs() <= 1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    #[ignore = "full-scale (24 h) run; exercised by the repro harness"]
+    fn fig2_acf_decays_slowly_at_full_scale() {
+        let cfg = ExperimentConfig::default();
+        let f = fig2_from(&short_dataset(&cfg));
+        for (host, s) in &f.series {
+            let rho = s.values();
+            // Long-range dependence: correlation persists at lag 30 (5 min).
+            assert!(rho[30] > 0.15, "{host}: rho(30) = {}", rho[30]);
+        }
+    }
+
+    #[test]
+    fn fig3_hurst_between_half_and_one() {
+        let cfg = ExperimentConfig::quick();
+        let weekly = weekly_load_series(&cfg);
+        let figs = fig3_from(&weekly, &nws_sim::UCSD_HOST_NAMES);
+        assert_eq!(figs.len(), 2);
+        for f in &figs {
+            assert!(
+                f.estimate.h > 0.5 && f.estimate.h < 1.05,
+                "{}: H = {}",
+                f.host,
+                f.estimate.h
+            );
+            assert!(f.points.len() > 50);
+        }
+    }
+
+    #[test]
+    fn fig4_has_five_minute_resolution() {
+        let cfg = ExperimentConfig::quick();
+        let f = fig4_from(&medium_dataset(&cfg));
+        for (_, s) in &f.series {
+            assert_eq!(s.len(), 12); // 3600 s / 300 s
+            assert!((s.mean_dt().unwrap() - 300.0).abs() < 1.0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `nws-core` — the monitoring pipeline and paper experiment drivers.
+//!
+//! This crate glues the substrates together into the system the paper
+//! describes:
+//!
+//! - [`monitor`] runs the NWS CPU monitor against a simulated host: the
+//!   three sensors on their 10-second cadence, the hybrid's 1.5 s probe
+//!   once a minute, and the ground-truth test process on its own schedule —
+//!   producing the measurement series and paired test observations that
+//!   every table in the paper is computed from.
+//! - [`experiments`] regenerates **every table and figure**: Tables 1–6
+//!   and Figures 1–4, plus the ablations described in `DESIGN.md`.
+//! - [`report`] renders results as aligned text tables and CSV.
+//! - [`plot`] renders quick ASCII time-series/scatter plots for the
+//!   figures.
+//! - [`paper`] records the paper's published numbers so reports can print
+//!   paper-vs-measured side by side.
+
+pub mod experiments;
+pub mod monitor;
+pub mod paper;
+pub mod plot;
+pub mod report;
+
+pub use experiments::ExperimentConfig;
+pub use monitor::{MethodSeries, Monitor, MonitorConfig, MonitorOutput, TestObservation};

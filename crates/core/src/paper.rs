@@ -1,0 +1,130 @@
+//! The paper's published numbers, for paper-vs-measured reports.
+//!
+//! All values are **fractions** (the paper prints percentages). Host order
+//! is the paper's row order: thing2, thing1, conundrum, beowulf, gremlin,
+//! kongo; method order is load average, vmstat, NWS hybrid.
+
+/// Host names in the paper's row order.
+pub const HOSTS: [&str; 6] = [
+    "thing2",
+    "thing1",
+    "conundrum",
+    "beowulf",
+    "gremlin",
+    "kongo",
+];
+
+/// Table 1: mean absolute measurement errors.
+pub const TABLE1: [[f64; 3]; 6] = [
+    [0.090, 0.112, 0.111],
+    [0.064, 0.075, 0.061],
+    [0.341, 0.327, 0.044],
+    [0.063, 0.065, 0.075],
+    [0.040, 0.032, 0.041],
+    [0.128, 0.129, 0.413],
+];
+
+/// Table 2: mean true forecasting errors.
+pub const TABLE2: [[f64; 3]; 6] = [
+    [0.089, 0.086, 0.100],
+    [0.064, 0.070, 0.053],
+    [0.340, 0.320, 0.043],
+    [0.062, 0.068, 0.069],
+    [0.040, 0.026, 0.030],
+    [0.120, 0.120, 0.410],
+];
+
+/// Table 3: mean absolute one-step-ahead prediction errors.
+pub const TABLE3: [[f64; 3]; 6] = [
+    [0.012, 0.049, 0.018],
+    [0.017, 0.031, 0.028],
+    [0.004, 0.002, 0.002],
+    [0.018, 0.031, 0.035],
+    [0.010, 0.021, 0.020],
+    [0.001, 0.001, 0.001],
+];
+
+/// Table 4, column 2: R/S Hurst parameter estimates.
+pub const TABLE4_HURST: [f64; 6] = [0.70, 0.70, 0.79, 0.82, 0.71, 0.69];
+
+/// Table 4 variances: per host, per method, `(original, 300 s aggregated)`.
+pub const TABLE4_VARIANCES: [[(f64, f64); 3]; 6] = [
+    [(0.0348, 0.0338), (0.0431, 0.0351), (0.0321, 0.0315)],
+    [(0.0081, 0.0062), (0.0103, 0.0048), (0.0147, 0.0090)],
+    [(0.0002, 0.0001), (0.0003, 0.0000), (0.0006, 0.0009)],
+    [(0.0058, 0.0039), (0.0063, 0.0019), (0.0151, 0.0057)],
+    [(0.0038, 0.0023), (0.0034, 0.0011), (0.0032, 0.0001)],
+    [(0.0001, 0.0001), (0.0001, 0.0001), (0.0004, 0.0008)],
+];
+
+/// Table 5: one-step prediction errors on 5-minute aggregated series.
+pub const TABLE5: [[f64; 3]; 6] = [
+    [0.024, 0.017, 0.013],
+    [0.049, 0.035, 0.039],
+    [0.007, 0.002, 0.003],
+    [0.034, 0.023, 0.045],
+    [0.026, 0.012, 0.013],
+    [0.002, 0.001, 0.002],
+];
+
+/// Table 6: mean true forecasting errors for 5-minute averages.
+pub const TABLE6: [[f64; 3]; 6] = [
+    [0.066, 0.053, 0.065],
+    [0.056, 0.052, 0.067],
+    [0.030, 0.074, 0.101],
+    [0.060, 0.114, 0.111],
+    [0.043, 0.029, 0.083],
+    [0.021, 0.019, 0.285],
+];
+
+/// Row index of a host in the paper's order.
+pub fn host_index(host: &str) -> Option<usize> {
+    HOSTS.iter().position(|&h| h == host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_index_round_trips() {
+        for (i, h) in HOSTS.iter().enumerate() {
+            assert_eq!(host_index(h), Some(i));
+        }
+        assert_eq!(host_index("nope"), None);
+    }
+
+    #[test]
+    fn headline_claims_hold_in_reference_data() {
+        // One-step prediction error < 5% on every host/method (Table 3).
+        for row in TABLE3 {
+            for v in row {
+                assert!(v < 0.05);
+            }
+        }
+        // Conundrum: passive methods err hugely, hybrid small (Table 1).
+        let con = TABLE1[2];
+        assert!(con[0] > 0.3 && con[1] > 0.3 && con[2] < 0.05);
+        // Kongo: hybrid errs hugely, passive moderate (Table 1).
+        let kongo = TABLE1[5];
+        assert!(kongo[2] > 0.4 && kongo[0] < 0.15);
+        // Hurst estimates all in (0.5, 1).
+        for h in TABLE4_HURST {
+            assert!(h > 0.5 && h < 1.0);
+        }
+    }
+
+    #[test]
+    fn aggregation_reduces_variance_except_known_cells() {
+        let mut rises = Vec::new();
+        for (hi, host) in TABLE4_VARIANCES.iter().enumerate() {
+            for (mi, &(orig, agg)) in host.iter().enumerate() {
+                if agg > orig {
+                    rises.push((HOSTS[hi], mi));
+                }
+            }
+        }
+        // The paper: only conundrum/hybrid and kongo/hybrid rise.
+        assert_eq!(rises, vec![("conundrum", 2), ("kongo", 2)]);
+    }
+}

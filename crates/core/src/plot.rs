@@ -1,0 +1,166 @@
+//! Minimal ASCII plotting for the repro harness.
+//!
+//! The figures are also written as CSV for external plotting; these
+//! renderers give an immediate visual check in the terminal — enough to see
+//! Figure 1's load structure, Figure 2's slow ACF decay, and Figure 3's
+//! pox-plot slope.
+
+use nws_timeseries::Series;
+
+/// Renders a time series as an ASCII line chart of `width × height`
+/// characters (plus axes). Values are min–max scaled.
+pub fn ascii_series(series: &Series, width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "plot area too small");
+    if series.is_empty() {
+        return format!("{} (empty)\n", series.name());
+    }
+    let values = series.values();
+    let (min, max) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = if (max - min).abs() < 1e-12 {
+        1.0
+    } else {
+        max - min
+    };
+    // Bucket the series into `width` columns, averaging within each.
+    let mut cols = vec![f64::NAN; width];
+    let per = (values.len() as f64 / width as f64).max(1.0);
+    for (c, col) in cols.iter_mut().enumerate() {
+        let lo = (c as f64 * per) as usize;
+        let hi = (((c + 1) as f64 * per) as usize)
+            .min(values.len())
+            .max(lo + 1);
+        if lo < values.len() {
+            let slice = &values[lo..hi.min(values.len())];
+            *col = slice.iter().sum::<f64>() / slice.len() as f64;
+        }
+    }
+    let mut grid = vec![vec![b' '; width]; height];
+    for (c, &v) in cols.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        let r = ((v - min) / span * (height - 1) as f64).round() as usize;
+        let row = height - 1 - r.min(height - 1);
+        grid[row][c] = b'*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{}  [{:.3} .. {:.3}]\n", series.name(), min, max));
+    for row in grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+/// Renders an `(x, y)` scatter as ASCII, with an optional fitted line drawn
+/// as `.` where no point is present (used for the pox plots of Figure 3).
+pub fn ascii_scatter(
+    title: &str,
+    points: &[(f64, f64)],
+    fit: Option<(f64, f64)>,
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 2 && height >= 2, "plot area too small");
+    if points.is_empty() {
+        return format!("{title} (no points)\n");
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let sx = if (max_x - min_x).abs() < 1e-12 {
+        1.0
+    } else {
+        max_x - min_x
+    };
+    let sy = if (max_y - min_y).abs() < 1e-12 {
+        1.0
+    } else {
+        max_y - min_y
+    };
+    let mut grid = vec![vec![b' '; width]; height];
+    if let Some((slope, intercept)) = fit {
+        for (c, x) in (0..width).map(|c| (c, min_x + sx * c as f64 / (width - 1) as f64)) {
+            let y = slope * x + intercept;
+            if y >= min_y && y <= max_y {
+                let r = ((y - min_y) / sy * (height - 1) as f64).round() as usize;
+                grid[height - 1 - r.min(height - 1)][c] = b'.';
+            }
+        }
+    }
+    for &(x, y) in points {
+        let c = ((x - min_x) / sx * (width - 1) as f64).round() as usize;
+        let r = ((y - min_y) / sy * (height - 1) as f64).round() as usize;
+        grid[height - 1 - r.min(height - 1)][c.min(width - 1)] = b'*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}  x:[{min_x:.2}..{max_x:.2}] y:[{min_y:.2}..{max_y:.2}]\n"
+    ));
+    for row in grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_plot_has_expected_dimensions() {
+        let s = Series::from_values("ramp", 0.0, 1.0, (0..100).map(|i| i as f64)).unwrap();
+        let plot = ascii_series(&s, 40, 10);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 12); // title + 10 rows + axis
+        assert!(lines[0].contains("ramp"));
+        // A ramp touches the bottom-left and top-right.
+        assert!(lines[1].ends_with('*') || lines[1].contains('*'));
+        assert!(lines[10].contains('*'));
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let s = Series::new("empty");
+        assert!(ascii_series(&s, 10, 5).contains("empty"));
+    }
+
+    #[test]
+    fn constant_series_is_one_row() {
+        let s = Series::from_values("flat", 0.0, 1.0, [2.0; 50]).unwrap();
+        let plot = ascii_series(&s, 20, 6);
+        let star_rows = plot.lines().filter(|l| l.contains('*')).count();
+        assert_eq!(star_rows, 1);
+    }
+
+    #[test]
+    fn scatter_draws_points_and_fit() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let plot = ascii_scatter("fit", &pts, Some((2.0, 0.0)), 30, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.starts_with("fit"));
+    }
+
+    #[test]
+    fn scatter_empty_handled() {
+        assert!(ascii_scatter("none", &[], None, 10, 5).contains("no points"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Text and CSV rendering of experiment results.
+
+use crate::experiments::tables::{MethodTable, Table4Row};
+use crate::paper;
+use std::fmt::Write as _;
+
+/// Formats a fraction as a percentage with one decimal, e.g. `12.3%`.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Renders a host × method table as aligned text. When `paper_ref` is
+/// supplied, each cell shows `measured (paper)`.
+pub fn render_method_table(table: &MethodTable, paper_ref: Option<&[[f64; 3]; 6]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", table.title);
+    let header = ["Host", "Load Average", "vmstat", "NWS Hybrid"];
+    let mut rows: Vec<[String; 4]> = vec![header.map(|s| s.to_string())];
+    for r in &table.rows {
+        let cells = r.values();
+        let mut row = [r.host.clone(), String::new(), String::new(), String::new()];
+        for (i, v) in cells.iter().enumerate() {
+            let formatted =
+                match paper_ref.and_then(|p| paper::host_index(&r.host).map(|hi| p[hi][i])) {
+                    Some(reference) => format!("{} ({})", pct(*v), pct(reference)),
+                    None => pct(*v),
+                };
+            row[i + 1] = formatted;
+        }
+        rows.push(row);
+    }
+    out.push_str(&render_aligned(&rows));
+    out
+}
+
+/// Renders Table 4 (Hurst + variances) as aligned text with the paper's
+/// values in parentheses.
+pub fn render_table4(rows: &[Table4Row], with_paper: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 4: Variance of Original Series and 5 Minute Averages"
+    );
+    let header = [
+        "Host",
+        "Est. H",
+        "load orig",
+        "load 300s",
+        "vmstat orig",
+        "vmstat 300s",
+        "hybrid orig",
+        "hybrid 300s",
+    ];
+    let mut grid: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
+    for r in rows {
+        let hi = paper::host_index(&r.host);
+        let mut row = vec![r.host.clone()];
+        row.push(match (with_paper, hi) {
+            (true, Some(i)) => format!("{:.2} ({:.2})", r.hurst, paper::TABLE4_HURST[i]),
+            _ => format!("{:.2}", r.hurst),
+        });
+        for (mi, &(orig, agg)) in r.variances.iter().enumerate() {
+            let (p_orig, p_agg) = match (with_paper, hi) {
+                (true, Some(i)) => {
+                    let (po, pa) = paper::TABLE4_VARIANCES[i][mi];
+                    (Some(po), Some(pa))
+                }
+                _ => (None, None),
+            };
+            row.push(match p_orig {
+                Some(p) => format!("{orig:.4} ({p:.4})"),
+                None => format!("{orig:.4}"),
+            });
+            row.push(match p_agg {
+                Some(p) => format!("{agg:.4} ({p:.4})"),
+                None => format!("{agg:.4}"),
+            });
+        }
+        grid.push(row);
+    }
+    let rows_arr: Vec<Vec<String>> = grid;
+    out.push_str(&render_aligned_vec(&rows_arr));
+    out
+}
+
+/// Renders a method table as CSV (fractions, not percentages).
+pub fn method_table_to_csv(table: &MethodTable) -> String {
+    let mut out = String::from("host,load_average,vmstat,nws_hybrid\n");
+    for r in &table.rows {
+        let _ = writeln!(out, "{},{},{},{}", r.host, r.load, r.vmstat, r.hybrid);
+    }
+    out
+}
+
+/// Renders Table 4 as CSV.
+pub fn table4_to_csv(rows: &[Table4Row]) -> String {
+    let mut out = String::from(
+        "host,hurst,load_var,load_var_300s,vmstat_var,vmstat_var_300s,hybrid_var,hybrid_var_300s\n",
+    );
+    for r in rows {
+        let v = r.variances;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            r.host, r.hurst, v[0].0, v[0].1, v[1].0, v[1].1, v[2].0, v[2].1
+        );
+    }
+    out
+}
+
+fn render_aligned(rows: &[[String; 4]]) -> String {
+    let as_vecs: Vec<Vec<String>> = rows.iter().map(|r| r.to_vec()).collect();
+    render_aligned_vec(&as_vecs)
+}
+
+fn render_aligned_vec(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            let pad = widths[i];
+            if i == 0 {
+                let _ = write!(out, "{cell:<pad$}");
+            } else {
+                let _ = write!(out, "  {cell:>pad$}");
+            }
+        }
+        let _ = writeln!(out);
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tables::{MethodRow, MethodTable};
+
+    fn sample_table() -> MethodTable {
+        MethodTable {
+            title: "Sample".into(),
+            rows: vec![
+                MethodRow {
+                    host: "thing2".into(),
+                    load: 0.09,
+                    vmstat: 0.112,
+                    hybrid: 0.111,
+                },
+                MethodRow {
+                    host: "kongo".into(),
+                    load: 0.128,
+                    vmstat: 0.129,
+                    hybrid: 0.413,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn text_table_contains_all_cells() {
+        let text = render_method_table(&sample_table(), None);
+        assert!(text.contains("Sample"));
+        assert!(text.contains("thing2"));
+        assert!(text.contains("41.3%"));
+        assert!(text.contains("Load Average"));
+    }
+
+    #[test]
+    fn paper_reference_appears_in_parentheses() {
+        let text = render_method_table(&sample_table(), Some(&paper::TABLE1));
+        // Measured 9.0% with the paper's 9.0% alongside for thing2/load.
+        assert!(text.contains("9.0% (9.0%)"), "{text}");
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = method_table_to_csv(&sample_table());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("host,load_average,vmstat,nws_hybrid"));
+        assert_eq!(lines.clone().count(), 2);
+        assert!(lines.next().unwrap().starts_with("thing2,0.09,"));
+    }
+
+    #[test]
+    fn table4_renders() {
+        let rows = vec![crate::experiments::tables::Table4Row {
+            host: "thing1".into(),
+            hurst: 0.71,
+            variances: [(0.01, 0.005), (0.02, 0.006), (0.03, 0.007)],
+        }];
+        let text = render_table4(&rows, true);
+        assert!(text.contains("0.71 (0.70)"), "{text}");
+        assert!(text.contains("0.0100 (0.0081)"));
+        let csv = table4_to_csv(&rows);
+        assert!(csv.contains("thing1,0.71,0.01,0.005,0.02,0.006,0.03,0.007"));
+    }
+}

@@ -1,0 +1,46 @@
+//! The NWS forecasting engine — the paper's primary contribution.
+//!
+//! "Rather than use a single forecasting model, the NWS applies a
+//! collection of forecasting techniques to each series, and dynamically
+//! chooses the one that has been most accurate over the recent set of
+//! measurements. This method … has been shown to yield forecasts that are
+//! equivalent to, or slightly better than, the best forecaster in the set."
+//! (Section 3, citing Wolski's NWS papers.)
+//!
+//! The design mirrors the published NWS forecaster:
+//!
+//! - a **panel** of computationally cheap one-step-ahead predictors
+//!   ([`methods`], [`adaptive`]): last value, running mean, sliding-window
+//!   means and medians over several windows, α-trimmed means, exponential
+//!   smoothing over a bank of gains, an adaptive-gain smoother, an
+//!   adaptive-length window, and a stochastic-gradient predictor;
+//! - per-predictor **error tracking** ([`tracker`]) over both the full
+//!   history and a recent window;
+//! - **dynamic selection** ([`nws`]): each time a measurement arrives, all
+//!   predictors are scored on it, updated, and the one with the lowest
+//!   tracked error issues the next forecast;
+//! - an **offline evaluator** ([`eval`]) that replays a recorded series
+//!   through the panel and reports the paper's error metrics (Eq. 4 true
+//!   forecasting error against an oracle, Eq. 5 one-step-ahead prediction
+//!   error against the next measurement).
+//!
+//! All predictors are O(1) or O(window) per update — "to be efficient,
+//! each of the techniques must be relatively cheap to compute".
+
+pub mod adaptive;
+pub mod ar;
+pub mod eval;
+pub mod interval;
+pub mod methods;
+pub mod nws;
+pub mod tracker;
+
+pub use adaptive::{AdaptiveExpSmoothing, AdaptiveWindowMean, StochasticGradient};
+pub use ar::{levinson_durbin, ArPredictor};
+pub use eval::{evaluate_one_step, EvalReport};
+pub use interval::{IntervalTracker, P2Quantile, PredictionInterval};
+pub use methods::{
+    ExpSmoothing, Forecaster, LastValue, RunningMean, SlidingMean, SlidingMedian, TrimmedMean,
+};
+pub use nws::{Forecast, NwsForecaster, Selection};
+pub use tracker::ErrorTracker;

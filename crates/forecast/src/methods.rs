@@ -1,0 +1,400 @@
+//! The basic one-step-ahead predictors of the NWS panel.
+//!
+//! Each predictor consumes measurements one at a time ([`Forecaster::observe`])
+//! and offers a forecast of the *next* measurement ([`Forecaster::predict`]).
+//! "Briefly summarized, each method uses a 'sliding window' over previous
+//! measurements to compute a one-step-ahead forecast based either on some
+//! estimate of the mean or median of those measurements."
+
+use nws_timeseries::SlidingWindow;
+
+/// A streaming one-step-ahead predictor.
+pub trait Forecaster: std::fmt::Debug + Send {
+    /// Short display name, e.g. `"sw_mean(20)"`.
+    fn name(&self) -> String;
+
+    /// Feeds the next measurement into the predictor's state.
+    fn observe(&mut self, value: f64);
+
+    /// The current forecast for the next (not yet seen) measurement, or
+    /// `None` before the predictor has enough history.
+    fn predict(&self) -> Option<f64>;
+
+    /// Resets the predictor to its initial state.
+    fn reset(&mut self);
+}
+
+/// Predicts that the next value equals the most recent one.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for LastValue {
+    fn name(&self) -> String {
+        "last".into()
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Predicts the mean of the entire measurement history (O(1) state).
+#[derive(Debug, Clone, Default)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for RunningMean {
+    fn name(&self) -> String {
+        "run_mean".into()
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    fn predict(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.count = 0;
+    }
+}
+
+/// Predicts the mean of the last `k` measurements.
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    window: SlidingWindow,
+    k: usize,
+}
+
+impl SlidingMean {
+    /// Creates a sliding mean over `k` measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            window: SlidingWindow::new(k),
+            k,
+        }
+    }
+}
+
+impl Forecaster for SlidingMean {
+    fn name(&self) -> String {
+        format!("sw_mean({})", self.k)
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.window.push(value);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.window.mean()
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// Predicts the median of the last `k` measurements — robust to the
+/// spikes a run-queue series is full of.
+#[derive(Debug, Clone)]
+pub struct SlidingMedian {
+    window: SlidingWindow,
+    k: usize,
+}
+
+impl SlidingMedian {
+    /// Creates a sliding median over `k` measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            window: SlidingWindow::new(k),
+            k,
+        }
+    }
+}
+
+impl Forecaster for SlidingMedian {
+    fn name(&self) -> String {
+        format!("sw_median({})", self.k)
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.window.push(value);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.window.median()
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// Predicts the α-trimmed mean of the last `k` measurements (a compromise
+/// between the mean's efficiency and the median's robustness).
+#[derive(Debug, Clone)]
+pub struct TrimmedMean {
+    window: SlidingWindow,
+    k: usize,
+    alpha: f64,
+}
+
+impl TrimmedMean {
+    /// Creates an α-trimmed sliding mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `alpha ∉ [0, 0.5)`.
+    pub fn new(k: usize, alpha: f64) -> Self {
+        assert!((0.0..0.5).contains(&alpha), "alpha must be in [0, 0.5)");
+        Self {
+            window: SlidingWindow::new(k),
+            k,
+            alpha,
+        }
+    }
+}
+
+impl Forecaster for TrimmedMean {
+    fn name(&self) -> String {
+        format!("trim_mean({},{})", self.k, self.alpha)
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.window.push(value);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.window.trimmed_mean(self.alpha)
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// Exponential smoothing with a fixed gain:
+/// `forecast ← gain·x + (1 − gain)·forecast`.
+///
+/// The NWS runs a bank of these across gains; small gains track slowly
+/// varying series, large gains chase recent changes.
+#[derive(Debug, Clone)]
+pub struct ExpSmoothing {
+    gain: f64,
+    state: Option<f64>,
+}
+
+impl ExpSmoothing {
+    /// Creates a smoother with `gain ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for gains outside `(0, 1]`.
+    pub fn new(gain: f64) -> Self {
+        assert!(gain > 0.0 && gain <= 1.0, "gain must be in (0, 1]");
+        Self { gain, state: None }
+    }
+
+    /// The standard NWS gain bank.
+    pub fn bank() -> Vec<ExpSmoothing> {
+        [0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 0.9]
+            .iter()
+            .map(|&g| ExpSmoothing::new(g))
+            .collect()
+    }
+}
+
+impl Forecaster for ExpSmoothing {
+    fn name(&self) -> String {
+        format!("exp_smooth({})", self.gain)
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => s + self.gain * (value - s),
+        });
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(f: &mut dyn Forecaster, values: &[f64]) {
+        for &v in values {
+            f.observe(v);
+        }
+    }
+
+    #[test]
+    fn all_start_with_no_prediction() {
+        let fs: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(RunningMean::new()),
+            Box::new(SlidingMean::new(3)),
+            Box::new(SlidingMedian::new(3)),
+            Box::new(TrimmedMean::new(5, 0.2)),
+            Box::new(ExpSmoothing::new(0.5)),
+        ];
+        for f in &fs {
+            assert_eq!(f.predict(), None, "{} predicted too early", f.name());
+        }
+    }
+
+    #[test]
+    fn last_value_tracks() {
+        let mut f = LastValue::new();
+        feed(&mut f, &[0.3, 0.7]);
+        assert_eq!(f.predict(), Some(0.7));
+    }
+
+    #[test]
+    fn running_mean_is_cumulative() {
+        let mut f = RunningMean::new();
+        feed(&mut f, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.predict(), Some(2.5));
+    }
+
+    #[test]
+    fn sliding_mean_forgets() {
+        let mut f = SlidingMean::new(2);
+        feed(&mut f, &[10.0, 1.0, 3.0]);
+        assert_eq!(f.predict(), Some(2.0));
+    }
+
+    #[test]
+    fn sliding_median_resists_outliers() {
+        let mut f = SlidingMedian::new(5);
+        feed(&mut f, &[0.5, 0.5, 0.5, 0.5, 99.0]);
+        assert_eq!(f.predict(), Some(0.5));
+    }
+
+    #[test]
+    fn trimmed_mean_between_mean_and_median() {
+        let data = [0.4, 0.5, 0.6, 0.5, 5.0];
+        let mut mean = SlidingMean::new(5);
+        let mut med = SlidingMedian::new(5);
+        let mut trim = TrimmedMean::new(5, 0.2);
+        feed(&mut mean, &data);
+        feed(&mut med, &data);
+        feed(&mut trim, &data);
+        let (m, d, t) = (
+            mean.predict().unwrap(),
+            med.predict().unwrap(),
+            trim.predict().unwrap(),
+        );
+        assert!(d <= t && t <= m, "median {d} <= trimmed {t} <= mean {m}");
+    }
+
+    #[test]
+    fn exp_smoothing_geometry() {
+        let mut f = ExpSmoothing::new(0.5);
+        feed(&mut f, &[1.0]);
+        assert_eq!(f.predict(), Some(1.0)); // initialized to first value
+        f.observe(0.0);
+        assert_eq!(f.predict(), Some(0.5));
+        f.observe(0.0);
+        assert_eq!(f.predict(), Some(0.25));
+    }
+
+    #[test]
+    fn exp_smoothing_bank_covers_gain_range() {
+        let bank = ExpSmoothing::bank();
+        assert!(bank.len() >= 5);
+        assert!(bank.first().unwrap().gain < 0.1);
+        assert!(bank.last().unwrap().gain > 0.8);
+    }
+
+    #[test]
+    fn constant_series_predicted_exactly_by_all() {
+        let mut fs: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(RunningMean::new()),
+            Box::new(SlidingMean::new(4)),
+            Box::new(SlidingMedian::new(4)),
+            Box::new(TrimmedMean::new(4, 0.1)),
+            Box::new(ExpSmoothing::new(0.3)),
+        ];
+        for f in fs.iter_mut() {
+            feed(f.as_mut(), &[0.42; 20]);
+            let p = f.predict().unwrap();
+            assert!((p - 0.42).abs() < 1e-12, "{}: {p}", f.name());
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = SlidingMean::new(3);
+        feed(&mut f, &[1.0, 2.0]);
+        f.reset();
+        assert_eq!(f.predict(), None);
+        let mut e = ExpSmoothing::new(0.2);
+        e.observe(1.0);
+        e.reset();
+        assert_eq!(e.predict(), None);
+    }
+
+    #[test]
+    fn names_are_distinct_and_parameterized() {
+        assert_eq!(SlidingMean::new(20).name(), "sw_mean(20)");
+        assert_ne!(SlidingMean::new(5).name(), SlidingMean::new(10).name());
+        assert_eq!(ExpSmoothing::new(0.5).name(), "exp_smooth(0.5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "gain")]
+    fn bad_gain_panics() {
+        ExpSmoothing::new(0.0);
+    }
+}

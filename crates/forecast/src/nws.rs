@@ -1,0 +1,355 @@
+//! The NWS forecaster: a predictor panel with dynamic selection.
+
+use crate::adaptive::{AdaptiveExpSmoothing, AdaptiveWindowMean, StochasticGradient};
+use crate::ar::ArPredictor;
+use crate::methods::{
+    ExpSmoothing, Forecaster, LastValue, RunningMean, SlidingMean, SlidingMedian, TrimmedMean,
+};
+use crate::tracker::ErrorTracker;
+
+/// Which error statistic drives predictor selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// Mean absolute error over the recent window (the NWS default:
+    /// "most accurate over the recent set of measurements").
+    #[default]
+    RecentMae,
+    /// Cumulative mean absolute error over the whole series.
+    CumulativeMae,
+    /// Cumulative mean squared error.
+    CumulativeMse,
+}
+
+/// One issued forecast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forecast {
+    /// The predicted next value.
+    pub value: f64,
+    /// Panel index of the predictor that issued it.
+    pub method_index: usize,
+    /// Name of that predictor.
+    pub method: String,
+}
+
+/// The NWS forecasting engine.
+///
+/// Feed measurements with [`NwsForecaster::update`]; each call scores every
+/// panel member against the arriving measurement, updates them, and returns
+/// the forecast of the currently best member for the *next* measurement.
+///
+/// # Examples
+///
+/// ```
+/// use nws_forecast::NwsForecaster;
+///
+/// let mut nws = NwsForecaster::nws_default();
+/// for v in [0.8, 0.78, 0.82, 0.8, 0.79, 0.81] {
+///     nws.update(v);
+/// }
+/// let f = nws.forecast().unwrap();
+/// assert!((f.value - 0.8).abs() < 0.05);
+/// println!("next 10s: {:.0}% available (chosen: {})", f.value * 100.0, f.method);
+/// ```
+#[derive(Debug)]
+pub struct NwsForecaster {
+    panel: Vec<Box<dyn Forecaster>>,
+    trackers: Vec<ErrorTracker>,
+    selection: Selection,
+    observations: u64,
+    selected: usize,
+}
+
+impl NwsForecaster {
+    /// Builds a forecaster around a custom panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel is empty or `recent_window == 0`.
+    pub fn new(
+        panel: Vec<Box<dyn Forecaster>>,
+        selection: Selection,
+        recent_window: usize,
+    ) -> Self {
+        assert!(
+            !panel.is_empty(),
+            "panel must contain at least one predictor"
+        );
+        let trackers = panel
+            .iter()
+            .map(|_| ErrorTracker::new(recent_window))
+            .collect();
+        Self {
+            panel,
+            trackers,
+            selection,
+            observations: 0,
+            selected: 0,
+        }
+    }
+
+    /// The full NWS panel used throughout the reproduction: last value,
+    /// running mean, sliding means/medians over several windows, trimmed
+    /// means, an exponential-smoothing gain bank, adaptive-gain smoothing,
+    /// an adaptive-length window, and a stochastic-gradient AR(1).
+    pub fn nws_default() -> Self {
+        let mut panel: Vec<Box<dyn Forecaster>> =
+            vec![Box::new(LastValue::new()), Box::new(RunningMean::new())];
+        for k in [5, 10, 20, 50, 100] {
+            panel.push(Box::new(SlidingMean::new(k)));
+        }
+        for k in [5, 11, 21, 51] {
+            panel.push(Box::new(SlidingMedian::new(k)));
+        }
+        for k in [11, 31] {
+            panel.push(Box::new(TrimmedMean::new(k, 0.2)));
+        }
+        for s in ExpSmoothing::bank() {
+            panel.push(Box::new(s));
+        }
+        panel.push(Box::new(AdaptiveExpSmoothing::new(0.2)));
+        panel.push(Box::new(AdaptiveWindowMean::new(3, 100)));
+        panel.push(Box::new(StochasticGradient::new(0.05)));
+        panel.push(Box::new(ArPredictor::new(3, 120, 25)));
+        Self::new(panel, Selection::default(), 30)
+    }
+
+    /// Panel size.
+    pub fn panel_len(&self) -> usize {
+        self.panel.len()
+    }
+
+    /// Names of the panel members, in index order.
+    pub fn method_names(&self) -> Vec<String> {
+        self.panel.iter().map(|f| f.name()).collect()
+    }
+
+    /// Number of measurements consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Index of the currently selected predictor.
+    pub fn selected_index(&self) -> usize {
+        self.selected
+    }
+
+    /// Per-method `(name, cumulative MAE)` for every method that has been
+    /// scored at least once.
+    pub fn error_summary(&self) -> Vec<(String, f64)> {
+        self.panel
+            .iter()
+            .zip(&self.trackers)
+            .filter_map(|(f, t)| t.mae().map(|m| (f.name(), m)))
+            .collect()
+    }
+
+    fn score_of(&self, i: usize) -> Option<f64> {
+        let t = &self.trackers[i];
+        match self.selection {
+            Selection::RecentMae => t.recent_mae(),
+            Selection::CumulativeMae => t.mae(),
+            Selection::CumulativeMse => t.mse(),
+        }
+    }
+
+    fn reselect(&mut self) {
+        let mut best = self.selected;
+        let mut best_score = f64::INFINITY;
+        for i in 0..self.panel.len() {
+            // Methods that cannot predict yet are not eligible.
+            if self.panel[i].predict().is_none() {
+                continue;
+            }
+            let score = self.score_of(i).unwrap_or(f64::INFINITY);
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        // With no scores yet, prefer the first method able to predict.
+        if best_score.is_infinite() {
+            if let Some(i) = self.panel.iter().position(|f| f.predict().is_some()) {
+                best = i;
+            }
+        }
+        self.selected = best;
+    }
+
+    /// Feeds one measurement. Every predictor that had a live forecast is
+    /// scored against `value`; all predictors then absorb `value`; the best
+    /// predictor (under the selection criterion) issues the forecast for
+    /// the next measurement.
+    ///
+    /// Returns `None` only before any predictor has enough history (i.e.
+    /// never after the first call, since the last-value predictor needs a
+    /// single point).
+    pub fn update(&mut self, value: f64) -> Option<Forecast> {
+        for (f, t) in self.panel.iter_mut().zip(&mut self.trackers) {
+            if let Some(pred) = f.predict() {
+                t.record(pred, value);
+            }
+            f.observe(value);
+        }
+        self.observations += 1;
+        self.reselect();
+        self.forecast()
+    }
+
+    /// The current forecast for the next measurement without feeding data.
+    pub fn forecast(&self) -> Option<Forecast> {
+        let i = self.selected;
+        self.panel[i].predict().map(|value| Forecast {
+            value,
+            method_index: i,
+            method: self.panel[i].name(),
+        })
+    }
+
+    /// Resets every predictor and tracker.
+    pub fn reset(&mut self) {
+        for f in &mut self.panel {
+            f.reset();
+        }
+        for t in &mut self.trackers {
+            t.reset();
+        }
+        self.observations = 0;
+        self.selected = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_update_already_forecasts() {
+        let mut nws = NwsForecaster::nws_default();
+        let f = nws.update(0.5).expect("last-value is live after 1 point");
+        assert_eq!(f.value, 0.5);
+    }
+
+    #[test]
+    fn constant_series_is_predicted_exactly() {
+        let mut nws = NwsForecaster::nws_default();
+        let mut last = None;
+        for _ in 0..50 {
+            last = nws.update(0.37);
+        }
+        let f = last.unwrap();
+        assert!((f.value - 0.37).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selection_beats_worst_member_on_noisy_series() {
+        // Alternating series: last-value is maximally wrong; the panel
+        // should settle on a mean-like method.
+        let mut nws = NwsForecaster::nws_default();
+        let mut errs = Vec::new();
+        for i in 0..400 {
+            let x = if i % 2 == 0 { 0.3 } else { 0.7 };
+            if let Some(f) = nws.forecast() {
+                errs.push((f.value - x).abs());
+            }
+            nws.update(x);
+        }
+        let tail_mae: f64 = errs[100..].iter().sum::<f64>() / (errs.len() - 100) as f64;
+        // Last-value would score 0.4; the mean scores 0.2.
+        assert!(tail_mae < 0.25, "dynamic selection MAE = {tail_mae}");
+    }
+
+    #[test]
+    fn selection_tracks_best_member_within_tolerance() {
+        // The paper's claim: dynamic selection ≈ best fixed member.
+        // Build a mean-reverting noisy series.
+        let mut rng = nws_stats::Rng::new(77);
+        let mut x: f64 = 0.5;
+        let mut series = Vec::with_capacity(2000);
+        for _ in 0..2000 {
+            x = 0.9 * x + 0.05 + 0.1 * (rng.next_f64() - 0.5);
+            series.push(x.clamp(0.0, 1.0));
+        }
+        let mut nws = NwsForecaster::nws_default();
+        let mut nws_err = 0.0;
+        let mut count = 0;
+        for &v in &series {
+            if let Some(f) = nws.forecast() {
+                nws_err += (f.value - v).abs();
+                count += 1;
+            }
+            nws.update(v);
+        }
+        let nws_mae = nws_err / count as f64;
+        // Score each member alone.
+        let best_fixed = nws
+            .error_summary()
+            .into_iter()
+            .map(|(_, mae)| mae)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            nws_mae <= best_fixed * 1.25 + 1e-9,
+            "dynamic {nws_mae} vs best fixed {best_fixed}"
+        );
+    }
+
+    #[test]
+    fn error_summary_covers_whole_panel_after_warmup() {
+        let mut nws = NwsForecaster::nws_default();
+        for i in 0..300 {
+            nws.update((i % 7) as f64 / 7.0);
+        }
+        let summary = nws.error_summary();
+        assert_eq!(summary.len(), nws.panel_len());
+        for (name, mae) in &summary {
+            assert!(mae.is_finite(), "{name} has bad MAE");
+        }
+    }
+
+    #[test]
+    fn method_names_are_unique() {
+        let nws = NwsForecaster::nws_default();
+        let mut names = nws.method_names();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate panel names");
+    }
+
+    #[test]
+    fn selection_criteria_all_work() {
+        for sel in [
+            Selection::RecentMae,
+            Selection::CumulativeMae,
+            Selection::CumulativeMse,
+        ] {
+            let mut nws = NwsForecaster::new(
+                vec![Box::new(LastValue::new()), Box::new(RunningMean::new())],
+                sel,
+                10,
+            );
+            for i in 0..50 {
+                nws.update((i as f64 * 0.7).sin().abs());
+            }
+            assert!(nws.forecast().is_some());
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut nws = NwsForecaster::nws_default();
+        for _ in 0..10 {
+            nws.update(0.5);
+        }
+        nws.reset();
+        assert_eq!(nws.observations(), 0);
+        assert!(nws.forecast().is_none());
+        // And it works again after reset.
+        assert!(nws.update(0.2).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "panel")]
+    fn empty_panel_panics() {
+        NwsForecaster::new(Vec::new(), Selection::default(), 10);
+    }
+}

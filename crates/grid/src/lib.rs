@@ -1,0 +1,42 @@
+//! A miniature Network Weather Service.
+//!
+//! The paper's CPU sensor is one component of the NWS, "a distributed,
+//! on-line performance forecasting system" (Section 1). The full system —
+//! described in the companion NWS papers the text cites (\[29\], \[30\],
+//! \[31\]) — has four parts:
+//!
+//! 1. **sensors** that produce timestamped measurements,
+//! 2. a **name service / registry** where monitored resources are
+//!    published and discovered,
+//! 3. **persistent-state memories** that store bounded measurement
+//!    histories, and
+//! 4. **forecasters** that turn a stored history into a prediction on
+//!    demand.
+//!
+//! This crate reproduces that architecture in-process over simulated
+//! hosts:
+//!
+//! - [`registry`] — resource naming and discovery;
+//! - [`memory`] — bounded ring-buffer series storage with the NWS
+//!   `extract`-style query API;
+//! - [`service`] — the forecaster service: per-series [`NwsForecaster`]
+//!   instances (with prediction intervals) updated as measurements arrive;
+//! - [`monitor`] — `GridMonitor`, which drives a fleet of simulated hosts
+//!   in lockstep on the 10-second NWS cadence, publishing every sensor's
+//!   measurements into the memory and keeping the forecasts warm — the
+//!   "computational grid weather map" a scheduler like
+//!   [`nws_sched`](https://docs.rs/nws-sched) consumes.
+//!
+//! [`NwsForecaster`]: nws_forecast::NwsForecaster
+
+pub mod memory;
+pub mod monitor;
+pub mod registry;
+pub mod service;
+pub mod weather;
+
+pub use memory::{Memory, MemoryConfig};
+pub use monitor::{GridMonitor, GridMonitorConfig, GridSnapshot, HostReport};
+pub use registry::{Metric, Registry, ResourceId, ResourceInfo};
+pub use service::{ForecastAnswer, ForecastService};
+pub use weather::{WeatherService, WeatherServiceConfig};

@@ -1,0 +1,249 @@
+//! Bounded measurement storage (the NWS persistent-state memory).
+//!
+//! The NWS memory stores a bounded history per series and serves
+//! `extract`-style queries: "the most recent *n* measurements of resource
+//! *r*". Storage here is an in-process ring buffer per resource; the NWS's
+//! disk persistence is out of scope (the forecasting behaviour depends only
+//! on the retained window).
+
+use crate::registry::ResourceId;
+use nws_timeseries::csv::{read_series, write_series, CsvError};
+use nws_timeseries::{Seconds, Series, TimePoint};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::path::Path;
+
+/// Memory sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryConfig {
+    /// Measurements retained per series (the NWS default order of
+    /// magnitude; a day of 10-second measurements is 8 640).
+    pub retain: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self { retain: 8640 }
+    }
+}
+
+/// The measurement store.
+#[derive(Debug)]
+pub struct Memory {
+    config: MemoryConfig,
+    store: BTreeMap<ResourceId, VecDeque<TimePoint>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain == 0`.
+    pub fn new(config: MemoryConfig) -> Self {
+        assert!(config.retain > 0, "memory must retain at least one point");
+        Self {
+            config,
+            store: BTreeMap::new(),
+        }
+    }
+
+    /// Stores one measurement. Timestamps within a series must be strictly
+    /// increasing; out-of-order measurements are rejected with `false`
+    /// (the NWS drops them too — clocks only move forward on one sensor).
+    pub fn store(&mut self, id: ResourceId, time: Seconds, value: f64) -> bool {
+        if !value.is_finite() || !time.is_finite() {
+            return false;
+        }
+        let buf = self.store.entry(id).or_default();
+        if let Some(last) = buf.back() {
+            if time <= last.time {
+                return false;
+            }
+        }
+        if buf.len() == self.config.retain {
+            buf.pop_front();
+        }
+        buf.push_back(TimePoint::new(time, value));
+        true
+    }
+
+    /// Number of measurements currently held for a series.
+    pub fn len(&self, id: ResourceId) -> usize {
+        self.store.get(&id).map_or(0, VecDeque::len)
+    }
+
+    /// True when the series holds no measurements (or is unknown).
+    pub fn is_empty(&self, id: ResourceId) -> bool {
+        self.len(id) == 0
+    }
+
+    /// The most recent measurement of a series.
+    pub fn latest(&self, id: ResourceId) -> Option<TimePoint> {
+        self.store.get(&id).and_then(|b| b.back().copied())
+    }
+
+    /// The NWS `extract`: up to `n` most recent measurements, oldest
+    /// first.
+    pub fn extract(&self, id: ResourceId, n: usize) -> Vec<TimePoint> {
+        match self.store.get(&id) {
+            None => Vec::new(),
+            Some(buf) => {
+                let skip = buf.len().saturating_sub(n);
+                buf.iter().skip(skip).copied().collect()
+            }
+        }
+    }
+
+    /// The full retained history as a [`Series`] (for analysis code).
+    pub fn series(&self, id: ResourceId, name: impl Into<String>) -> Series {
+        let mut s = Series::with_capacity(name, self.len(id));
+        if let Some(buf) = self.store.get(&id) {
+            for p in buf {
+                s.push(p.time, p.value).expect("ring buffer is ordered");
+            }
+        }
+        s
+    }
+
+    /// Persists one series to a CSV file (the NWS memory's disk format,
+    /// simplified): `time,value` rows under the given path.
+    pub fn save(&self, id: ResourceId, path: impl AsRef<Path>) -> Result<(), CsvError> {
+        let series = self.series(id, format!("resource-{}", id.0));
+        write_series(&series, path)
+    }
+
+    /// Restores a series from a CSV file into the given resource id,
+    /// replacing whatever that id currently holds. Only the most recent
+    /// `retain` points are kept.
+    pub fn load(&mut self, id: ResourceId, path: impl AsRef<Path>) -> Result<usize, CsvError> {
+        let series = read_series(path)?;
+        let mut buf = VecDeque::with_capacity(self.config.retain.min(series.len()));
+        let skip = series.len().saturating_sub(self.config.retain);
+        for p in series.iter().skip(skip) {
+            buf.push_back(p);
+        }
+        let n = buf.len();
+        self.store.insert(id, buf);
+        Ok(n)
+    }
+
+    /// Series ids with at least one stored measurement.
+    pub fn resource_ids(&self) -> Vec<ResourceId> {
+        self.store
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u64) -> ResourceId {
+        ResourceId(n)
+    }
+
+    #[test]
+    fn store_and_extract_in_order() {
+        let mut m = Memory::new(MemoryConfig::default());
+        assert!(m.store(rid(1), 0.0, 0.5));
+        assert!(m.store(rid(1), 10.0, 0.6));
+        assert!(m.store(rid(1), 20.0, 0.7));
+        let pts = m.extract(rid(1), 2);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].value, 0.6);
+        assert_eq!(pts[1].value, 0.7);
+        assert_eq!(m.latest(rid(1)).expect("stored").value, 0.7);
+        assert_eq!(m.len(rid(1)), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_nonfinite() {
+        let mut m = Memory::new(MemoryConfig::default());
+        assert!(m.store(rid(1), 10.0, 0.5));
+        assert!(!m.store(rid(1), 10.0, 0.6)); // equal time
+        assert!(!m.store(rid(1), 5.0, 0.6)); // past
+        assert!(!m.store(rid(1), 20.0, f64::NAN));
+        assert!(!m.store(rid(1), f64::INFINITY, 0.5));
+        assert_eq!(m.len(rid(1)), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut m = Memory::new(MemoryConfig { retain: 3 });
+        for i in 0..10 {
+            assert!(m.store(rid(7), i as f64, i as f64 / 10.0));
+        }
+        assert_eq!(m.len(rid(7)), 3);
+        let pts = m.extract(rid(7), 10);
+        let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![0.7, 0.8, 0.9]);
+    }
+
+    #[test]
+    fn unknown_series_is_empty() {
+        let m = Memory::new(MemoryConfig::default());
+        assert!(m.is_empty(rid(9)));
+        assert!(m.extract(rid(9), 5).is_empty());
+        assert!(m.latest(rid(9)).is_none());
+        assert!(m.resource_ids().is_empty());
+    }
+
+    #[test]
+    fn series_conversion_round_trips() {
+        let mut m = Memory::new(MemoryConfig::default());
+        for i in 0..5 {
+            m.store(rid(2), i as f64 * 10.0, 0.1 * i as f64);
+        }
+        let s = m.series(rid(2), "r2");
+        assert_eq!(s.name(), "r2");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.values()[4], 0.4);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("nws-memory-test");
+        let path = dir.join("r1.csv");
+        let mut m = Memory::new(MemoryConfig::default());
+        for i in 0..20 {
+            m.store(rid(1), i as f64 * 10.0, (i as f64 / 20.0).min(1.0));
+        }
+        m.save(rid(1), &path).expect("writable temp dir");
+        let mut m2 = Memory::new(MemoryConfig::default());
+        let n = m2.load(rid(5), &path).expect("readable");
+        assert_eq!(n, 20);
+        assert_eq!(m2.extract(rid(5), 100), m.extract(rid(1), 100));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_truncates_to_retention() {
+        let dir = std::env::temp_dir().join("nws-memory-trunc-test");
+        let path = dir.join("r.csv");
+        let mut big = Memory::new(MemoryConfig::default());
+        for i in 0..50 {
+            big.store(rid(1), i as f64, 0.5);
+        }
+        big.save(rid(1), &path).expect("writable");
+        let mut small = Memory::new(MemoryConfig { retain: 7 });
+        let n = small.load(rid(1), &path).expect("readable");
+        assert_eq!(n, 7);
+        // The RETAINED points are the most recent ones.
+        assert_eq!(small.extract(rid(1), 1)[0].time, 49.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn separate_series_are_independent() {
+        let mut m = Memory::new(MemoryConfig { retain: 2 });
+        m.store(rid(1), 1.0, 0.1);
+        m.store(rid(2), 1.0, 0.2);
+        assert_eq!(m.len(rid(1)), 1);
+        assert_eq!(m.len(rid(2)), 1);
+        assert_eq!(m.resource_ids(), vec![rid(1), rid(2)]);
+    }
+}

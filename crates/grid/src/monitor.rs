@@ -1,0 +1,314 @@
+//! `GridMonitor`: the whole weather service over a fleet of hosts.
+
+use crate::memory::{Memory, MemoryConfig};
+use crate::registry::{Metric, Registry, ResourceId};
+use crate::service::{ForecastAnswer, ForecastService};
+use nws_sensors::{HybridSensor, LoadAvgSensor, VmstatSensor, MEASUREMENT_PERIOD, PROBE_PERIOD};
+use nws_sim::{Host, HostProfile, Seconds};
+
+/// Grid monitor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GridMonitorConfig {
+    /// Measurement cadence (paper: 10 s).
+    pub measurement_period: Seconds,
+    /// Hybrid probe cadence (paper: 60 s).
+    pub probe_period: Seconds,
+    /// Memory retention per series.
+    pub memory: MemoryConfig,
+    /// Two-sided coverage of forecast intervals.
+    pub interval_coverage: f64,
+}
+
+impl Default for GridMonitorConfig {
+    fn default() -> Self {
+        Self {
+            measurement_period: MEASUREMENT_PERIOD,
+            probe_period: PROBE_PERIOD,
+            memory: MemoryConfig::default(),
+            interval_coverage: 0.9,
+        }
+    }
+}
+
+struct MonitoredHost {
+    host: Host,
+    load_sensor: LoadAvgSensor,
+    vmstat_sensor: VmstatSensor,
+    hybrid_sensor: HybridSensor,
+    ids: [ResourceId; 4], // load, vmstat, hybrid, load1 (registry order)
+}
+
+/// One host's row in a grid snapshot.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Host name.
+    pub host: String,
+    /// Latest hybrid availability measurement.
+    pub latest_hybrid: Option<f64>,
+    /// Standing hybrid availability forecast.
+    pub forecast: Option<ForecastAnswer>,
+}
+
+/// A point-in-time view of the whole grid.
+#[derive(Debug, Clone)]
+pub struct GridSnapshot {
+    /// Simulation time of the snapshot.
+    pub time: Seconds,
+    /// One report per host, in registration order.
+    pub hosts: Vec<HostReport>,
+}
+
+impl GridSnapshot {
+    /// The host with the highest forecast availability, if any forecast is
+    /// live — where a scheduler would send the next task.
+    pub fn best_host(&self) -> Option<&HostReport> {
+        self.hosts
+            .iter()
+            .filter(|h| h.forecast.is_some())
+            .max_by(|a, b| {
+                let fa = a.forecast.as_ref().expect("filtered").forecast.value;
+                let fb = b.forecast.as_ref().expect("filtered").forecast.value;
+                fa.partial_cmp(&fb).expect("forecasts are finite")
+            })
+    }
+}
+
+/// The weather service: hosts + sensors + registry + memory + forecasts,
+/// advanced together in lockstep.
+///
+/// # Examples
+///
+/// ```
+/// use nws_grid::{GridMonitor, Metric};
+///
+/// let mut grid = GridMonitor::ucsd(7);
+/// grid.run_steps(30); // five simulated minutes on the 10 s cadence
+/// let id = grid
+///     .registry()
+///     .lookup("gremlin", Metric::CpuAvailabilityHybrid)
+///     .unwrap();
+/// let answer = grid.forecasts().forecast(id).unwrap();
+/// assert!((0.0..=1.0).contains(&answer.forecast.value));
+/// ```
+pub struct GridMonitor {
+    config: GridMonitorConfig,
+    registry: Registry,
+    memory: Memory,
+    service: ForecastService,
+    hosts: Vec<MonitoredHost>,
+    /// Measurement slots taken so far.
+    slots: u64,
+}
+
+impl GridMonitor {
+    /// Creates a monitor over the given host profiles, all seeded from
+    /// `base_seed`.
+    pub fn new(profiles: &[HostProfile], base_seed: u64, config: GridMonitorConfig) -> Self {
+        let mut registry = Registry::new();
+        let hosts = profiles
+            .iter()
+            .map(|p| {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in p.name().as_bytes() {
+                    h ^= u64::from(*b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                let host = p.build(h ^ base_seed);
+                let ids = [
+                    registry.register(p.name(), Metric::CpuAvailabilityLoad),
+                    registry.register(p.name(), Metric::CpuAvailabilityVmstat),
+                    registry.register(p.name(), Metric::CpuAvailabilityHybrid),
+                    registry.register(p.name(), Metric::LoadAverage),
+                ];
+                MonitoredHost {
+                    host,
+                    load_sensor: LoadAvgSensor::new(),
+                    vmstat_sensor: VmstatSensor::new(),
+                    hybrid_sensor: HybridSensor::default(),
+                    ids,
+                }
+            })
+            .collect();
+        Self {
+            config,
+            registry,
+            memory: Memory::new(config.memory),
+            service: ForecastService::new(config.interval_coverage),
+            hosts,
+            slots: 0,
+        }
+    }
+
+    /// The six-UCSD-host grid of the paper.
+    pub fn ucsd(base_seed: u64) -> Self {
+        Self::new(&HostProfile::all(), base_seed, GridMonitorConfig::default())
+    }
+
+    /// The name service.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The measurement memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The forecast service.
+    pub fn forecasts(&self) -> &ForecastService {
+        &self.service
+    }
+
+    /// Measurement slots taken so far.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Advances every host by one measurement period and publishes one
+    /// measurement per registered series.
+    pub fn step(&mut self) {
+        let probe_every = (self.config.probe_period / self.config.measurement_period)
+            .round()
+            .max(1.0) as u64;
+        let probe_slot = self.slots.is_multiple_of(probe_every);
+        for mh in &mut self.hosts {
+            let target = (self.slots + 1) as f64 * self.config.measurement_period;
+            mh.host.advance_to(target);
+            let t = mh.host.now();
+            let load_avail = mh.load_sensor.measure(&mh.host);
+            let vm_avail = mh.vmstat_sensor.measure(&mh.host);
+            let hybrid_avail = if probe_slot {
+                mh.hybrid_sensor.measure_with_probe(&mut mh.host)
+            } else {
+                mh.hybrid_sensor.measure(&mh.host)
+            };
+            let load1 = mh.host.load_average().one_minute();
+            for (id, value) in mh
+                .ids
+                .iter()
+                .zip([load_avail, vm_avail, hybrid_avail, load1])
+            {
+                if self.memory.store(*id, t, value) {
+                    self.service.observe(*id, value);
+                }
+            }
+        }
+        self.slots += 1;
+    }
+
+    /// Runs `n` measurement steps.
+    pub fn run_steps(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// A snapshot of every host's latest hybrid measurement and forecast.
+    pub fn snapshot(&self) -> GridSnapshot {
+        let time = self.slots as f64 * self.config.measurement_period;
+        let hosts = self
+            .hosts
+            .iter()
+            .map(|mh| {
+                let hybrid_id = mh.ids[2];
+                HostReport {
+                    host: mh.host.name().to_string(),
+                    latest_hybrid: self.memory.latest(hybrid_id).map(|p| p.value),
+                    forecast: self.service.forecast(hybrid_id),
+                }
+            })
+            .collect();
+        GridSnapshot { time, hosts }
+    }
+}
+
+impl std::fmt::Debug for GridMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridMonitor")
+            .field("hosts", &self.hosts.len())
+            .field("slots", &self.slots)
+            .field("resources", &self.registry.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_four_series_per_host() {
+        let gm = GridMonitor::ucsd(1);
+        assert_eq!(gm.registry().len(), 24);
+        assert!(gm
+            .registry()
+            .lookup("kongo", Metric::CpuAvailabilityHybrid)
+            .is_some());
+    }
+
+    #[test]
+    fn steps_publish_measurements_and_forecasts() {
+        let mut gm = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Gremlin],
+            7,
+            GridMonitorConfig::default(),
+        );
+        gm.run_steps(30); // five minutes
+        assert_eq!(gm.slots(), 30);
+        let id = gm
+            .registry()
+            .lookup("thing1", Metric::CpuAvailabilityHybrid)
+            .expect("registered");
+        assert_eq!(gm.memory().len(id), 30);
+        let answer = gm.forecasts().forecast(id).expect("forecaster live");
+        assert!((0.0..=1.0).contains(&answer.forecast.value));
+        assert_eq!(answer.observations, 30);
+    }
+
+    #[test]
+    fn snapshot_reports_every_host() {
+        let mut gm = GridMonitor::ucsd(3);
+        gm.run_steps(12);
+        let snap = gm.snapshot();
+        assert_eq!(snap.hosts.len(), 6);
+        assert!((snap.time - 120.0).abs() < 1e-9);
+        for h in &snap.hosts {
+            assert!(h.latest_hybrid.is_some(), "{} has no measurement", h.host);
+            assert!(h.forecast.is_some(), "{} has no forecast", h.host);
+        }
+        let best = snap.best_host().expect("forecasts live");
+        assert!(!best.host.is_empty());
+    }
+
+    #[test]
+    fn memory_eviction_bounds_history() {
+        let mut gm = GridMonitor::new(
+            &[HostProfile::Gremlin],
+            9,
+            GridMonitorConfig {
+                memory: MemoryConfig { retain: 10 },
+                ..GridMonitorConfig::default()
+            },
+        );
+        gm.run_steps(25);
+        let id = gm
+            .registry()
+            .lookup("gremlin", Metric::LoadAverage)
+            .expect("registered");
+        assert_eq!(gm.memory().len(id), 10);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let run = || {
+            let mut gm = GridMonitor::ucsd(42);
+            gm.run_steps(18);
+            let snap = gm.snapshot();
+            snap.hosts
+                .iter()
+                .map(|h| h.latest_hybrid.expect("measured"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

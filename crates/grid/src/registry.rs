@@ -1,0 +1,181 @@
+//! Resource naming and discovery (the NWS name service).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What a series measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Metric {
+    /// CPU availability by the Eq. 1 load-average method.
+    CpuAvailabilityLoad,
+    /// CPU availability by the Eq. 2 vmstat method.
+    CpuAvailabilityVmstat,
+    /// CPU availability by the NWS hybrid method.
+    CpuAvailabilityHybrid,
+    /// Raw 1-minute load average.
+    LoadAverage,
+    /// Achieved probe throughput on a network path (bytes/second).
+    NetworkBandwidth,
+    /// Small-message round-trip latency on a network path (seconds).
+    NetworkLatency,
+}
+
+impl Metric {
+    /// Canonical name fragment, NWS-style (`cpu.avail.<method>`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::CpuAvailabilityLoad => "cpu.avail.load",
+            Metric::CpuAvailabilityVmstat => "cpu.avail.vmstat",
+            Metric::CpuAvailabilityHybrid => "cpu.avail.hybrid",
+            Metric::LoadAverage => "cpu.load1",
+            Metric::NetworkBandwidth => "net.bandwidth",
+            Metric::NetworkLatency => "net.latency",
+        }
+    }
+
+    /// All metrics, in registration order.
+    pub fn all() -> [Metric; 6] {
+        [
+            Metric::CpuAvailabilityLoad,
+            Metric::CpuAvailabilityVmstat,
+            Metric::CpuAvailabilityHybrid,
+            Metric::LoadAverage,
+            Metric::NetworkBandwidth,
+            Metric::NetworkLatency,
+        ]
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Opaque handle to a registered resource series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub u64);
+
+/// Metadata recorded for a registered resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceInfo {
+    /// The handle.
+    pub id: ResourceId,
+    /// Host the series is measured on.
+    pub host: String,
+    /// What it measures.
+    pub metric: Metric,
+}
+
+impl ResourceInfo {
+    /// The fully qualified NWS-style name, e.g. `thing1/cpu.avail.hybrid`.
+    pub fn full_name(&self) -> String {
+        format!("{}/{}", self.host, self.metric.name())
+    }
+}
+
+/// The name service: registers `(host, metric)` pairs and answers lookups.
+#[derive(Debug, Default)]
+pub struct Registry {
+    next: u64,
+    by_id: BTreeMap<ResourceId, ResourceInfo>,
+    by_name: BTreeMap<(String, Metric), ResourceId>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource, returning its handle. Re-registering the same
+    /// `(host, metric)` returns the existing handle (idempotent, like the
+    /// NWS name server).
+    pub fn register(&mut self, host: impl Into<String>, metric: Metric) -> ResourceId {
+        let host = host.into();
+        if let Some(&id) = self.by_name.get(&(host.clone(), metric)) {
+            return id;
+        }
+        let id = ResourceId(self.next);
+        self.next += 1;
+        self.by_name.insert((host.clone(), metric), id);
+        self.by_id.insert(id, ResourceInfo { id, host, metric });
+        id
+    }
+
+    /// Looks a resource up by `(host, metric)`.
+    pub fn lookup(&self, host: &str, metric: Metric) -> Option<ResourceId> {
+        self.by_name.get(&(host.to_string(), metric)).copied()
+    }
+
+    /// Metadata for a handle.
+    pub fn info(&self, id: ResourceId) -> Option<&ResourceInfo> {
+        self.by_id.get(&id)
+    }
+
+    /// All registered resources, ordered by id.
+    pub fn resources(&self) -> impl Iterator<Item = &ResourceInfo> {
+        self.by_id.values()
+    }
+
+    /// All resources on one host.
+    pub fn resources_on(&self, host: &str) -> Vec<&ResourceInfo> {
+        self.by_id.values().filter(|r| r.host == host).collect()
+    }
+
+    /// Number of registered resources.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = Registry::new();
+        let id = r.register("thing1", Metric::CpuAvailabilityHybrid);
+        assert_eq!(r.lookup("thing1", Metric::CpuAvailabilityHybrid), Some(id));
+        assert_eq!(r.lookup("thing1", Metric::LoadAverage), None);
+        assert_eq!(r.lookup("thing2", Metric::CpuAvailabilityHybrid), None);
+        let info = r.info(id).expect("registered");
+        assert_eq!(info.full_name(), "thing1/cpu.avail.hybrid");
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.register("h", Metric::LoadAverage);
+        let b = r.register("h", Metric::LoadAverage);
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn per_host_enumeration() {
+        let mut r = Registry::new();
+        for m in Metric::all() {
+            r.register("a", m);
+        }
+        r.register("b", Metric::LoadAverage);
+        assert_eq!(r.resources_on("a").len(), Metric::all().len());
+        assert_eq!(r.resources_on("b").len(), 1);
+        assert_eq!(r.len(), Metric::all().len() + 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn metric_names_are_distinct() {
+        let mut names: Vec<&str> = Metric::all().iter().map(|m| m.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Metric::all().len());
+    }
+}

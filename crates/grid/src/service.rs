@@ -1,0 +1,122 @@
+//! The forecaster service: on-demand predictions per registered resource.
+
+use crate::registry::ResourceId;
+use nws_forecast::{Forecast, IntervalTracker, NwsForecaster, PredictionInterval};
+use std::collections::BTreeMap;
+
+/// A forecast answer, NWS-extract style: the point forecast, the predictor
+/// that issued it, and a calibrated prediction interval.
+#[derive(Debug, Clone)]
+pub struct ForecastAnswer {
+    /// The point forecast for the next measurement.
+    pub forecast: Forecast,
+    /// Empirical prediction interval (absent until enough errors have been
+    /// scored).
+    pub interval: Option<PredictionInterval>,
+    /// Number of measurements the forecaster has consumed.
+    pub observations: u64,
+}
+
+/// Per-resource forecasters, updated as measurements arrive.
+#[derive(Debug)]
+pub struct ForecastService {
+    coverage: f64,
+    state: BTreeMap<ResourceId, (NwsForecaster, IntervalTracker)>,
+}
+
+impl ForecastService {
+    /// Creates a service issuing intervals with the given two-sided
+    /// coverage (e.g. `0.9`).
+    pub fn new(coverage: f64) -> Self {
+        Self {
+            coverage,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one measurement for a resource (scores the standing forecast
+    /// first, as the paper's Eq. 5 protocol does).
+    pub fn observe(&mut self, id: ResourceId, value: f64) {
+        let coverage = self.coverage;
+        let (nws, intervals) = self
+            .state
+            .entry(id)
+            .or_insert_with(|| (NwsForecaster::nws_default(), IntervalTracker::new(coverage)));
+        if let Some(f) = nws.forecast() {
+            intervals.record(f.value, value);
+        }
+        nws.update(value);
+    }
+
+    /// The standing forecast for a resource.
+    pub fn forecast(&self, id: ResourceId) -> Option<ForecastAnswer> {
+        let (nws, intervals) = self.state.get(&id)?;
+        let forecast = nws.forecast()?;
+        let interval = intervals.interval(forecast.value);
+        Some(ForecastAnswer {
+            observations: nws.observations(),
+            interval,
+            forecast,
+        })
+    }
+
+    /// Resources with live forecasters.
+    pub fn resource_ids(&self) -> Vec<ResourceId> {
+        self.state.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ResourceId;
+
+    fn rid(n: u64) -> ResourceId {
+        ResourceId(n)
+    }
+
+    #[test]
+    fn forecast_appears_after_first_observation() {
+        let mut svc = ForecastService::new(0.9);
+        assert!(svc.forecast(rid(1)).is_none());
+        svc.observe(rid(1), 0.7);
+        let a = svc.forecast(rid(1)).expect("live");
+        assert_eq!(a.forecast.value, 0.7);
+        assert_eq!(a.observations, 1);
+    }
+
+    #[test]
+    fn intervals_calibrate_over_time() {
+        let mut svc = ForecastService::new(0.8);
+        let mut rng = nws_stats::Rng::new(3);
+        for _ in 0..500 {
+            svc.observe(
+                rid(1),
+                (0.6 + 0.1 * rng.next_standard_normal()).clamp(0.0, 1.0),
+            );
+        }
+        let a = svc.forecast(rid(1)).expect("live");
+        let iv = a.interval.expect("interval warm");
+        assert!(iv.lo < a.forecast.value && a.forecast.value < iv.hi);
+        // The 80% interval of ~N(0.6, 0.1) spans roughly ±0.13.
+        assert!(
+            iv.hi - iv.lo > 0.1 && iv.hi - iv.lo < 0.5,
+            "width = {}",
+            iv.hi - iv.lo
+        );
+    }
+
+    #[test]
+    fn resources_are_isolated() {
+        let mut svc = ForecastService::new(0.9);
+        for _ in 0..20 {
+            svc.observe(rid(1), 0.9);
+            svc.observe(rid(2), 0.1);
+        }
+        let a = svc.forecast(rid(1)).expect("live");
+        let b = svc.forecast(rid(2)).expect("live");
+        assert!((a.forecast.value - 0.9).abs() < 1e-6);
+        assert!((b.forecast.value - 0.1).abs() < 1e-6);
+        assert_eq!(svc.resource_ids(), vec![rid(1), rid(2)]);
+    }
+}

@@ -1,0 +1,203 @@
+//! The complete weather service: CPU *and* network monitoring together.
+//!
+//! This is the full NWS of the paper's introduction — "computational grids
+//! from which compute cycles can be obtained in the way electrical power is
+//! obtained from an electrical power utility" — in one object: host CPU
+//! availability (via [`GridMonitor`]) and inter-site network performance
+//! (via [`nws_net::LinkMonitor`]) measured on their own cadences, published
+//! into one registry/memory, and forecast per series.
+
+use crate::memory::{Memory, MemoryConfig};
+use crate::monitor::{GridMonitor, GridMonitorConfig};
+use crate::registry::{Metric, Registry, ResourceId};
+use crate::service::{ForecastAnswer, ForecastService};
+use nws_net::{LinkConfig, LinkMonitor, LinkMonitorConfig};
+use nws_sim::HostProfile;
+
+/// Configuration for the combined service.
+#[derive(Debug, Clone, Copy)]
+pub struct WeatherServiceConfig {
+    /// CPU-side configuration.
+    pub grid: GridMonitorConfig,
+    /// Network-side configuration.
+    pub links: LinkMonitorConfig,
+    /// Memory retention for the network series.
+    pub net_memory: MemoryConfig,
+}
+
+impl Default for WeatherServiceConfig {
+    fn default() -> Self {
+        Self {
+            grid: GridMonitorConfig::default(),
+            links: LinkMonitorConfig::default(),
+            net_memory: MemoryConfig { retain: 4096 },
+        }
+    }
+}
+
+/// CPU + network weather under one roof.
+pub struct WeatherService {
+    cpu: GridMonitor,
+    net: LinkMonitor,
+    net_registry: Registry,
+    net_memory: Memory,
+    net_forecasts: ForecastService,
+    /// `(bandwidth id, latency id, link name, capacity)` per link.
+    link_ids: Vec<(ResourceId, ResourceId, String, f64)>,
+    /// Probe cycles completed on the network side.
+    net_cycles: u64,
+    config: WeatherServiceConfig,
+}
+
+impl WeatherService {
+    /// Builds the service over host profiles and named links.
+    pub fn new(
+        profiles: &[HostProfile],
+        links: Vec<(String, LinkConfig)>,
+        base_seed: u64,
+        config: WeatherServiceConfig,
+    ) -> Self {
+        let mut net_registry = Registry::new();
+        let link_ids = links
+            .iter()
+            .map(|(name, cfg)| {
+                (
+                    net_registry.register(name.clone(), Metric::NetworkBandwidth),
+                    net_registry.register(name.clone(), Metric::NetworkLatency),
+                    name.clone(),
+                    cfg.capacity,
+                )
+            })
+            .collect();
+        Self {
+            cpu: GridMonitor::new(profiles, base_seed, config.grid),
+            net: LinkMonitor::new(links, base_seed ^ 0x4E45_54FE, config.links),
+            net_registry,
+            net_memory: Memory::new(config.net_memory),
+            net_forecasts: ForecastService::new(config.grid.interval_coverage),
+            link_ids,
+            net_cycles: 0,
+            config,
+        }
+    }
+
+    /// The six-UCSD-host grid plus the demo link set.
+    pub fn ucsd(base_seed: u64) -> Self {
+        Self::new(
+            &HostProfile::all(),
+            vec![
+                ("ucsd->utk".to_string(), LinkConfig::wan_10mbit()),
+                ("ucsd->uva".to_string(), LinkConfig::wan_10mbit()),
+                ("ucsd-lan".to_string(), LinkConfig::lan_100mbit()),
+            ],
+            base_seed,
+            WeatherServiceConfig::default(),
+        )
+    }
+
+    /// The CPU half.
+    pub fn cpu(&self) -> &GridMonitor {
+        &self.cpu
+    }
+
+    /// The network registry (link series).
+    pub fn net_registry(&self) -> &Registry {
+        &self.net_registry
+    }
+
+    /// The network measurement memory.
+    pub fn net_memory(&self) -> &Memory {
+        &self.net_memory
+    }
+
+    /// Network forecasts (normalized to link capacity for bandwidth).
+    pub fn net_forecasts(&self) -> &ForecastService {
+        &self.net_forecasts
+    }
+
+    /// Advances both halves by `seconds` of simulated time: the CPU side on
+    /// its 10-second measurement cadence, the network side on its probe
+    /// cadence, publishing everything into the memories and forecasters.
+    pub fn advance(&mut self, seconds: f64) {
+        let cpu_steps = (seconds / self.config.grid.measurement_period).round() as u64;
+        self.cpu.run_steps(cpu_steps);
+        let net_probes = (seconds / self.config.links.probe_period).round() as usize;
+        for _ in 0..net_probes {
+            self.net.run_probes(1);
+            self.net_cycles += 1;
+            self.publish_net_cycle();
+        }
+    }
+
+    fn publish_net_cycle(&mut self) {
+        for (bw_id, lat_id, name, capacity) in &self.link_ids {
+            let (bw, lat) = self.net.series(name).expect("registered link");
+            if let Some(p) = bw.last() {
+                if self.net_memory.store(*bw_id, p.time, p.value) {
+                    // Forecast the capacity-normalized series.
+                    self.net_forecasts.observe(*bw_id, p.value / capacity);
+                }
+            }
+            if let Some(p) = lat.last() {
+                if self.net_memory.store(*lat_id, p.time, p.value) {
+                    self.net_forecasts.observe(*lat_id, p.value);
+                }
+            }
+        }
+    }
+
+    /// The standing bandwidth forecast for a link, in bytes/second.
+    pub fn bandwidth_forecast(&self, link: &str) -> Option<ForecastAnswer> {
+        let (bw_id, _, _, capacity) = self.link_ids.iter().find(|(_, _, name, _)| name == link)?;
+        let mut answer = self.net_forecasts.forecast(*bw_id)?;
+        answer.forecast.value *= capacity;
+        if let Some(iv) = &mut answer.interval {
+            iv.forecast *= capacity;
+            iv.lo *= capacity;
+            iv.hi *= capacity;
+        }
+        Some(answer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_halves_advance_together() {
+        let mut ws = WeatherService::ucsd(3);
+        ws.advance(1200.0); // 20 minutes: 120 CPU slots, 10 net probes
+        assert_eq!(ws.cpu().slots(), 120);
+        let id = ws
+            .net_registry()
+            .lookup("ucsd->utk", Metric::NetworkBandwidth)
+            .expect("registered");
+        assert_eq!(ws.net_memory().len(id), 10);
+        let fc = ws.bandwidth_forecast("ucsd->utk").expect("warm");
+        assert!(
+            fc.forecast.value > 1e4,
+            "bw forecast = {}",
+            fc.forecast.value
+        );
+        assert!(fc.forecast.value <= 1.25e6 * 1.01);
+    }
+
+    #[test]
+    fn latency_series_also_published() {
+        let mut ws = WeatherService::ucsd(5);
+        ws.advance(600.0);
+        let id = ws
+            .net_registry()
+            .lookup("ucsd-lan", Metric::NetworkLatency)
+            .expect("registered");
+        let latest = ws.net_memory().latest(id).expect("stored");
+        assert!(latest.value > 0.0 && latest.value < 1.0);
+    }
+
+    #[test]
+    fn unknown_link_has_no_forecast() {
+        let ws = WeatherService::ucsd(7);
+        assert!(ws.bandwidth_forecast("nonesuch").is_none());
+    }
+}

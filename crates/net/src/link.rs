@@ -1,0 +1,281 @@
+//! A wide-area link as a processor-sharing queue with heavy-tailed
+//! cross-traffic.
+//!
+//! TCP flows sharing a bottleneck divide its capacity roughly equally
+//! (processor sharing). Cross-traffic flows arrive Poisson with
+//! Pareto-distributed sizes — the standard generative model for the
+//! self-similar throughput the networking literature (and the paper's
+//! Section 3.1 citations) report. The link advances in discrete time
+//! steps; a foreground probe is just another flow whose completion time
+//! the sensors measure.
+
+use crate::{Bandwidth, Seconds};
+use nws_stats::{Distribution, Exponential, Pareto, Rng};
+
+/// Static link parameters.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Bottleneck capacity (bytes/second).
+    pub capacity: Bandwidth,
+    /// Base one-way propagation latency (seconds).
+    pub base_latency: Seconds,
+    /// Mean seconds between cross-traffic flow arrivals.
+    pub flow_arrival_mean: Seconds,
+    /// Cross-traffic flow size distribution (bytes).
+    pub flow_size: Pareto,
+    /// Queueing delay added per concurrent flow (seconds) — a linear
+    /// approximation of buffer occupancy for the latency sensor.
+    pub queue_delay_per_flow: Seconds,
+}
+
+impl LinkConfig {
+    /// A mid-1990s wide-area path: 10 Mbit/s bottleneck, 30 ms base
+    /// latency, bursty heavy-tailed cross-traffic at moderate utilization.
+    pub fn wan_10mbit() -> Self {
+        Self {
+            capacity: 1.25e6, // 10 Mbit/s in bytes/s
+            base_latency: 0.030,
+            flow_arrival_mean: 0.4,
+            // Mean ~ 230 KB, heavy tail capped at 50 MB: utilization ~47%.
+            flow_size: Pareto::new(1.3, 60_000.0).with_cap(5.0e7),
+            queue_delay_per_flow: 0.004,
+        }
+    }
+
+    /// A LAN-class path: 100 Mbit/s, 1 ms base latency, lighter traffic.
+    pub fn lan_100mbit() -> Self {
+        Self {
+            capacity: 1.25e7,
+            base_latency: 0.001,
+            flow_arrival_mean: 0.2,
+            flow_size: Pareto::new(1.3, 40_000.0).with_cap(2.0e7),
+            queue_delay_per_flow: 0.0005,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64,
+}
+
+/// A simulated link under background cross-traffic.
+#[derive(Debug)]
+pub struct Link {
+    name: String,
+    config: LinkConfig,
+    rng: Rng,
+    now: Seconds,
+    next_arrival: Seconds,
+    flows: Vec<Flow>,
+    /// Cumulative bytes delivered to cross-traffic (for utilization).
+    delivered: f64,
+}
+
+/// Advance step for the fluid model (seconds). Small enough to resolve
+/// sub-second probe transfers, large enough to keep week-long runs cheap.
+const STEP: Seconds = 0.01;
+
+impl Link {
+    /// Creates a link. All stochastic behaviour derives from `seed`.
+    pub fn new(name: impl Into<String>, config: LinkConfig, seed: u64) -> Self {
+        assert!(config.capacity > 0.0, "capacity must be positive");
+        assert!(config.base_latency >= 0.0, "latency must be non-negative");
+        assert!(
+            config.flow_arrival_mean > 0.0,
+            "arrival mean must be positive"
+        );
+        let mut rng = Rng::new(seed);
+        let first = Exponential::with_mean(config.flow_arrival_mean).sample(&mut rng);
+        Self {
+            name: name.into(),
+            config,
+            rng,
+            now: 0.0,
+            next_arrival: first,
+            flows: Vec::new(),
+            delivered: 0.0,
+        }
+    }
+
+    /// The link's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Number of active cross-traffic flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Cumulative cross-traffic bytes delivered.
+    pub fn delivered_bytes(&self) -> f64 {
+        self.delivered
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    fn step(&mut self, dt: Seconds) {
+        // Arrivals within the step.
+        while self.next_arrival <= self.now + dt {
+            self.next_arrival +=
+                Exponential::with_mean(self.config.flow_arrival_mean).sample(&mut self.rng);
+            let size = self.config.flow_size.sample(&mut self.rng);
+            self.flows.push(Flow { remaining: size });
+        }
+        // Processor sharing among active flows.
+        if !self.flows.is_empty() {
+            let share = self.config.capacity * dt / self.flows.len() as f64;
+            for f in &mut self.flows {
+                let sent = share.min(f.remaining);
+                f.remaining -= sent;
+                self.delivered += sent;
+            }
+            self.flows.retain(|f| f.remaining > 1e-9);
+        }
+        self.now += dt;
+    }
+
+    /// Advances the link by `dt` seconds of background activity.
+    pub fn advance(&mut self, dt: Seconds) {
+        assert!(dt >= 0.0, "cannot advance backwards");
+        let steps = (dt / STEP).round() as u64;
+        for _ in 0..steps {
+            self.step(STEP);
+        }
+    }
+
+    /// Transfers `bytes` through the link as a foreground flow competing
+    /// with the cross-traffic, returning the elapsed transfer time
+    /// (including one base latency for connection establishment). The
+    /// simulation advances by that time.
+    pub fn transfer(&mut self, bytes: f64) -> Seconds {
+        assert!(bytes > 0.0, "transfer needs bytes");
+        let start = self.now;
+        let mut remaining = bytes;
+        // Connection setup: one RTT-ish latency before bytes flow.
+        self.advance_quantized(self.config.base_latency);
+        while remaining > 1e-9 {
+            let competitors = self.flows.len() as f64;
+            let share = self.config.capacity * STEP / (competitors + 1.0);
+            let sent = share.min(remaining);
+            remaining -= sent;
+            self.step(STEP);
+        }
+        self.now - start
+    }
+
+    /// The instantaneous round-trip latency a small message would see:
+    /// twice the base latency plus queueing proportional to the number of
+    /// active flows.
+    pub fn rtt(&self) -> Seconds {
+        2.0 * self.config.base_latency + self.config.queue_delay_per_flow * self.flows.len() as f64
+    }
+
+    /// Advances by `dt` rounded to the fluid step grid.
+    fn advance_quantized(&mut self, dt: Seconds) {
+        let steps = (dt / STEP).ceil() as u64;
+        for _ in 0..steps {
+            self.step(STEP);
+        }
+    }
+
+    /// The long-run utilization implied by the configuration:
+    /// `mean flow size / (arrival mean × capacity)`.
+    pub fn configured_utilization(&self) -> f64 {
+        let mean_size = self.config.flow_size.mean().unwrap_or(0.0);
+        mean_size / (self.config.flow_arrival_mean * self.config.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_link(seed: u64) -> Link {
+        // Arrivals so sparse the link is effectively idle.
+        let cfg = LinkConfig {
+            flow_arrival_mean: 1e9,
+            ..LinkConfig::wan_10mbit()
+        };
+        Link::new("quiet", cfg, seed)
+    }
+
+    #[test]
+    fn idle_link_gives_full_bandwidth() {
+        let mut l = quiet_link(1);
+        let t = l.transfer(1.25e6); // 1 second of capacity
+                                    // Setup latency + ~1 s of transfer.
+        assert!((t - 1.03).abs() < 0.05, "t = {t}");
+    }
+
+    #[test]
+    fn busy_link_halves_probe_throughput() {
+        // One infinite competitor: the probe gets half the capacity.
+        let mut l = quiet_link(2);
+        l.flows.push(Flow {
+            remaining: f64::INFINITY,
+        });
+        let t = l.transfer(1.25e6);
+        assert!((t - 2.03).abs() < 0.1, "t = {t}");
+    }
+
+    #[test]
+    fn utilization_matches_configuration() {
+        let cfg = LinkConfig::wan_10mbit();
+        let mut l = Link::new("wan", cfg, 3);
+        let rho = l.configured_utilization();
+        assert!((0.3..0.9).contains(&rho), "rho = {rho}");
+        l.advance(2000.0);
+        let measured = l.delivered_bytes() / (2000.0 * l.config().capacity);
+        // Heavy-tailed flow sizes make this converge slowly; generous band.
+        assert!(
+            (measured - rho).abs() < 0.35,
+            "measured {measured} vs configured {rho}"
+        );
+    }
+
+    #[test]
+    fn rtt_grows_with_congestion() {
+        let mut l = quiet_link(4);
+        let idle_rtt = l.rtt();
+        assert!((idle_rtt - 0.06).abs() < 1e-9);
+        for _ in 0..10 {
+            l.flows.push(Flow { remaining: 1e9 });
+        }
+        assert!(l.rtt() > idle_rtt + 0.03);
+    }
+
+    #[test]
+    fn advance_is_deterministic() {
+        let run = |seed| {
+            let mut l = Link::new("wan", LinkConfig::wan_10mbit(), seed);
+            l.advance(600.0);
+            (l.active_flows(), l.delivered_bytes())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn transfer_advances_clock() {
+        let mut l = quiet_link(5);
+        let t0 = l.now();
+        let elapsed = l.transfer(100_000.0);
+        assert!((l.now() - t0 - elapsed).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer needs bytes")]
+    fn zero_transfer_panics() {
+        quiet_link(6).transfer(0.0);
+    }
+}

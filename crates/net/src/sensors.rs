@@ -1,0 +1,155 @@
+//! The NWS network sensors: probe transfers and round-trip timings.
+
+use crate::link::Link;
+use crate::{Bandwidth, Seconds};
+
+/// The NWS bandwidth sensor: times a fixed-size probe transfer.
+///
+/// The real NWS moved a configurable TCP payload (64 KB default on wide
+/// area paths) and reported `bytes / elapsed`. Like the CPU probe, the
+/// measurement is intrusive — the probe competes with (and perturbs) the
+/// cross-traffic it measures — which is why the default probe is small and
+/// infrequent.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthSensor {
+    probe_bytes: f64,
+    probes_run: u64,
+}
+
+impl BandwidthSensor {
+    /// Creates a sensor with the given probe payload (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `probe_bytes` is positive.
+    pub fn new(probe_bytes: f64) -> Self {
+        assert!(probe_bytes > 0.0, "probe needs a payload");
+        Self {
+            probe_bytes,
+            probes_run: 0,
+        }
+    }
+
+    /// The NWS wide-area default: a 64 KB probe.
+    pub fn nws_default() -> Self {
+        Self::new(64.0 * 1024.0)
+    }
+
+    /// Probe payload size in bytes.
+    pub fn probe_bytes(&self) -> f64 {
+        self.probe_bytes
+    }
+
+    /// Number of probes run.
+    pub fn probes_run(&self) -> u64 {
+        self.probes_run
+    }
+
+    /// Runs one probe transfer (advancing the link) and returns the
+    /// achieved throughput in bytes/second.
+    pub fn measure(&mut self, link: &mut Link) -> Bandwidth {
+        self.probes_run += 1;
+        let elapsed = link.transfer(self.probe_bytes);
+        self.probe_bytes / elapsed.max(1e-9)
+    }
+}
+
+/// The NWS latency sensor: times a small-message round trip.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySensor {
+    probes_run: u64,
+}
+
+impl LatencySensor {
+    /// Creates the sensor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of measurements taken.
+    pub fn probes_run(&self) -> u64 {
+        self.probes_run
+    }
+
+    /// Measures the round-trip latency (seconds). Non-intrusive in the
+    /// fluid model: a 1-byte message does not move the sharing state.
+    pub fn measure(&mut self, link: &Link) -> Seconds {
+        self.probes_run += 1;
+        link.rtt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+
+    fn quiet_link(seed: u64) -> Link {
+        Link::new(
+            "quiet",
+            LinkConfig {
+                flow_arrival_mean: 1e9,
+                ..LinkConfig::wan_10mbit()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn bandwidth_probe_on_idle_link_reads_near_capacity() {
+        let mut link = quiet_link(1);
+        let mut sensor = BandwidthSensor::new(1.25e6); // 1s worth
+        let bw = sensor.measure(&mut link);
+        // Setup latency shaves a few percent off.
+        assert!(
+            bw > 0.9 * link.config().capacity && bw <= link.config().capacity,
+            "bw = {bw}"
+        );
+        assert_eq!(sensor.probes_run(), 1);
+    }
+
+    #[test]
+    fn small_probes_underestimate_more() {
+        // The fixed setup latency penalizes small probes — the classic
+        // throughput-probe bias the NWS documentation warns about.
+        let mut l1 = quiet_link(2);
+        let mut l2 = quiet_link(2);
+        let small = BandwidthSensor::new(16.0 * 1024.0).measure(&mut l1);
+        let large = BandwidthSensor::new(1.0e6).measure(&mut l2);
+        assert!(small < large, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn bandwidth_drops_under_cross_traffic() {
+        let mut busy = Link::new("wan", LinkConfig::wan_10mbit(), 7);
+        busy.advance(300.0);
+        let mut idle = quiet_link(7);
+        let mut sensor = BandwidthSensor::nws_default();
+        // Average several probes on the busy link (traffic is bursty).
+        let mut acc = 0.0;
+        for _ in 0..10 {
+            acc += sensor.measure(&mut busy);
+            busy.advance(10.0);
+        }
+        let busy_bw = acc / 10.0;
+        let idle_bw = BandwidthSensor::nws_default().measure(&mut idle);
+        assert!(
+            busy_bw < idle_bw,
+            "busy {busy_bw} should be below idle {idle_bw}"
+        );
+    }
+
+    #[test]
+    fn latency_sensor_reads_rtt() {
+        let link = quiet_link(3);
+        let mut sensor = LatencySensor::new();
+        let rtt = sensor.measure(&link);
+        assert!((rtt - 2.0 * link.config().base_latency).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload")]
+    fn empty_probe_panics() {
+        BandwidthSensor::new(0.0);
+    }
+}

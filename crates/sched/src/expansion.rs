@@ -1,0 +1,75 @@
+//! The expansion-factor execution-time model.
+//!
+//! "Typically, the availability percentage is used as an *expansion factor*
+//! to determine the potential execution time of a process. If only 50 % of
+//! the time-slices are available, for example, a process is expected to
+//! take twice as long to execute as it would if the CPU were completely
+//! unloaded" (Section 2).
+
+/// The expansion factor for a given CPU availability: `1 / availability`.
+///
+/// Availability is clamped to a small positive floor so that a fully
+/// saturated host yields a large-but-finite slowdown rather than a
+/// division by zero.
+pub fn expansion_factor(availability: f64) -> f64 {
+    const FLOOR: f64 = 1e-3;
+    1.0 / availability.clamp(FLOOR, 1.0)
+}
+
+/// Predicted wall-clock runtime of a task needing `cpu_seconds` of CPU on a
+/// host with the given predicted availability.
+///
+/// # Examples
+///
+/// ```
+/// use nws_sched::predicted_runtime;
+///
+/// // "If only 50% of the time-slices are available, a process is
+/// // expected to take twice as long to execute."
+/// assert_eq!(predicted_runtime(60.0, 0.5), 120.0);
+/// ```
+pub fn predicted_runtime(cpu_seconds: f64, availability: f64) -> f64 {
+    assert!(cpu_seconds >= 0.0, "work must be non-negative");
+    cpu_seconds * expansion_factor(availability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_availability_doubles_runtime() {
+        assert_eq!(expansion_factor(0.5), 2.0);
+        assert_eq!(predicted_runtime(10.0, 0.5), 20.0);
+    }
+
+    #[test]
+    fn full_availability_is_identity() {
+        assert_eq!(expansion_factor(1.0), 1.0);
+        assert_eq!(predicted_runtime(7.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn degenerate_availability_is_floored() {
+        assert!(expansion_factor(0.0).is_finite());
+        assert!(expansion_factor(-1.0).is_finite());
+        assert!(expansion_factor(2.0) >= 1.0);
+        assert_eq!(expansion_factor(2.0), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_availability() {
+        let mut prev = f64::INFINITY;
+        for a in [0.1, 0.2, 0.5, 0.8, 1.0] {
+            let e = expansion_factor(a);
+            assert!(e < prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_work_panics() {
+        predicted_runtime(-1.0, 0.5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Task-placement policies.
+//!
+//! Each policy assigns a bag of CPU-bound tasks to hosts given whatever
+//! information it uses: NWS forecasts (the paper's proposal), instantaneous
+//! load-average availability (what Prophet/Winner/MARS-style schedulers
+//! used, per Section 2), or nothing at all (round-robin / random
+//! baselines).
+//!
+//! Placement is greedy longest-processing-time (LPT): tasks are considered
+//! in decreasing work order and each goes to the host whose *predicted
+//! completion time* (sum of predicted runtimes of tasks already assigned
+//! there, plus this task) is smallest. For the uninformed policies the
+//! predicted availability is 1 everywhere, which degrades LPT to
+//! load-balancing by task count/work.
+
+use crate::expansion::predicted_runtime;
+use nws_stats::Rng;
+
+/// A task-placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Place using per-host NWS forecasts of the *hybrid* sensor series
+    /// (the paper's proposal; inherits the hybrid's kongo overestimate).
+    NwsForecast,
+    /// Place using per-host NWS forecasts of the *load-average* series.
+    NwsLoadForecast,
+    /// Place using the instantaneous Eq. 1 load-average availability.
+    LoadAverage,
+    /// Ignore host state; deal tasks out cyclically.
+    RoundRobin,
+    /// Ignore host state; place uniformly at random.
+    Random,
+}
+
+impl Policy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::NwsForecast => "nws-hybrid-fc",
+            Policy::NwsLoadForecast => "nws-load-fc",
+            Policy::LoadAverage => "load-average",
+            Policy::RoundRobin => "round-robin",
+            Policy::Random => "random",
+        }
+    }
+
+    /// All policies, in report order.
+    pub fn all() -> [Policy; 5] {
+        [
+            Policy::NwsForecast,
+            Policy::NwsLoadForecast,
+            Policy::LoadAverage,
+            Policy::RoundRobin,
+            Policy::Random,
+        ]
+    }
+}
+
+/// A placement: `assignment[i]` is the host index for task `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Host index per task.
+    pub assignment: Vec<usize>,
+    /// The predicted makespan under the availabilities the policy used
+    /// (meaningless for the uninformed policies).
+    pub predicted_makespan: f64,
+}
+
+/// Computes a placement of `tasks` (CPU-seconds each) onto hosts with the
+/// given predicted availabilities.
+///
+/// `availabilities` must be non-empty; tasks may be empty (empty
+/// placement).
+pub fn place(policy: Policy, tasks: &[f64], availabilities: &[f64], rng: &mut Rng) -> Placement {
+    assert!(!availabilities.is_empty(), "need at least one host");
+    let n_hosts = availabilities.len();
+    let mut assignment = vec![0usize; tasks.len()];
+    match policy {
+        Policy::RoundRobin => {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = i % n_hosts;
+            }
+        }
+        Policy::Random => {
+            for slot in assignment.iter_mut() {
+                *slot = rng.below(n_hosts as u64) as usize;
+            }
+        }
+        Policy::NwsForecast | Policy::NwsLoadForecast | Policy::LoadAverage => {
+            // Greedy LPT under the expansion-factor model.
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            order.sort_by(|&a, &b| tasks[b].partial_cmp(&tasks[a]).expect("finite work"));
+            let mut host_finish = vec![0.0f64; n_hosts];
+            for &task in &order {
+                let (best, _) = host_finish
+                    .iter()
+                    .enumerate()
+                    .map(|(h, &f)| (h, f + predicted_runtime(tasks[task], availabilities[h])))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+                    .expect("at least one host");
+                host_finish[best] += predicted_runtime(tasks[task], availabilities[best]);
+                assignment[task] = best;
+            }
+        }
+    }
+    // Predicted makespan under the supplied availabilities.
+    let mut host_finish = vec![0.0f64; n_hosts];
+    for (i, &h) in assignment.iter().enumerate() {
+        host_finish[h] += predicted_runtime(tasks[i], availabilities[h]);
+    }
+    let predicted_makespan = host_finish.iter().cloned().fold(0.0, f64::max);
+    Placement {
+        assignment,
+        predicted_makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rng = Rng::new(1);
+        let p = place(Policy::RoundRobin, &[1.0; 5], &[1.0, 1.0], &mut rng);
+        assert_eq!(p.assignment, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn random_is_in_range_and_seeded() {
+        let mut rng = Rng::new(2);
+        let p1 = place(Policy::Random, &[1.0; 20], &[1.0; 3], &mut rng);
+        assert!(p1.assignment.iter().all(|&h| h < 3));
+        let mut rng = Rng::new(2);
+        let p2 = place(Policy::Random, &[1.0; 20], &[1.0; 3], &mut rng);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn forecast_policy_prefers_available_hosts() {
+        let mut rng = Rng::new(3);
+        // Host 0 nearly saturated, host 1 free: everything should flow to 1
+        // until its queue grows long enough that host 0 is worth using.
+        let p = place(
+            Policy::NwsForecast,
+            &[10.0, 10.0, 10.0, 10.0],
+            &[0.1, 1.0],
+            &mut rng,
+        );
+        let to_free = p.assignment.iter().filter(|&&h| h == 1).count();
+        assert!(to_free >= 3, "assignment = {:?}", p.assignment);
+    }
+
+    #[test]
+    fn lpt_balances_equal_hosts() {
+        let mut rng = Rng::new(4);
+        let p = place(
+            Policy::NwsForecast,
+            &[5.0, 4.0, 3.0, 3.0, 3.0],
+            &[1.0, 1.0],
+            &mut rng,
+        );
+        // Greedy LPT places 5 | 4, 3 | 3 | 3 → loads 8 and 10 (the optimum
+        // is 9/9; LPT's 10 is within its 4/3 guarantee).
+        let load0: f64 = p
+            .assignment
+            .iter()
+            .zip(&[5.0, 4.0, 3.0, 3.0, 3.0])
+            .filter(|(&h, _)| h == 0)
+            .map(|(_, &w)| w)
+            .sum();
+        assert!((load0 - 8.0).abs() < 1e-9 || (load0 - 10.0).abs() < 1e-9);
+        assert!((p.predicted_makespan - 10.0).abs() < 1e-9);
+        // LPT bound: makespan <= 4/3 · optimum.
+        assert!(p.predicted_makespan <= 9.0 * 4.0 / 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn predicted_makespan_accounts_for_expansion() {
+        let mut rng = Rng::new(5);
+        let p = place(Policy::NwsForecast, &[10.0], &[0.5], &mut rng);
+        assert!((p.predicted_makespan - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_tasks_empty_placement() {
+        let mut rng = Rng::new(6);
+        let p = place(Policy::NwsForecast, &[], &[1.0], &mut rng);
+        assert!(p.assignment.is_empty());
+        assert_eq!(p.predicted_makespan, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn no_hosts_panics() {
+        let mut rng = Rng::new(7);
+        place(Policy::Random, &[1.0], &[], &mut rng);
+    }
+
+    #[test]
+    fn policy_names_unique() {
+        let names: Vec<&str> = Policy::all().iter().map(|p| p.name()).collect();
+        let mut d = names.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), names.len());
+    }
+}

@@ -1,0 +1,306 @@
+//! The NWS hybrid sensor: passive methods + an active probe + bias.
+//!
+//! The hybrid computes the load-average and vmstat availabilities every
+//! 10 s and runs a short (1.5 s) full-priority CPU-bound **probe** once a
+//! minute. The probe's `cpu_time / wall_time` ratio is what a real new
+//! process would actually have obtained, so:
+//!
+//! - the passive method that lands *closest* to the probe is selected to
+//!   generate measurements until the next probe, and
+//! - the difference `probe − method` is carried forward as a **bias**,
+//!   correcting for load the passive methods cannot see — most importantly
+//!   `nice`-level background processes, which occupy the run queue but
+//!   yield instantly to full-priority work.
+//!
+//! The bias is also the hybrid's Achilles' heel (kongo): when a
+//! *long-running full-priority* job is resident, a 1.5 s probe preempts it
+//! (the job's decayed priority loses to the fresh probe) and measures an
+//! almost-free CPU, so the bias wrongly inflates every subsequent reading.
+
+use crate::loadavg_sensor::LoadAvgSensor;
+use crate::vmstat_sensor::VmstatSensor;
+use nws_sim::Host;
+
+/// Which passive method the hybrid currently trusts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// The Eq. 1 load-average method.
+    #[default]
+    LoadAverage,
+    /// The Eq. 2 vmstat method.
+    Vmstat,
+}
+
+impl Method {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::LoadAverage => "load-average",
+            Method::Vmstat => "vmstat",
+        }
+    }
+}
+
+/// Tunables for the hybrid sensor.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Probe duration in seconds (paper: 1.5).
+    pub probe_duration: f64,
+    /// Whether to apply the probe bias (the paper's design). Disabling it
+    /// is the ablation that shows bias rescuing conundrum and sinking
+    /// kongo.
+    pub apply_bias: bool,
+    /// EWMA gain for bias updates in `(0, 1]`. A single 1.5 s probe is a
+    /// noisy sample of availability; smoothing the bias across probes damps
+    /// that noise while still converging on persistent skews (the
+    /// `nice`-load correction) within a few minutes.
+    pub bias_gain: f64,
+    /// Wall-clock cap on one probe run (the probe spins for
+    /// `probe_duration` seconds of *CPU*; under contention its wall time
+    /// stretches up to this cap).
+    pub probe_max_wall: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            probe_duration: crate::PROBE_DURATION,
+            apply_bias: true,
+            bias_gain: 0.3,
+            probe_max_wall: 8.0,
+        }
+    }
+}
+
+/// The NWS hybrid CPU availability sensor.
+#[derive(Debug, Clone)]
+pub struct HybridSensor {
+    config: HybridConfig,
+    load: LoadAvgSensor,
+    vmstat: VmstatSensor,
+    chosen: Method,
+    bias: f64,
+    probes_run: u64,
+    last_probe_value: Option<f64>,
+}
+
+impl Default for HybridSensor {
+    fn default() -> Self {
+        Self::new(HybridConfig::default())
+    }
+}
+
+impl HybridSensor {
+    /// Creates the sensor.
+    pub fn new(config: HybridConfig) -> Self {
+        assert!(
+            config.probe_duration > 0.0,
+            "probe duration must be positive"
+        );
+        assert!(
+            config.bias_gain > 0.0 && config.bias_gain <= 1.0,
+            "bias gain must be in (0, 1]"
+        );
+        Self {
+            config,
+            load: LoadAvgSensor::new(),
+            vmstat: VmstatSensor::new(),
+            chosen: Method::default(),
+            bias: 0.0,
+            probes_run: 0,
+            last_probe_value: None,
+        }
+    }
+
+    /// The method's display name.
+    pub fn name(&self) -> &'static str {
+        "nws-hybrid"
+    }
+
+    /// The currently selected passive method.
+    pub fn chosen_method(&self) -> Method {
+        self.chosen
+    }
+
+    /// The current bias correction.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// How many probes have been run.
+    pub fn probes_run(&self) -> u64 {
+        self.probes_run
+    }
+
+    /// The most recent probe occupancy, if any.
+    pub fn last_probe_value(&self) -> Option<f64> {
+        self.last_probe_value
+    }
+
+    /// Takes one *passive* measurement (no probe): reads both methods,
+    /// reports the chosen one plus bias.
+    pub fn measure(&mut self, host: &Host) -> f64 {
+        let l = self.load.measure(host);
+        let v = self.vmstat.measure(host);
+        self.combine(l, v)
+    }
+
+    /// Runs the probe (advancing the simulation by the probe duration!),
+    /// re-selects the best passive method, refreshes the bias, and returns
+    /// the resulting measurement.
+    pub fn measure_with_probe(&mut self, host: &mut Host) -> f64 {
+        // Passive readings immediately before the probe.
+        let l = self.load.measure(host);
+        let v = self.vmstat.measure(host);
+        let probe = host.run_cpu_limited_probe(
+            "nws-probe",
+            self.config.probe_duration,
+            self.config.probe_max_wall.max(self.config.probe_duration),
+        );
+        self.probes_run += 1;
+        self.last_probe_value = Some(probe);
+        // Adopt whichever method agreed best with the probe.
+        let (method, raw) = if (l - probe).abs() <= (v - probe).abs() {
+            (Method::LoadAverage, l)
+        } else {
+            (Method::Vmstat, v)
+        };
+        // Anchor the bias outright on the first probe or when the method
+        // choice flips (the stored EWMA belongs to the other method's
+        // skew); otherwise fold the new sample into the EWMA.
+        if self.probes_run == 1 || method != self.chosen {
+            self.bias = probe - raw;
+        } else {
+            self.bias += self.config.bias_gain * ((probe - raw) - self.bias);
+        }
+        self.chosen = method;
+        self.combine(l, v)
+    }
+
+    fn combine(&self, load_avail: f64, vmstat_avail: f64) -> f64 {
+        let raw = match self.chosen {
+            Method::LoadAverage => load_avail,
+            Method::Vmstat => vmstat_avail,
+        };
+        if self.config.apply_bias {
+            (raw + self.bias).clamp(0.0, 1.0)
+        } else {
+            raw.clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nws_sim::workload::{LongRunningHog, NiceSoaker};
+    use nws_sim::Host;
+
+    fn settled_host_with_soaker(seed: u64) -> Host {
+        let mut h = Host::new("conundrum-like", seed);
+        let rng = h.fork_rng("soaker");
+        h.add_workload(Box::new(NiceSoaker::new("bg", 600.0, 0.0, rng)));
+        h.advance(900.0);
+        h
+    }
+
+    #[test]
+    fn bias_sees_through_nice_load() {
+        // The conundrum scenario: passive methods read ~0.5, probe ~1.0,
+        // bias lifts subsequent measurements to ~1.0.
+        let mut h = settled_host_with_soaker(1);
+        let mut s = HybridSensor::default();
+        // Warm the vmstat differencing.
+        s.measure(&h);
+        h.advance(10.0);
+        let passive = s.measure(&h);
+        assert!((passive - 0.5).abs() < 0.1, "passive = {passive}");
+        let with_probe = s.measure_with_probe(&mut h);
+        assert!(with_probe > 0.9, "after probe = {with_probe}");
+        assert!(s.bias() > 0.35, "bias = {}", s.bias());
+        // Subsequent passive measurements carry the bias.
+        h.advance(10.0);
+        let next = s.measure(&h);
+        assert!(next > 0.9, "biased passive = {next}");
+    }
+
+    #[test]
+    fn bias_can_be_disabled() {
+        let mut h = settled_host_with_soaker(2);
+        let mut s = HybridSensor::new(HybridConfig {
+            apply_bias: false,
+            ..HybridConfig::default()
+        });
+        s.measure(&h);
+        h.advance(10.0);
+        let _ = s.measure_with_probe(&mut h);
+        h.advance(10.0);
+        let next = s.measure(&h);
+        // Without bias the hybrid is as blind as the passive methods.
+        assert!((next - 0.5).abs() < 0.15, "unbiased = {next}");
+    }
+
+    #[test]
+    fn probe_fooled_by_long_running_job() {
+        // The kongo scenario: probe preempts the decayed resident job and
+        // reports ~full availability; the bias then *inflates* readings.
+        let mut h = Host::new("kongo-like", 3);
+        h.add_workload(Box::new(LongRunningHog::new("res", 0.0, 0.0)));
+        h.advance(900.0);
+        let mut s = HybridSensor::default();
+        s.measure(&h);
+        h.advance(10.0);
+        let m = s.measure_with_probe(&mut h);
+        assert!(m > 0.8, "hybrid reads {m} — probe should have been fooled");
+        // Ground truth for a 10s test process is ~0.5-0.7: the hybrid is
+        // far off, exactly the paper's Table 1 kongo row.
+        h.advance(30.0);
+        let truth = h.run_occupancy_process("test", 10.0);
+        assert!(m - truth > 0.2, "m = {m}, truth = {truth}");
+    }
+
+    #[test]
+    fn method_selection_tracks_probe_agreement() {
+        let mut h = Host::new("idle", 4);
+        h.advance(300.0);
+        let mut s = HybridSensor::default();
+        s.measure(&h);
+        h.advance(10.0);
+        let _ = s.measure_with_probe(&mut h);
+        assert_eq!(s.probes_run(), 1);
+        assert!(s.last_probe_value().unwrap() > 0.9);
+        // On an idle machine both methods read ~1.0 and agree with the
+        // probe; the tie goes to load average.
+        assert_eq!(s.chosen_method(), Method::LoadAverage);
+        assert!(s.bias().abs() < 0.1);
+    }
+
+    #[test]
+    fn measurement_is_clamped() {
+        let mut h = Host::new("idle", 5);
+        h.advance(60.0);
+        let mut s = HybridSensor::default();
+        s.measure(&h);
+        h.advance(10.0);
+        let _ = s.measure_with_probe(&mut h);
+        h.advance(10.0);
+        let m = s.measure(&h);
+        assert!((0.0..=1.0).contains(&m));
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::LoadAverage.name(), "load-average");
+        assert_eq!(Method::Vmstat.name(), "vmstat");
+        assert_eq!(HybridSensor::default().name(), "nws-hybrid");
+    }
+
+    #[test]
+    #[should_panic(expected = "probe duration")]
+    fn zero_probe_duration_panics() {
+        HybridSensor::new(HybridConfig {
+            probe_duration: 0.0,
+            ..HybridConfig::default()
+        });
+    }
+}

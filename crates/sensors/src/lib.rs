@@ -1,0 +1,125 @@
+//! CPU availability sensors — the measurement half of the paper.
+//!
+//! Section 2 evaluates three ways of measuring the CPU fraction a newly
+//! created, full-priority Unix process could obtain:
+//!
+//! 1. [`LoadAvgSensor`] (Eq. 1): reads the 1-minute Unix load average and
+//!    reports `1 / (load + 1)` — the fair share of a CPU with `load`
+//!    runnable competitors.
+//! 2. [`VmstatSensor`] (Eq. 2): reads user/sys/idle occupancy and the
+//!    run-queue length and reports
+//!    `idle + user/(rp+1) + w·sys/(rp+1)` with `w = user`, the rationale
+//!    being that a new process is entitled to all idle time, a fair share
+//!    of user time, and a share of system time proportional to how much of
+//!    the system time is serving user processes (rather than, say, gateway
+//!    packet interrupts).
+//! 3. [`HybridSensor`]: computes both of the above every 10 s, runs a 1.5 s
+//!    full-priority CPU **probe** once a minute, adopts whichever passive
+//!    method lands closest to the probe, and carries the probe-minus-method
+//!    difference forward as a **bias** — the only way to see through
+//!    `nice`-level background load.
+//!
+//! [`TestProcess`] is the ground-truth oracle: a 10-second (or 5-minute)
+//! full-priority CPU-bound process whose `cpu_time / wall_time` ratio
+//! defines measurement error (Eq. 3).
+//!
+//! The [`proc`] module applies the same two passive formulas to a live
+//! Linux host via `/proc/loadavg` and `/proc/stat`, so the library is
+//! usable as a real monitor, not only against the simulator.
+
+pub mod hybrid;
+pub mod loadavg_sensor;
+pub mod proc;
+pub mod test_process;
+pub mod vmstat_sensor;
+
+/// A passive CPU availability sensor over a simulated host.
+///
+/// Implemented by the two non-intrusive methods ([`LoadAvgSensor`],
+/// [`VmstatSensor`]) and by the hybrid's passive path. The hybrid's probe
+/// cycle needs `&mut Host` (it runs a process) and therefore lives outside
+/// this trait, on [`HybridSensor::measure_with_probe`].
+pub trait AvailabilitySensor {
+    /// The method's display name.
+    fn method_name(&self) -> &'static str;
+
+    /// Takes one availability measurement in `[0, 1]`.
+    fn measure_availability(&mut self, host: &nws_sim::Host) -> f64;
+}
+
+impl AvailabilitySensor for LoadAvgSensor {
+    fn method_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn measure_availability(&mut self, host: &nws_sim::Host) -> f64 {
+        self.measure(host)
+    }
+}
+
+impl AvailabilitySensor for VmstatSensor {
+    fn method_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn measure_availability(&mut self, host: &nws_sim::Host) -> f64 {
+        self.measure(host)
+    }
+}
+
+impl AvailabilitySensor for HybridSensor {
+    fn method_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn measure_availability(&mut self, host: &nws_sim::Host) -> f64 {
+        self.measure(host)
+    }
+}
+
+
+pub use hybrid::{HybridConfig, HybridSensor, Method};
+pub use loadavg_sensor::{availability_from_load, LoadAvgSensor};
+pub use test_process::TestProcess;
+pub use vmstat_sensor::{availability_from_vmstat, VmstatReading, VmstatSensor};
+
+/// Sensor cadence used throughout the paper: one measurement every 10 s.
+pub const MEASUREMENT_PERIOD: f64 = 10.0;
+
+/// Hybrid probe cadence: once per minute.
+pub const PROBE_PERIOD: f64 = 60.0;
+
+/// Hybrid probe duration: 1.5 s ("the shortest probe duration that is
+/// useful"); overhead `1.5/60 = 2.5 %`.
+pub const PROBE_DURATION: f64 = 1.5;
+
+/// Duration of the short test process (Tables 1–3).
+pub const TEST_DURATION_SHORT: f64 = 10.0;
+
+/// Duration of the medium-term test process (Table 6): 5 minutes.
+pub const TEST_DURATION_MEDIUM: f64 = 300.0;
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn sensors_compose_behind_the_trait() {
+        let mut host = nws_sim::Host::new("box", 4);
+        host.advance(120.0);
+        let mut sensors: Vec<Box<dyn AvailabilitySensor>> = vec![
+            Box::new(LoadAvgSensor::new()),
+            Box::new(VmstatSensor::new()),
+            Box::new(HybridSensor::default()),
+        ];
+        let mut names = Vec::new();
+        for s in sensors.iter_mut() {
+            let a = s.measure_availability(&host);
+            assert!((0.0..=1.0).contains(&a), "{}: {a}", s.method_name());
+            names.push(s.method_name());
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 3, "method names must be distinct");
+    }
+}

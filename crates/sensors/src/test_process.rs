@@ -1,0 +1,103 @@
+//! The ground-truth test process of Section 2.2.
+//!
+//! "We compare the readings they generate with the percentage of CPU cycles
+//! obtained by an independent ten-second, CPU-bound process which we will
+//! refer to as the *test process*. The test process executes and then
+//! reports the ratio of CPU time it received (obtained through the
+//! `getrusage()` system call) to total execution time (measured in
+//! wall-clock time)."
+
+use nws_sim::Host;
+
+/// A CPU-bound, full-priority occupancy oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct TestProcess {
+    duration: f64,
+    runs: u64,
+}
+
+impl TestProcess {
+    /// Creates a test process of the given wall-clock duration (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `duration` is positive.
+    pub fn new(duration: f64) -> Self {
+        assert!(duration > 0.0, "test duration must be positive");
+        Self { duration, runs: 0 }
+    }
+
+    /// The short (10 s) test process of Tables 1–3.
+    pub fn short() -> Self {
+        Self::new(crate::TEST_DURATION_SHORT)
+    }
+
+    /// The medium-term (5 min) test process of Table 6.
+    pub fn medium() -> Self {
+        Self::new(crate::TEST_DURATION_MEDIUM)
+    }
+
+    /// The configured duration.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// How many times this oracle has executed.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Executes the test process, advancing the simulation by the test
+    /// duration, and returns the availability it observed.
+    pub fn run(&mut self, host: &mut Host) -> f64 {
+        self.runs += 1;
+        host.run_occupancy_process("test-process", self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nws_sim::{Host, ProcessSpec};
+
+    #[test]
+    fn observes_full_availability_on_idle_host() {
+        let mut h = Host::new("idle", 1);
+        let mut tp = TestProcess::short();
+        let occ = tp.run(&mut h);
+        assert!((occ - 1.0).abs() < 0.05, "occ = {occ}");
+        assert_eq!(tp.runs(), 1);
+    }
+
+    #[test]
+    fn observes_fair_share_against_competitor() {
+        let mut h = Host::new("busy", 1);
+        h.kernel_mut().spawn(ProcessSpec::cpu_bound("other"));
+        h.advance(900.0);
+        let mut tp = TestProcess::short();
+        let occ = tp.run(&mut h);
+        // Against one long-running equal-priority competitor the test gets
+        // somewhere between fair share and full (it starts fresh).
+        assert!(occ > 0.45 && occ < 0.95, "occ = {occ}");
+    }
+
+    #[test]
+    fn durations_match_paper() {
+        assert_eq!(TestProcess::short().duration(), 10.0);
+        assert_eq!(TestProcess::medium().duration(), 300.0);
+    }
+
+    #[test]
+    fn run_advances_clock_by_duration() {
+        let mut h = Host::new("x", 1);
+        let t0 = h.now();
+        TestProcess::new(4.0).run(&mut h);
+        assert!((h.now() - t0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_panics() {
+        TestProcess::new(0.0);
+    }
+}

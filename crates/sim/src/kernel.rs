@@ -1,0 +1,670 @@
+//! The simulated kernel: scheduler, accounting, and load bookkeeping.
+//!
+//! One [`Kernel`] models one single-CPU host. Time advances in fixed
+//! [`TICK`]-length quanta. Each tick the kernel:
+//!
+//! 1. samples the run queue into the load averages (every 5 s),
+//! 2. decays every process's `p_cpu` (every 1 s) by the 4.3BSD law
+//!    `p_cpu ← p_cpu · (2·load)/(2·load + 1) + nice`,
+//! 3. optionally consumes the quantum with kernel interrupt work
+//!    (network gateway behaviour — charged as system time), and
+//! 4. runs the runnable process with the *numerically smallest* priority
+//!    `PUSER + p_cpu/4 + 2·nice`, breaking ties round-robin.
+//!
+//! This is the mechanism behind both priority pathologies in the paper:
+//! a `nice +19` soaker sits in the run queue but always loses to
+//! full-priority work (conundrum), and a long-running job accumulates
+//! `p_cpu` so any fresh short process preempts it (kongo).
+
+use crate::loadavg::LoadAverage;
+use crate::process::{Pid, Process, ProcessSpec};
+use crate::{Seconds, PCPU_PER_TICK, STARVATION_TICKS, TICK, TICKS_PER_SECOND};
+use nws_stats::Rng;
+
+/// Cumulative CPU-time accounting, the counters `vmstat` reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accounting {
+    /// Seconds of CPU spent in user mode.
+    pub user: Seconds,
+    /// Seconds of CPU spent in system mode (syscalls + interrupts).
+    pub sys: Seconds,
+    /// Seconds of CPU spent idle.
+    pub idle: Seconds,
+}
+
+impl Accounting {
+    /// Total accounted time.
+    pub fn total(&self) -> Seconds {
+        self.user + self.sys + self.idle
+    }
+
+    /// Element-wise difference `self − earlier`; used by sensors to obtain
+    /// occupancy fractions over their sampling interval.
+    pub fn since(&self, earlier: &Accounting) -> Accounting {
+        Accounting {
+            user: self.user - earlier.user,
+            sys: self.sys - earlier.sys,
+            idle: self.idle - earlier.idle,
+        }
+    }
+}
+
+/// A `ps`-style view of one live process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessView {
+    /// The process id.
+    pub pid: Pid,
+    /// Display name from the spawn spec.
+    pub name: String,
+    /// The nice value.
+    pub nice: u8,
+    /// Whether the process is currently runnable.
+    pub runnable: bool,
+    /// Recent-CPU estimate (the scheduler's `p_cpu`).
+    pub p_cpu: f64,
+    /// The dispatch priority derived from it (smaller runs first).
+    pub priority: f64,
+    /// Total CPU time consumed (seconds).
+    pub cpu_time: Seconds,
+    /// Wall-clock age (seconds).
+    pub age: Seconds,
+}
+
+/// Final statistics for a process that exited or was killed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessStats {
+    /// The process id.
+    pub pid: Pid,
+    /// Display name from the spawn spec.
+    pub name: String,
+    /// Total CPU time consumed (seconds).
+    pub cpu_time: Seconds,
+    /// Wall-clock lifetime (seconds).
+    pub wall_time: Seconds,
+    /// The nice value the process ran with.
+    pub nice: u8,
+}
+
+impl ProcessStats {
+    /// CPU occupancy over the process lifetime: `cpu_time / wall_time`.
+    ///
+    /// This is exactly what the paper's probe and test processes report
+    /// (`getrusage` CPU time over elapsed wall-clock time).
+    pub fn occupancy(&self) -> f64 {
+        if self.wall_time <= 0.0 {
+            0.0
+        } else {
+            (self.cpu_time / self.wall_time).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A simulated Unix kernel (single- or multi-processor).
+#[derive(Debug)]
+pub struct Kernel {
+    tick_count: u64,
+    next_pid: u64,
+    procs: Vec<Process>,
+    loadavg: LoadAverage,
+    accounting: Accounting,
+    /// Per-tick probability that kernel interrupt work consumes the quantum.
+    interrupt_prob: f64,
+    rng: Rng,
+    completed: Vec<ProcessStats>,
+    /// Number of CPUs. The paper studies uniprocessors; SMP support is its
+    /// stated future work ("we wish to expand the types of resources we
+    /// consider to shared-memory multiprocessors").
+    n_cpus: usize,
+    /// Scratch buffer for per-tick dispatch (avoids re-allocating).
+    dispatch: Vec<usize>,
+}
+
+impl Kernel {
+    /// Creates an idle single-CPU kernel. `seed` drives only
+    /// kernel-internal randomness (interrupt arrivals).
+    pub fn new(seed: u64) -> Self {
+        Self::with_cpus(seed, 1)
+    }
+
+    /// Creates an idle kernel with `n_cpus` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cpus == 0`.
+    pub fn with_cpus(seed: u64, n_cpus: usize) -> Self {
+        assert!(n_cpus > 0, "a host needs at least one CPU");
+        Self {
+            tick_count: 0,
+            next_pid: 1,
+            procs: Vec::new(),
+            loadavg: LoadAverage::new(),
+            accounting: Accounting::default(),
+            interrupt_prob: 0.0,
+            rng: Rng::new(seed),
+            completed: Vec::new(),
+            n_cpus,
+            dispatch: Vec::new(),
+        }
+    }
+
+    /// Number of processors.
+    pub fn n_cpus(&self) -> usize {
+        self.n_cpus
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> Seconds {
+        self.tick_count as Seconds * TICK
+    }
+
+    /// Number of elapsed ticks.
+    pub fn tick_count(&self) -> u64 {
+        self.tick_count
+    }
+
+    /// Spawns a process and returns its pid.
+    pub fn spawn(&mut self, spec: ProcessSpec) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.push(Process {
+            pid,
+            name: spec.name,
+            nice: spec.nice.min(19),
+            sys_fraction: spec.sys_fraction,
+            cpu_limit: spec.cpu_limit,
+            runnable: spec.runnable,
+            p_cpu: 0.0,
+            cpu_time: 0.0,
+            last_run_tick: self.tick_count,
+            spawned_at: self.now(),
+        });
+        pid
+    }
+
+    /// Kills a process, returning its final statistics if it was alive.
+    pub fn kill(&mut self, pid: Pid) -> Option<ProcessStats> {
+        let idx = self.procs.iter().position(|p| p.pid == pid)?;
+        let p = self.procs.swap_remove(idx);
+        Some(self.stats_of(&p))
+    }
+
+    fn stats_of(&self, p: &Process) -> ProcessStats {
+        ProcessStats {
+            pid: p.pid,
+            name: p.name.clone(),
+            cpu_time: p.cpu_time,
+            wall_time: self.now() - p.spawned_at,
+            nice: p.nice,
+        }
+    }
+
+    /// Marks a process runnable (`true`) or sleeping (`false`).
+    /// Returns `false` if the pid is not alive.
+    pub fn set_runnable(&mut self, pid: Pid, runnable: bool) -> bool {
+        match self.procs.iter_mut().find(|p| p.pid == pid) {
+            Some(p) => {
+                p.runnable = runnable;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the process exists (has neither exited nor been killed).
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.procs.iter().any(|p| p.pid == pid)
+    }
+
+    /// CPU time consumed so far by a live process.
+    pub fn cpu_time(&self, pid: Pid) -> Option<Seconds> {
+        self.procs.iter().find(|p| p.pid == pid).map(|p| p.cpu_time)
+    }
+
+    /// Number of live processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Instantaneous run-queue length (runnable processes, all priorities —
+    /// Unix counts `nice` jobs too, which is central to the conundrum
+    /// pathology).
+    pub fn runnable_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.runnable).count()
+    }
+
+    /// The kernel's load averages.
+    pub fn load_average(&self) -> &LoadAverage {
+        &self.loadavg
+    }
+
+    /// Cumulative user/sys/idle accounting.
+    pub fn accounting(&self) -> Accounting {
+        self.accounting
+    }
+
+    /// Sets the per-tick probability that interrupt handling consumes the
+    /// quantum (system time not attributable to any process). Models the
+    /// network-gateway behaviour discussed under Eq. 2 in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1)`.
+    pub fn set_interrupt_probability(&mut self, p: f64) {
+        assert!((0.0..1.0).contains(&p), "interrupt probability in [0,1)");
+        self.interrupt_prob = p;
+    }
+
+    /// Drains the list of processes that hit their CPU limit and exited.
+    pub fn drain_completed(&mut self) -> Vec<ProcessStats> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Removes and returns the completion record of one specific process,
+    /// leaving other completions for their owners.
+    pub fn remove_completed(&mut self, pid: Pid) -> Option<ProcessStats> {
+        let idx = self.completed.iter().position(|s| s.pid == pid)?;
+        Some(self.completed.swap_remove(idx))
+    }
+
+    /// A `ps`-style listing of every live process, ordered by pid.
+    pub fn process_table(&self) -> Vec<ProcessView> {
+        let now = self.now();
+        let mut table: Vec<ProcessView> = self
+            .procs
+            .iter()
+            .map(|p| ProcessView {
+                pid: p.pid,
+                name: p.name.clone(),
+                nice: p.nice,
+                runnable: p.runnable,
+                p_cpu: p.p_cpu,
+                priority: p.priority(),
+                cpu_time: p.cpu_time,
+                age: now - p.spawned_at,
+            })
+            .collect();
+        table.sort_by_key(|v| v.pid);
+        table
+    }
+
+    /// Advances the simulation by exactly one quantum.
+    pub fn tick(&mut self) {
+        // 5-second kernel load sampling, offset by 2.5 s from whole-second
+        // boundaries so that sensor-driven activity that is phase-locked to
+        // 10-second measurement slots (the NWS probe, test processes) is
+        // sampled in proportion to its true occupancy rather than aliased.
+        if self.tick_count % (TICKS_PER_SECOND * 5) == TICKS_PER_SECOND * 5 / 2 {
+            let n = self.runnable_count();
+            self.loadavg.sample(n);
+        }
+        // Once-per-second p_cpu decay (the digital filter of 4.3BSD).
+        if self.tick_count.is_multiple_of(TICKS_PER_SECOND) {
+            let load = self.loadavg.one_minute();
+            let decay = (2.0 * load) / (2.0 * load + 1.0);
+            for p in &mut self.procs {
+                p.p_cpu = p.p_cpu * decay + p.nice as f64;
+            }
+        }
+        // Interrupt work may consume one CPU's quantum.
+        let mut cpus_free = self.n_cpus;
+        if self.interrupt_prob > 0.0 && self.rng.chance(self.interrupt_prob) {
+            self.accounting.sys += TICK;
+            cpus_free -= 1;
+        }
+        // Build this tick's dispatch set: anti-starvation first, then by
+        // priority. A runnable process that has not run for
+        // STARVATION_TICKS is dispatched regardless of priority (the
+        // Solaris TS `ts_maxwait` kicker; 4.3BSD achieves the same through
+        // event-priority boosts). This is why a `nice +19` soaker still
+        // obtains a sliver of CPU under full-priority load — and why the
+        // paper's test process observes ~85-90% (not 100%) availability on
+        // conundrum.
+        let now_tick = self.tick_count;
+        let mut dispatch = std::mem::take(&mut self.dispatch);
+        dispatch.clear();
+        dispatch.extend(
+            self.procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.runnable)
+                .map(|(i, _)| i),
+        );
+        dispatch.sort_by(|&a, &b| {
+            let pa = &self.procs[a];
+            let pb = &self.procs[b];
+            let sa = now_tick - pa.last_run_tick >= STARVATION_TICKS;
+            let sb = now_tick - pb.last_run_tick >= STARVATION_TICKS;
+            // Starved first (longest wait first), then smallest priority,
+            // round-robin tiebreak via least-recently-run.
+            sb.cmp(&sa).then_with(|| {
+                (pa.priority(), pa.last_run_tick)
+                    .partial_cmp(&(pb.priority(), pb.last_run_tick))
+                    .expect("priorities are finite")
+            })
+        });
+        dispatch.truncate(cpus_free);
+        let ran = dispatch.len();
+        let mut finished: Vec<usize> = Vec::new();
+        for &idx in &dispatch {
+            let p = &mut self.procs[idx];
+            p.cpu_time += TICK;
+            p.p_cpu += PCPU_PER_TICK;
+            p.last_run_tick = self.tick_count;
+            self.accounting.user += TICK * (1.0 - p.sys_fraction);
+            self.accounting.sys += TICK * p.sys_fraction;
+            if matches!(p.cpu_limit, Some(limit) if p.cpu_time >= limit - 1e-9) {
+                finished.push(idx);
+            }
+        }
+        self.accounting.idle += TICK * (cpus_free - ran) as f64;
+        // Reap finished processes (highest index first: swap_remove-safe).
+        finished.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in finished {
+            let proc_rec = self.procs.swap_remove(idx);
+            let stats = self.stats_of_after_tick(&proc_rec);
+            self.completed.push(stats);
+        }
+        self.dispatch = dispatch;
+        self.tick_count += 1;
+    }
+
+    /// Stats for a process reaped inside the current tick (the quantum it
+    /// just consumed counts toward its wall time).
+    fn stats_of_after_tick(&self, p: &Process) -> ProcessStats {
+        ProcessStats {
+            pid: p.pid,
+            name: p.name.clone(),
+            cpu_time: p.cpu_time,
+            wall_time: (self.tick_count + 1) as Seconds * TICK - p.spawned_at,
+            nice: p.nice,
+        }
+    }
+
+    /// Advances by `n` ticks.
+    pub fn run_ticks(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticks(seconds: f64) -> u64 {
+        (seconds / TICK).round() as u64
+    }
+
+    #[test]
+    fn idle_kernel_accumulates_idle_time() {
+        let mut k = Kernel::new(1);
+        k.run_ticks(ticks(10.0));
+        let a = k.accounting();
+        assert!((a.idle - 10.0).abs() < 1e-9);
+        assert_eq!(a.user, 0.0);
+        assert!((k.now() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cpu_bound_process_gets_all_cpu() {
+        let mut k = Kernel::new(1);
+        let pid = k.spawn(ProcessSpec::cpu_bound("hog"));
+        k.run_ticks(ticks(10.0));
+        assert!((k.cpu_time(pid).unwrap() - 10.0).abs() < 1e-9);
+        assert!((k.accounting().user - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_equal_processes_share_fairly() {
+        let mut k = Kernel::new(1);
+        let a = k.spawn(ProcessSpec::cpu_bound("a"));
+        let b = k.spawn(ProcessSpec::cpu_bound("b"));
+        k.run_ticks(ticks(60.0));
+        let ta = k.cpu_time(a).unwrap();
+        let tb = k.cpu_time(b).unwrap();
+        assert!((ta + tb - 60.0).abs() < 1e-6);
+        assert!((ta - tb).abs() < 2.0, "ta={ta}, tb={tb}");
+    }
+
+    #[test]
+    fn nice_process_yields_to_full_priority() {
+        let mut k = Kernel::new(1);
+        let soaker = k.spawn(ProcessSpec::cpu_bound("soaker").with_nice(19));
+        // Let the soaker run (and accumulate load) for a while.
+        k.run_ticks(ticks(120.0));
+        let before = k.cpu_time(soaker).unwrap();
+        // A full-priority job arrives: it gets nearly all CPU; the soaker
+        // keeps only its anti-starvation sliver (~1 tick per second).
+        let fg = k.spawn(ProcessSpec::cpu_bound("fg"));
+        k.run_ticks(ticks(10.0));
+        let fg_time = k.cpu_time(fg).unwrap();
+        let soaker_gain = k.cpu_time(soaker).unwrap() - before;
+        assert!(fg_time > 8.5, "fg only got {fg_time}s of 10");
+        assert!(soaker_gain < 1.5, "soaker stole {soaker_gain}s");
+        assert!(
+            soaker_gain > 0.3,
+            "anti-starvation aging should grant the soaker a sliver, got {soaker_gain}s"
+        );
+    }
+
+    #[test]
+    fn long_running_job_is_preempted_by_fresh_process() {
+        // The kongo mechanism: the resident hog's p_cpu is high, so a fresh
+        // short probe wins the CPU almost exclusively.
+        let mut k = Kernel::new(1);
+        let hog = k.spawn(ProcessSpec::cpu_bound("resident"));
+        k.run_ticks(ticks(600.0));
+        let hog_before = k.cpu_time(hog).unwrap();
+        let probe = k.spawn(ProcessSpec::cpu_bound("probe").with_cpu_limit(1.5));
+        let start = k.now();
+        // Run until the probe exits.
+        while k.is_alive(probe) && k.now() - start < 10.0 {
+            k.tick();
+        }
+        let elapsed = k.now() - start;
+        // The fresh probe runs at ~full speed: 1.5s of CPU in ~1.5-2s wall.
+        assert!(elapsed < 2.5, "probe took {elapsed}s wall for 1.5s CPU");
+        let hog_gain = k.cpu_time(hog).unwrap() - hog_before;
+        assert!(hog_gain <= elapsed - 1.5 + 0.2, "hog gained {hog_gain}");
+    }
+
+    #[test]
+    fn ten_second_test_process_shares_with_resident_job() {
+        // …but a 10s test process cannot stay ahead: its own p_cpu catches
+        // up and it ends up sharing. Occupancy lands strictly between the
+        // probe's (~1.0) and the fair share (~0.5).
+        let mut k = Kernel::new(1);
+        let _hog = k.spawn(ProcessSpec::cpu_bound("resident"));
+        k.run_ticks(ticks(600.0));
+        let test = k.spawn(ProcessSpec::cpu_bound("test").with_cpu_limit(10.0));
+        let start = k.now();
+        while k.is_alive(test) && k.now() - start < 60.0 {
+            k.tick();
+        }
+        let stats = k
+            .drain_completed()
+            .into_iter()
+            .find(|s| s.name == "test")
+            .expect("test process completed");
+        let occ = stats.cpu_time / (k.now() - start);
+        assert!(occ > 0.52 && occ < 0.95, "test occupancy = {occ}");
+    }
+
+    #[test]
+    fn load_average_tracks_run_queue() {
+        let mut k = Kernel::new(1);
+        let _a = k.spawn(ProcessSpec::cpu_bound("a"));
+        let _b = k.spawn(ProcessSpec::cpu_bound("b"));
+        k.run_ticks(ticks(900.0));
+        assert!((k.load_average().one_minute() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn cpu_limit_reaps_process_and_reports_stats() {
+        let mut k = Kernel::new(1);
+        let pid = k.spawn(ProcessSpec::cpu_bound("batch").with_cpu_limit(2.0));
+        k.run_ticks(ticks(5.0));
+        assert!(!k.is_alive(pid));
+        let done = k.drain_completed();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].cpu_time - 2.0).abs() < TICK);
+        assert!((done[0].occupancy() - 1.0).abs() < 0.06);
+        // Remaining time was idle.
+        assert!((k.accounting().idle - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn sys_fraction_accounting() {
+        let mut k = Kernel::new(1);
+        let _p = k.spawn(ProcessSpec::cpu_bound("syscalls").with_sys_fraction(0.25));
+        k.run_ticks(ticks(40.0));
+        let a = k.accounting();
+        assert!((a.user - 30.0).abs() < 1e-6);
+        assert!((a.sys - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interrupt_load_is_system_time_nobody_owns() {
+        let mut k = Kernel::new(7);
+        k.set_interrupt_probability(0.5);
+        let pid = k.spawn(ProcessSpec::cpu_bound("victim"));
+        k.run_ticks(ticks(100.0));
+        let a = k.accounting();
+        // About half the quanta were stolen by interrupts.
+        assert!((a.sys / 100.0 - 0.5).abs() < 0.1, "sys = {}", a.sys);
+        // The victim got the rest.
+        assert!((k.cpu_time(pid).unwrap() - a.user).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sleeping_processes_do_not_run_or_count() {
+        let mut k = Kernel::new(1);
+        let pid = k.spawn(ProcessSpec::cpu_bound("sleeper").sleeping());
+        k.run_ticks(ticks(10.0));
+        assert_eq!(k.cpu_time(pid), Some(0.0));
+        assert_eq!(k.runnable_count(), 0);
+        k.set_runnable(pid, true);
+        assert_eq!(k.runnable_count(), 1);
+        k.run_ticks(ticks(1.0));
+        assert!(k.cpu_time(pid).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn kill_returns_stats_once() {
+        let mut k = Kernel::new(1);
+        let pid = k.spawn(ProcessSpec::cpu_bound("x"));
+        k.run_ticks(ticks(3.0));
+        let stats = k.kill(pid).unwrap();
+        assert!((stats.cpu_time - 3.0).abs() < 1e-9);
+        assert!((stats.wall_time - 3.0).abs() < 1e-9);
+        assert!(k.kill(pid).is_none());
+        assert!(!k.is_alive(pid));
+    }
+
+    #[test]
+    fn accounting_totals_equal_elapsed_time() {
+        let mut k = Kernel::new(3);
+        k.set_interrupt_probability(0.1);
+        let _a = k.spawn(ProcessSpec::cpu_bound("a").with_sys_fraction(0.2));
+        let b = k.spawn(ProcessSpec::cpu_bound("b").sleeping());
+        k.run_ticks(ticks(30.0));
+        k.set_runnable(b, true);
+        k.run_ticks(ticks(30.0));
+        let a = k.accounting();
+        assert!((a.total() - 60.0).abs() < 1e-6, "total = {}", a.total());
+    }
+
+    #[test]
+    fn smp_runs_processes_in_parallel() {
+        let mut k = Kernel::with_cpus(1, 4);
+        assert_eq!(k.n_cpus(), 4);
+        let pids: Vec<_> = (0..3)
+            .map(|i| k.spawn(ProcessSpec::cpu_bound(format!("p{i}"))))
+            .collect();
+        k.run_ticks(ticks(10.0));
+        // Three CPU-bound processes on four CPUs: everyone runs full speed.
+        for pid in &pids {
+            assert!((k.cpu_time(*pid).unwrap() - 10.0).abs() < 1e-9);
+        }
+        let a = k.accounting();
+        assert!((a.user - 30.0).abs() < 1e-6);
+        assert!((a.idle - 10.0).abs() < 1e-6); // the fourth CPU idled
+        assert!((a.total() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smp_oversubscription_shares_fairly() {
+        let mut k = Kernel::with_cpus(1, 2);
+        let pids: Vec<_> = (0..4)
+            .map(|i| k.spawn(ProcessSpec::cpu_bound(format!("p{i}"))))
+            .collect();
+        k.run_ticks(ticks(300.0));
+        // 4 processes on 2 CPUs: each gets ~half of the 300 s.
+        for pid in &pids {
+            let t = k.cpu_time(*pid).unwrap();
+            assert!((t - 150.0).abs() < 10.0, "cpu_time = {t}");
+        }
+        // Load average counts the whole run queue, not per-CPU.
+        assert!((k.load_average().one_minute() - 4.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn smp_accounting_totals_scale_with_cpus() {
+        let mut k = Kernel::with_cpus(5, 3);
+        k.set_interrupt_probability(0.2);
+        let _p = k.spawn(ProcessSpec::cpu_bound("x"));
+        k.run_ticks(ticks(20.0));
+        let a = k.accounting();
+        assert!((a.total() - 60.0).abs() < 1e-6, "total = {}", a.total());
+    }
+
+    #[test]
+    fn smp_fresh_process_on_a_busy_box_finds_a_free_cpu() {
+        let mut k = Kernel::with_cpus(7, 2);
+        let _resident = k.spawn(ProcessSpec::cpu_bound("resident"));
+        k.run_ticks(ticks(300.0));
+        let test = k.spawn(ProcessSpec::cpu_bound("test"));
+        k.run_ticks(ticks(10.0));
+        // One resident job, two CPUs: the newcomer runs unimpeded.
+        assert!((k.cpu_time(test).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_panics() {
+        Kernel::with_cpus(1, 0);
+    }
+
+    #[test]
+    fn process_table_reflects_scheduler_state() {
+        let mut k = Kernel::new(1);
+        let hog = k.spawn(ProcessSpec::cpu_bound("hog"));
+        let idle = k.spawn(ProcessSpec::cpu_bound("idle").sleeping().with_nice(19));
+        k.run_ticks(ticks(30.0));
+        let table = k.process_table();
+        assert_eq!(table.len(), 2);
+        let hog_row = table.iter().find(|v| v.pid == hog).expect("listed");
+        let idle_row = table.iter().find(|v| v.pid == idle).expect("listed");
+        assert!(hog_row.runnable && !idle_row.runnable);
+        assert!((hog_row.cpu_time - 30.0).abs() < 1e-9);
+        assert_eq!(idle_row.cpu_time, 0.0);
+        // The running hog's accumulated p_cpu puts its priority above the
+        // sleeping process's nice-laden but idle one? Both visible anyway:
+        assert!(hog_row.p_cpu > 0.0);
+        assert!(hog_row.priority > crate::PUSER);
+        assert!((hog_row.age - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_clamps_degenerate_wall_time() {
+        let s = ProcessStats {
+            pid: Pid(1),
+            name: "z".into(),
+            cpu_time: 1.0,
+            wall_time: 0.0,
+            nice: 0,
+        };
+        assert_eq!(s.occupancy(), 0.0);
+    }
+}

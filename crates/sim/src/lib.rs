@@ -1,0 +1,74 @@
+//! A discrete-time, time-shared Unix host simulator.
+//!
+//! The paper measures CPU availability on six production Unix machines at
+//! UCSD in August 1998. We do not have those machines, so this crate builds
+//! the closest mechanistic substitute: a simulator of a single-CPU Unix host
+//! running a **4.3BSD-style decay-priority scheduler**, the scheduler family
+//! all of the paper's observations are about.
+//!
+//! The fidelity requirements come straight from Section 2 of the paper:
+//!
+//! - **Load average** must be an exponentially smoothed 5-second sampling of
+//!   run-queue length (so the `uptime` sensor sees the same smoothing lag a
+//!   real kernel imposes).
+//! - **`nice` processes** must occupy the run queue (inflating load average
+//!   and vmstat occupancy) while being instantly preempted by full-priority
+//!   work — this produces the *conundrum* pathology, where load average and
+//!   vmstat report ~33 % error but the probe-based hybrid sensor is right.
+//! - **Long-running full-priority processes** must suffer priority decay
+//!   (`p_cpu` accumulation), so that a short, fresh probe preempts them and
+//!   overestimates availability while a 10-second test process ends up
+//!   time-sharing — the *kongo* pathology, where the hybrid errs by ~41 %.
+//! - **user/sys/idle accounting** must be tick-accurate so the `vmstat`
+//!   sensor (Eq. 2) sees realistic occupancy fractions, including kernel
+//!   interrupt (system) time that is not attributable to any process.
+//!
+//! The simulation advances in fixed 100 ms scheduling quanta ([`TICK`]).
+//! Workload generators ([`workload`]) spawn and control processes; the six
+//! UCSD host profiles are in [`profiles`].
+
+pub mod host;
+pub mod kernel;
+pub mod loadavg;
+pub mod process;
+pub mod profiles;
+pub mod trace;
+pub mod workload;
+
+pub use host::Host;
+pub use kernel::{Accounting, Kernel, ProcessStats, ProcessView};
+pub use loadavg::LoadAverage;
+pub use process::{Pid, ProcessSpec};
+pub use profiles::{ucsd_hosts, HostProfile, UCSD_HOST_NAMES};
+pub use trace::{record_load_trace, LoadTrace, TraceReplay};
+pub use workload::{
+    BatchArrivals, Diurnal, FgnLoad, GatewayInterrupts, InteractiveSessions, LongRunningHog,
+    NiceSoaker, Workload,
+};
+
+/// Seconds (simulation time).
+pub type Seconds = f64;
+
+/// One scheduling quantum: 100 ms, the classical Unix time slice.
+pub const TICK: Seconds = 0.1;
+
+/// Ticks per second.
+pub const TICKS_PER_SECOND: u64 = 10;
+
+/// `p_cpu` increment per tick of CPU consumed.
+///
+/// 4.3BSD increments `p_cpu` once per 10 ms clock interrupt; one 100 ms
+/// quantum therefore adds 10.
+pub const PCPU_PER_TICK: f64 = 10.0;
+
+/// The base user-mode priority (`PUSER` in 4.3BSD).
+pub const PUSER: f64 = 50.0;
+
+/// Kernel load-average sampling period (seconds), as in 4.3BSD.
+pub const LOAD_SAMPLE_PERIOD: Seconds = 5.0;
+
+/// Anti-starvation limit in ticks: a runnable process that has waited this
+/// long runs regardless of priority (Solaris TS `ts_maxwait`-style aging).
+/// At 10 ticks (one second) a fully starved `nice +19` process obtains
+/// roughly a 9 % CPU share under saturating full-priority load.
+pub const STARVATION_TICKS: u64 = 10;

@@ -1,0 +1,163 @@
+//! Simulated processes and their scheduling state.
+
+use crate::Seconds;
+
+/// Process identifier, unique within one simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u64);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Specification for spawning a process.
+#[derive(Debug, Clone)]
+pub struct ProcessSpec {
+    /// Display name (for traces and debugging).
+    pub name: String,
+    /// `nice` value in `0..=19`. 0 is full priority, 19 is the classic
+    /// background-soaker priority that full-priority work always preempts.
+    pub nice: u8,
+    /// Fraction of consumed CPU charged as *system* time (syscalls, faults);
+    /// the remainder is charged as *user* time. Must be in `[0, 1]`.
+    pub sys_fraction: f64,
+    /// If set, the kernel terminates the process after it has consumed this
+    /// much CPU time (seconds). Used by batch jobs and probe/test processes.
+    pub cpu_limit: Option<Seconds>,
+    /// Whether the process starts runnable.
+    pub runnable: bool,
+}
+
+impl ProcessSpec {
+    /// A full-priority, always-runnable, CPU-bound process — the shape of
+    /// the NWS probe and the paper's test process.
+    pub fn cpu_bound(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nice: 0,
+            sys_fraction: 0.0,
+            cpu_limit: None,
+            runnable: true,
+        }
+    }
+
+    /// Sets the nice value (clamped to `0..=19`).
+    pub fn with_nice(mut self, nice: u8) -> Self {
+        self.nice = nice.min(19);
+        self
+    }
+
+    /// Sets the system-time fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f` is in `[0, 1]`.
+    pub fn with_sys_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "sys fraction must be in [0,1]");
+        self.sys_fraction = f;
+        self
+    }
+
+    /// Sets a CPU-time limit after which the kernel reaps the process.
+    pub fn with_cpu_limit(mut self, limit: Seconds) -> Self {
+        assert!(limit > 0.0, "cpu limit must be positive");
+        self.cpu_limit = Some(limit);
+        self
+    }
+
+    /// Starts the process in the sleeping state.
+    pub fn sleeping(mut self) -> Self {
+        self.runnable = false;
+        self
+    }
+}
+
+/// Kernel-side process record.
+#[derive(Debug, Clone)]
+pub(crate) struct Process {
+    pub(crate) pid: Pid,
+    pub(crate) name: String,
+    pub(crate) nice: u8,
+    pub(crate) sys_fraction: f64,
+    pub(crate) cpu_limit: Option<Seconds>,
+    pub(crate) runnable: bool,
+    /// 4.3BSD `p_cpu`: recent CPU consumption estimate, incremented while
+    /// running and decayed once per second as a function of load average.
+    pub(crate) p_cpu: f64,
+    /// Total CPU time consumed (seconds).
+    pub(crate) cpu_time: Seconds,
+    /// Tick index at which the process last ran (round-robin tiebreak).
+    pub(crate) last_run_tick: u64,
+    /// Simulation time at which the process was spawned.
+    pub(crate) spawned_at: Seconds,
+}
+
+impl Process {
+    /// The 4.3BSD user priority: `PUSER + p_cpu/4 + 2·nice`.
+    /// Smaller is better (runs first).
+    pub(crate) fn priority(&self) -> f64 {
+        crate::PUSER + self.p_cpu / 4.0 + 2.0 * self.nice as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_defaults() {
+        let spec = ProcessSpec::cpu_bound("probe");
+        assert_eq!(spec.nice, 0);
+        assert_eq!(spec.sys_fraction, 0.0);
+        assert!(spec.runnable);
+        assert!(spec.cpu_limit.is_none());
+    }
+
+    #[test]
+    fn nice_is_clamped() {
+        assert_eq!(ProcessSpec::cpu_bound("x").with_nice(40).nice, 19);
+        assert_eq!(ProcessSpec::cpu_bound("x").with_nice(19).nice, 19);
+    }
+
+    #[test]
+    fn priority_ordering() {
+        let fresh = Process {
+            pid: Pid(1),
+            name: "fresh".into(),
+            nice: 0,
+            sys_fraction: 0.0,
+            cpu_limit: None,
+            runnable: true,
+            p_cpu: 0.0,
+            cpu_time: 0.0,
+            last_run_tick: 0,
+            spawned_at: 0.0,
+        };
+        let mut tired = fresh.clone();
+        tired.p_cpu = 200.0;
+        let mut nice = fresh.clone();
+        nice.nice = 19;
+        // Fresh full-priority beats a long-running job and a nice job.
+        assert!(fresh.priority() < tired.priority());
+        assert!(fresh.priority() < nice.priority());
+        // A decayed full-priority job still beats an idle nice +19 job
+        // until p_cpu exceeds 152 (50 + p/4 vs 50 + 38).
+        let mut slightly_tired = fresh.clone();
+        slightly_tired.p_cpu = 100.0;
+        assert!(slightly_tired.priority() < nice.priority());
+    }
+
+    #[test]
+    #[should_panic(expected = "sys fraction")]
+    fn bad_sys_fraction_panics() {
+        ProcessSpec::cpu_bound("x").with_sys_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu limit")]
+    fn bad_cpu_limit_panics() {
+        ProcessSpec::cpu_bound("x").with_cpu_limit(0.0);
+    }
+}

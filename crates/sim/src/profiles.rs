@@ -1,0 +1,323 @@
+//! Workload profiles for the six UCSD hosts of the paper.
+//!
+//! "The hosts thing1, thing2, and conundrum are interactive workstations
+//! used for research by graduate students, while beowulf, gremlin, and
+//! kongo are general departmental servers available to faculty and
+//! students." Each profile below synthesizes the load pattern the paper
+//! attributes to its host; the two priority pathologies (conundrum's
+//! `nice +19` soaker, kongo's long-running full-priority job) are modeled
+//! mechanistically so the sensor errors *emerge* from scheduler behaviour.
+
+use crate::host::Host;
+use crate::workload::{
+    BatchArrivals, BatchConfig, Diurnal, GatewayInterrupts, InteractiveSessions, LongRunningHog,
+    NiceSoaker, SessionConfig,
+};
+use nws_stats::Pareto;
+
+/// The six hosts of Tables 1–6, in the paper's row order.
+pub const UCSD_HOST_NAMES: [&str; 6] = [
+    "thing2",
+    "thing1",
+    "conundrum",
+    "beowulf",
+    "gremlin",
+    "kongo",
+];
+
+/// A named host workload profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostProfile {
+    /// Busy interactive graduate-student workstation.
+    Thing2,
+    /// Moderately loaded interactive workstation.
+    Thing1,
+    /// Workstation with a `nice +19` background cycle-soaker.
+    Conundrum,
+    /// Departmental compute server: batch jobs + gateway interrupt load.
+    Beowulf,
+    /// Lightly loaded departmental server.
+    Gremlin,
+    /// Server running a long-lived full-priority CPU-bound job.
+    Kongo,
+}
+
+impl HostProfile {
+    /// The profile's canonical host name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HostProfile::Thing2 => "thing2",
+            HostProfile::Thing1 => "thing1",
+            HostProfile::Conundrum => "conundrum",
+            HostProfile::Beowulf => "beowulf",
+            HostProfile::Gremlin => "gremlin",
+            HostProfile::Kongo => "kongo",
+        }
+    }
+
+    /// Looks a profile up by host name (case-sensitive).
+    pub fn by_name(name: &str) -> Option<HostProfile> {
+        Some(match name {
+            "thing2" => HostProfile::Thing2,
+            "thing1" => HostProfile::Thing1,
+            "conundrum" => HostProfile::Conundrum,
+            "beowulf" => HostProfile::Beowulf,
+            "gremlin" => HostProfile::Gremlin,
+            "kongo" => HostProfile::Kongo,
+            _ => return None,
+        })
+    }
+
+    /// All six profiles in the paper's row order.
+    pub fn all() -> [HostProfile; 6] {
+        [
+            HostProfile::Thing2,
+            HostProfile::Thing1,
+            HostProfile::Conundrum,
+            HostProfile::Beowulf,
+            HostProfile::Gremlin,
+            HostProfile::Kongo,
+        ]
+    }
+
+    /// Builds the host with its workload attached. `seed` controls every
+    /// stochastic choice; the same `(profile, seed)` pair reproduces the
+    /// same trace bit-for-bit.
+    pub fn build(&self, seed: u64) -> Host {
+        let mut host = Host::new(self.name(), seed);
+        // Interactive load is modeled as sessions whose active phases last
+        // minutes (so the 1-minute load average is a meaningful predictor)
+        // but whose CPU consumption inside a phase is interleaved with I/O
+        // at the sub-second scale (duty ~0.3, 0.4 s micro-slices) — real
+        // editors, compiles and simulations, not synthetic spin loops.
+        let session = |arrival_mean: f64, bursts: f64, max: usize, duty: f64| SessionConfig {
+            arrival_mean,
+            // Tail index α = 1.8: a superposition of these on/off phases has
+            // implied Hurst (3 − α)/2 = 0.6; load-average smoothing and the
+            // small-sample bias of R/S land the measured estimates near the
+            // paper's 0.7.
+            burst: Pareto::new(1.8, 120.0).with_cap(7200.0), // mean ≈ 4.5 min
+            think: Pareto::new(1.8, 240.0).with_cap(10800.0), // mean ≈ 9 min
+            bursts_per_session: bursts,
+            sys_fraction: 0.15,
+            max_concurrent: max,
+            duty,
+            micro_on_mean: 1.0,
+            // Grad-student diurnal rhythm: the paper's traces run noon to
+            // noon with visible day/night structure (Figure 1).
+            diurnal: Some(Diurnal::working_day(0.5)),
+        };
+        // Background daemon churn common to every Unix host: frequent,
+        // tiny, full-priority jobs (cron, mail delivery, shell commands).
+        // This fast, memoryless component is what keeps the measured Hurst
+        // parameter in the paper's 0.7–0.8 band instead of saturating — the
+        // availability series mixes slow session persistence with fast
+        // daemon noise, exactly the "short-term self-similarity" structure
+        // the paper cites from Gribble et al.
+        {
+            let rng = host.fork_rng("daemons");
+            host.add_workload(Box::new(BatchArrivals::new(
+                format!("{}-daemons", self.name()),
+                BatchConfig {
+                    arrival_mean: 120.0,
+                    demand: Pareto::new(1.5, 0.4).with_cap(5.0),
+                    nice: 0,
+                    sys_fraction: 0.4,
+                    max_concurrent: 3,
+                    duty: 1.0,
+                    micro_on_mean: 0.4,
+                },
+                rng,
+            )));
+        }
+        match self {
+            HostProfile::Thing2 => {
+                // Busy workstation: many concurrent sessions.
+                let rng = host.fork_rng("sessions");
+                host.add_workload(Box::new(InteractiveSessions::new(
+                    "thing2-users",
+                    session(600.0, 8.0, 12, 0.32),
+                    rng,
+                )));
+            }
+            HostProfile::Thing1 => {
+                // Moderate workstation.
+                let rng = host.fork_rng("sessions");
+                host.add_workload(Box::new(InteractiveSessions::new(
+                    "thing1-users",
+                    session(1450.0, 8.0, 8, 0.25),
+                    rng,
+                )));
+            }
+            HostProfile::Conundrum => {
+                // The nice +19 soaker, plus sparse real use.
+                let rng = host.fork_rng("soaker");
+                host.add_workload(Box::new(NiceSoaker::new("conundrum-bg", 600.0, 0.0, rng)));
+                let rng = host.fork_rng("sessions");
+                host.add_workload(Box::new(InteractiveSessions::new(
+                    "conundrum-users",
+                    session(10800.0, 8.0, 3, 0.25),
+                    rng,
+                )));
+            }
+            HostProfile::Beowulf => {
+                // Compute server: batch jobs, moderate sessions, NFS/gateway
+                // interrupt load.
+                let rng = host.fork_rng("batch");
+                host.add_workload(Box::new(BatchArrivals::new(
+                    "beowulf-batch",
+                    BatchConfig {
+                        arrival_mean: 1200.0,
+                        demand: Pareto::new(1.3, 60.0).with_cap(2400.0),
+                        nice: 0,
+                        sys_fraction: 0.08,
+                        max_concurrent: 3,
+                        duty: 0.4,
+                        micro_on_mean: 0.5,
+                    },
+                    rng,
+                )));
+                let rng = host.fork_rng("sessions");
+                host.add_workload(Box::new(InteractiveSessions::new(
+                    "beowulf-users",
+                    session(2600.0, 8.0, 6, 0.25),
+                    rng,
+                )));
+                let rng = host.fork_rng("gateway");
+                host.add_workload(Box::new(GatewayInterrupts::new(
+                    "beowulf-gw",
+                    0.01,
+                    0.06,
+                    300.0,
+                    rng,
+                )));
+            }
+            HostProfile::Gremlin => {
+                // Lightly loaded server.
+                let rng = host.fork_rng("sessions");
+                host.add_workload(Box::new(InteractiveSessions::new(
+                    "gremlin-users",
+                    session(5200.0, 8.0, 5, 0.2),
+                    rng,
+                )));
+                let rng = host.fork_rng("batch");
+                host.add_workload(Box::new(BatchArrivals::new(
+                    "gremlin-batch",
+                    BatchConfig {
+                        arrival_mean: 5400.0,
+                        demand: Pareto::new(1.4, 30.0).with_cap(900.0),
+                        nice: 0,
+                        sys_fraction: 0.05,
+                        max_concurrent: 2,
+                        duty: 0.4,
+                        micro_on_mean: 0.5,
+                    },
+                    rng,
+                )));
+            }
+            HostProfile::Kongo => {
+                // The resident long-running full-priority job, plus sparse
+                // interactive use.
+                host.add_workload(Box::new(LongRunningHog::new("kongo-res", 0.0, 0.05)));
+                let rng = host.fork_rng("sessions");
+                host.add_workload(Box::new(InteractiveSessions::new(
+                    "kongo-users",
+                    session(3000.0, 8.0, 3, 0.25),
+                    rng,
+                )));
+            }
+        }
+        host
+    }
+}
+
+/// Builds all six UCSD hosts with per-host seeds derived from `base_seed`.
+pub fn ucsd_hosts(base_seed: u64) -> Vec<Host> {
+    HostProfile::all()
+        .iter()
+        .map(|p| {
+            // Per-host seed: FNV-1a of the name, xor'd with the base.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in p.name().as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            p.build(h ^ base_seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in HostProfile::all() {
+            assert_eq!(HostProfile::by_name(p.name()), Some(p));
+        }
+        assert_eq!(HostProfile::by_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn row_order_matches_paper() {
+        let names: Vec<&str> = HostProfile::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names, UCSD_HOST_NAMES.to_vec());
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let mut a = HostProfile::Thing1.build(99);
+        let mut b = HostProfile::Thing1.build(99);
+        a.advance(1800.0);
+        b.advance(1800.0);
+        assert_eq!(a.accounting(), b.accounting());
+        assert_eq!(a.load_average().one_minute(), b.load_average().one_minute());
+    }
+
+    #[test]
+    fn seeds_differentiate_traces() {
+        let mut a = HostProfile::Thing2.build(1);
+        let mut b = HostProfile::Thing2.build(2);
+        a.advance(3600.0);
+        b.advance(3600.0);
+        assert_ne!(a.accounting(), b.accounting());
+    }
+
+    #[test]
+    fn kongo_is_saturated_conundrum_is_nice_loaded() {
+        let probe_mean = |host: &mut crate::host::Host| {
+            let mut acc = 0.0;
+            for _ in 0..5 {
+                acc += host.run_cpu_limited_probe("probe", 1.5, 8.0);
+                host.advance(60.0);
+            }
+            acc / 5.0
+        };
+        let mut kongo = HostProfile::Kongo.build(7);
+        kongo.advance(1800.0);
+        assert!(kongo.load_average().one_minute() > 0.9);
+        // The probe still sees a mostly-available CPU (priority decay of
+        // the resident job); individual probes can be disturbed by daemon
+        // churn, so average a handful.
+        // Far above the ~0.5 fair share the load average implies (the
+        // anti-starvation sliver and session churn cost the probe a bit).
+        let occ = probe_mean(&mut kongo);
+        assert!(occ > 0.65, "kongo probe = {occ}");
+
+        let mut con = HostProfile::Conundrum.build(7);
+        con.advance(1800.0);
+        // The soaker is on (probe preempts it) or off (idle): both ways
+        // the probe sees freedom.
+        let occ = probe_mean(&mut con);
+        assert!(occ > 0.7, "conundrum probe = {occ}");
+    }
+
+    #[test]
+    fn ucsd_hosts_builds_all_six() {
+        let hosts = ucsd_hosts(42);
+        assert_eq!(hosts.len(), 6);
+        let names: Vec<&str> = hosts.iter().map(|h| h.name()).collect();
+        assert_eq!(names, UCSD_HOST_NAMES.to_vec());
+    }
+}

@@ -1,0 +1,113 @@
+//! Sample autocorrelation and autocovariance.
+//!
+//! Figure 2 of the paper plots the first 360 autocorrelations of the CPU
+//! availability series; the slow decay of that function is the paper's
+//! first evidence of long-range dependence. We use the standard biased
+//! estimator (normalizing by `n` rather than `n − lag`), which is the
+//! conventional choice for ACF plots because it guarantees a positive
+//! semi-definite autocovariance sequence.
+
+/// Sample autocovariance at lags `0..=max_lag` (biased estimator).
+///
+/// `gamma(k) = (1/n) Σ_{t=1}^{n-k} (x_t − mean)(x_{t+k} − mean)`.
+///
+/// Returns `None` if the series is empty or `max_lag >= n`.
+pub fn autocovariance(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    let n = values.len();
+    if n == 0 || max_lag >= n {
+        return None;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = values.iter().map(|&v| v - mean).collect();
+    let mut gamma = Vec::with_capacity(max_lag + 1);
+    for k in 0..=max_lag {
+        let mut acc = 0.0;
+        for t in 0..n - k {
+            acc += centered[t] * centered[t + k];
+        }
+        gamma.push(acc / n as f64);
+    }
+    Some(gamma)
+}
+
+/// Sample autocorrelation at lags `0..=max_lag`.
+///
+/// `rho(k) = gamma(k) / gamma(0)`, so `rho(0) == 1`. A constant series has
+/// zero variance and no defined autocorrelation; returns `None` in that
+/// case (and for the same degenerate inputs as [`autocovariance`]).
+pub fn autocorrelation(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    let gamma = autocovariance(values, max_lag)?;
+    let g0 = gamma[0];
+    if g0 <= 0.0 {
+        return None;
+    }
+    Some(gamma.iter().map(|&g| g / g0).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let v = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let rho = autocorrelation(&v, 2).unwrap();
+        assert!((rho[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocovariance_lag0_is_variance() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let gamma = autocovariance(&v, 0).unwrap();
+        assert!((gamma[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let v: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let rho = autocorrelation(&v, 3).unwrap();
+        assert!(rho[1] < -0.9, "rho1 = {}", rho[1]);
+        assert!(rho[2] > 0.9, "rho2 = {}", rho[2]);
+    }
+
+    #[test]
+    fn white_noise_acf_near_zero() {
+        let mut rng = Rng::new(21);
+        let v: Vec<f64> = (0..20_000).map(|_| rng.next_f64()).collect();
+        let rho = autocorrelation(&v, 20).unwrap();
+        for (k, &r) in rho.iter().enumerate().skip(1) {
+            // 95% band for white noise is ~1.96/sqrt(n) ≈ 0.014.
+            assert!(r.abs() < 0.05, "rho[{k}] = {r}");
+        }
+    }
+
+    #[test]
+    fn smooth_series_acf_decays_slowly() {
+        // A slowly varying series should stay highly correlated at small lags.
+        let v: Vec<f64> = (0..2000).map(|i| (i as f64 / 300.0).sin()).collect();
+        let rho = autocorrelation(&v, 10).unwrap();
+        assert!(rho[1] > 0.99);
+        assert!(rho[10] > 0.95);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[], 0).is_none());
+        assert!(autocorrelation(&[1.0, 2.0], 2).is_none()); // lag >= n
+        assert!(autocorrelation(&[3.0, 3.0, 3.0], 1).is_none()); // constant
+        assert!(autocovariance(&[3.0, 3.0], 1).is_some()); // covariance fine
+    }
+
+    #[test]
+    fn biased_estimator_is_psd_at_lag_n_minus_1() {
+        // With the biased estimator |rho(k)| <= 1 always holds.
+        let v = [1.0, -2.0, 3.0, -4.0, 5.0, -6.0];
+        let rho = autocorrelation(&v, 5).unwrap();
+        for &r in &rho {
+            assert!(r.abs() <= 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Sampling distributions for the workload models.
+//!
+//! The interactive-session workloads that drive the simulated UCSD hosts are
+//! built from **Pareto** on/off sources: superposing many heavy-tailed
+//! on/off processes yields aggregate load whose Hurst parameter is
+//! `H = (3 − α) / 2` (Willinger et al., the paper's reference \[28\]). That is
+//! exactly the mechanism by which the reproduction obtains the H ≈ 0.7
+//! self-similar availability traces of Section 3.1 without scripting them.
+
+use crate::rng::Rng;
+
+/// A sampleable distribution over `f64`.
+pub trait Distribution {
+    /// Draws one variate using `rng`.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The distribution mean, if finite.
+    fn mean(&self) -> Option<f64>;
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad bounds");
+        Self { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.lo + self.hi) / 2.0)
+    }
+}
+
+/// Exponential distribution with the given rate `λ` (mean `1/λ`).
+///
+/// Used for session inter-arrival times (Poisson arrivals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `λ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { rate }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Self::new(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.next_f64_open().ln() / self.rate
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.rate)
+    }
+}
+
+/// Pareto (type I) distribution: `P(X > x) = (x_m / x)^α` for `x ≥ x_m`.
+///
+/// With shape `1 < α < 2` the distribution has finite mean but infinite
+/// variance — the heavy-tail regime that produces long-range-dependent
+/// aggregate load. An optional `cap` truncates samples (real CPU bursts do
+/// not last for weeks; truncation keeps simulations finite while preserving
+/// the heavy tail over the horizon of interest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    shape: f64,
+    scale: f64,
+    cap: Option<f64>,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with shape `α` and scale `x_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "shape must be positive");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Self {
+            shape,
+            scale,
+            cap: None,
+        }
+    }
+
+    /// Truncates samples at `cap` (resampling is not used; values are
+    /// clamped, which preserves determinism and the tail shape below the
+    /// cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cap > scale`.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        assert!(cap > self.scale, "cap must exceed the scale");
+        self.cap = Some(cap);
+        self
+    }
+
+    /// The shape parameter `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The Hurst parameter `H = (3 − α) / 2` that an aggregate of on/off
+    /// sources with this tail index exhibits (valid for `1 < α < 2`).
+    pub fn implied_hurst(&self) -> f64 {
+        (3.0 - self.shape) / 2.0
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = rng.next_f64_open();
+        let x = self.scale / u.powf(1.0 / self.shape);
+        match self.cap {
+            Some(c) => x.min(c),
+            None => x,
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.shape > 1.0 && self.cap.is_none() {
+            Some(self.shape * self.scale / (self.shape - 1.0))
+        } else if let Some(c) = self.cap {
+            // Mean of the clamped variable: E[min(X, c)].
+            let a = self.shape;
+            let m = self.scale;
+            if (a - 1.0).abs() < 1e-12 {
+                Some(m * (1.0 + (c / m).ln()))
+            } else {
+                Some(m * a / (a - 1.0) - (m / c).powf(a) * c / (a - 1.0))
+            }
+        } else {
+            None
+        }
+    }
+}
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `std_dev` is finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "bad std_dev");
+        Self { mean, std_dev }
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mean + self.std_dev * rng.next_standard_normal()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+///
+/// Used for interactive think times, which are right-skewed but not
+/// heavy-tailed enough to warrant Pareto.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma` is finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "mu must be finite");
+        assert!(sigma.is_finite() && sigma >= 0.0, "bad sigma");
+        Self { mu, sigma }
+    }
+
+    /// Creates a log-normal with a given *distribution* mean and the given
+    /// sigma of the underlying normal.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        Self::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * rng.next_standard_normal()).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + self.sigma * self.sigma / 2.0).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &impl Distribution, seed: u64, n: usize) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(2.0, 4.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        assert!((sample_mean(&d, 2, 50_000) - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(5.0);
+        assert_eq!(d.mean(), Some(5.0));
+        assert!((sample_mean(&d, 3, 100_000) - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential::new(0.1);
+        let mut rng = Rng::new(4);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let d = Pareto::new(1.5, 2.0).with_cap(100.0);
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=100.0).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn pareto_tail_index_empirical() {
+        // P(X > x) = (xm/x)^a: check the survival at x = 2*xm is ~2^-a.
+        let a = 1.4;
+        let d = Pareto::new(a, 1.0);
+        let mut rng = Rng::new(6);
+        let n = 200_000;
+        let above = (0..n).filter(|_| d.sample(&mut rng) > 2.0).count();
+        let frac = above as f64 / n as f64;
+        let expect = 2f64.powf(-a);
+        assert!((frac - expect).abs() < 0.01, "frac={frac}, expect={expect}");
+    }
+
+    #[test]
+    fn pareto_mean_formulas() {
+        let d = Pareto::new(2.0, 3.0);
+        assert_eq!(d.mean(), Some(6.0));
+        // With an enormous cap the clamped mean approaches the unclamped one.
+        let capped = Pareto::new(2.0, 3.0).with_cap(1e9);
+        assert!((capped.mean().unwrap() - 6.0).abs() < 1e-6);
+        // Heavy-tail alpha <= 1 has no mean uncapped…
+        assert_eq!(Pareto::new(0.9, 1.0).mean(), None);
+        // …but a finite mean when capped.
+        assert!(Pareto::new(0.9, 1.0).with_cap(100.0).mean().is_some());
+    }
+
+    #[test]
+    fn pareto_capped_mean_matches_empirical() {
+        let d = Pareto::new(1.2, 1.0).with_cap(50.0);
+        let analytic = d.mean().unwrap();
+        let empirical = sample_mean(&d, 7, 400_000);
+        assert!(
+            (analytic - empirical).abs() / analytic < 0.02,
+            "analytic={analytic}, empirical={empirical}"
+        );
+    }
+
+    #[test]
+    fn implied_hurst() {
+        assert!((Pareto::new(1.6, 1.0).implied_hurst() - 0.7).abs() < 1e-12);
+        assert!((Pareto::new(1.4, 1.0).implied_hurst() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0);
+        let mut rng = Rng::new(8);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.03);
+        assert!((var - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lognormal_with_mean_hits_target() {
+        let d = LogNormal::with_mean(30.0, 1.0);
+        assert!((d.mean().unwrap() - 30.0).abs() < 1e-9);
+        let emp = sample_mean(&d, 9, 400_000);
+        assert!((emp - 30.0).abs() / 30.0 < 0.05, "emp = {emp}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::new(0.0, 2.0);
+        let mut rng = Rng::new(10);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_bad_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must exceed the scale")]
+    fn pareto_rejects_cap_below_scale() {
+        Pareto::new(1.5, 10.0).with_cap(5.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Iterative radix-2 fast Fourier transform.
+//!
+//! Two consumers in the workspace need an FFT:
+//!
+//! 1. the Davies–Harte fractional Gaussian noise generator ([`crate::fgn`]),
+//!    which embeds the fGn covariance in a circulant matrix and samples via
+//!    its spectral decomposition, and
+//! 2. the periodogram Hurst estimator ([`crate::hurst::periodogram_hurst`]),
+//!    a cross-check on the R/S estimate the paper relies on.
+//!
+//! The implementation is a textbook iterative Cooley–Tukey transform with
+//! bit-reversal permutation. It only accepts power-of-two lengths; callers
+//! pad or truncate as appropriate.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+
+    /// `e^{iθ}` — a unit phasor.
+    pub fn from_angle(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// In-place forward FFT: `X_k = Σ_n x_n e^{-2πi kn/N}`.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two (length 1 is allowed).
+pub fn fft_inplace(data: &mut [Complex]) {
+    transform(data, -1.0);
+}
+
+/// In-place inverse FFT, including the `1/N` normalization, so
+/// `ifft(fft(x)) == x` up to rounding.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two.
+pub fn ifft_inplace(data: &mut [Complex]) {
+    transform(data, 1.0);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(1.0 / n);
+    }
+}
+
+fn transform(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Smallest power of two `>= n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Periodogram of a real series at the Fourier frequencies
+/// `λ_j = 2πj/n` for `j = 1..=n/2`.
+///
+/// `I(λ_j) = |Σ_t x_t e^{-i t λ_j}|² / (2π n)`. The series is mean-centered
+/// first and zero-padded to a power of two; returned pairs are
+/// `(λ_j, I(λ_j))` for the original-length frequencies, which is what the
+/// periodogram Hurst estimator regresses on.
+pub fn periodogram(values: &[f64]) -> Vec<(f64, f64)> {
+    let n = values.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let padded = next_pow2(n);
+    let mut buf: Vec<Complex> = values
+        .iter()
+        .map(|&v| Complex::new(v - mean, 0.0))
+        .chain(std::iter::repeat(Complex::ZERO))
+        .take(padded)
+        .collect();
+    fft_inplace(&mut buf);
+    let two_pi = 2.0 * std::f64::consts::PI;
+    // Frequencies j/padded map onto the padded grid; take those at or below
+    // the Nyquist frequency of the padded transform.
+    (1..=padded / 2)
+        .map(|j| {
+            let lambda = two_pi * j as f64 / padded as f64;
+            let power = buf[j].norm_sqr() / (two_pi * n as f64);
+            (lambda, power)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol,
+            "{a:?} != {b:?}"
+        );
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut data);
+        for z in data {
+            assert_close(z, Complex::new(1.0, 0.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex::new(2.0, 0.0); 8];
+        fft_inplace(&mut data);
+        assert_close(data[0], Complex::new(16.0, 0.0), 1e-12);
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_fft_ifft() {
+        let mut rng = crate::rng::Rng::new(31);
+        let original: Vec<Complex> = (0..64)
+            .map(|_| Complex::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let mut data = original.clone();
+        fft_inplace(&mut data);
+        ifft_inplace(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let mut rng = crate::rng::Rng::new(33);
+        let x: Vec<Complex> = (0..16)
+            .map(|_| Complex::new(rng.next_f64(), rng.next_f64()))
+            .collect();
+        let n = x.len();
+        let naive: Vec<Complex> = (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (t, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    acc = acc + v * Complex::from_angle(ang);
+                }
+                acc
+            })
+            .collect();
+        let mut fast = x;
+        fft_inplace(&mut fast);
+        for (a, b) in fast.iter().zip(&naive) {
+            assert_close(*a, *b, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let mut rng = crate::rng::Rng::new(35);
+        let x: Vec<Complex> = (0..128)
+            .map(|_| Complex::new(rng.next_f64(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = x;
+        fft_inplace(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft_inplace(&mut data);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut data = vec![Complex::new(3.0, 4.0)];
+        fft_inplace(&mut data);
+        assert_close(data[0], Complex::new(3.0, 4.0), 1e-15);
+    }
+
+    #[test]
+    fn periodogram_peaks_at_sinusoid_frequency() {
+        // x_t = sin(2π t 8/64): energy concentrated at j=8 of 64.
+        let n = 64;
+        let x: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * 8.0 * t as f64 / n as f64).sin())
+            .collect();
+        let pg = periodogram(&x);
+        let (max_idx, _) = pg
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .unwrap();
+        // Frequencies start at j=1, so index 7 is λ_8.
+        assert_eq!(max_idx, 7);
+    }
+
+    #[test]
+    fn periodogram_degenerate() {
+        assert!(periodogram(&[]).is_empty());
+        assert!(periodogram(&[1.0]).is_empty());
+        // Constant series: all power ~0 (mean removed).
+        let pg = periodogram(&[5.0; 32]);
+        assert!(pg.iter().all(|&(_, p)| p < 1e-20));
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+}

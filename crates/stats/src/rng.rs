@@ -1,0 +1,256 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workspace deliberately implements its own generator instead of
+//! depending on an external crate: every experiment in the paper
+//! reproduction is seeded, and the tables must regenerate bit-identically
+//! across runs and platforms. The generator is **xoshiro256++** (Blackman &
+//! Vigna), seeded through **SplitMix64** so that small, human-chosen seeds
+//! (0, 1, 2, …) still produce well-mixed initial states.
+
+/// xoshiro256++ pseudo-random number generator.
+///
+/// Period `2^256 − 1`, 4×64-bit state, passes BigCrush. Not
+/// cryptographically secure — it drives workload simulation only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Any seed is acceptable, including 0: the state is expanded through
+    /// SplitMix64, which never yields the all-zero xoshiro state.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// Used to give each simulated host / workload source its own stream so
+    /// that adding a source to one host does not perturb another.
+    pub fn fork(&mut self, label: &str) -> Rng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Rng::new(h ^ self.next_u64())
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)` — safe for `ln()`.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal variate via the Marsaglia polar method.
+    pub fn next_standard_normal(&mut self) -> f64 {
+        // The polar method produces pairs; we keep one per call and cache
+        // nothing to keep the generator state a pure function of draws.
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::new(0);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, 0);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = Rng::new(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = Rng::new(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Rng::new(0).below(0);
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = Rng::new(5);
+        for _ in 0..1000 {
+            let x = r.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = Rng::new(9);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.next_standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut parent1 = Rng::new(123);
+        let mut parent2 = Rng::new(123);
+        let mut a1 = parent1.fork("host-a");
+        let mut a2 = parent2.fork("host-a");
+        // Same lineage → same stream.
+        for _ in 0..16 {
+            assert_eq!(a1.next_u64(), a2.next_u64());
+        }
+        // Different label → different stream.
+        let mut parent3 = Rng::new(123);
+        let mut b = parent3.fork("host-b");
+        let mut a3 = Rng::new(123).fork("host-a");
+        let same = (0..64).filter(|_| b.next_u64() == a3.next_u64()).count();
+        assert!(same <= 1);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(13);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+}

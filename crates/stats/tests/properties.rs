@@ -1,0 +1,127 @@
+//! Property-based tests for the statistics substrate.
+
+use nws_stats::{
+    autocorrelation, fft_inplace, fgn_autocovariance, ifft_inplace, linear_fit, periodogram,
+    Complex, DaviesHarte, Distribution, Exponential, LogNormal, Pareto, Rng, Uniform,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fft_ifft_roundtrip(seed in any::<u64>(), log_n in 0u32..10) {
+        let n = 1usize << log_n;
+        let mut rng = Rng::new(seed);
+        let original: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
+        let mut data = original.clone();
+        fft_inplace(&mut data);
+        ifft_inplace(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(seed in any::<u64>(), scale in -5.0f64..5.0) {
+        let n = 64;
+        let mut rng = Rng::new(seed);
+        let x: Vec<Complex> = (0..n).map(|_| Complex::new(rng.next_f64(), 0.0)).collect();
+        let mut fx = x.clone();
+        fft_inplace(&mut fx);
+        let mut sx: Vec<Complex> = x.iter().map(|z| z.scale(scale)).collect();
+        fft_inplace(&mut sx);
+        for (a, b) in sx.iter().zip(&fx) {
+            prop_assert!((a.re - scale * b.re).abs() < 1e-7);
+            prop_assert!((a.im - scale * b.im).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn periodogram_is_nonnegative(seed in any::<u64>(), n in 2usize..200) {
+        let mut rng = Rng::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        for (lambda, power) in periodogram(&x) {
+            prop_assert!(power >= 0.0);
+            prop_assert!(lambda > 0.0 && lambda <= std::f64::consts::PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fgn_autocovariance_is_symmetric_psd_shape(h in 0.05f64..0.95) {
+        // gamma(0) = 1 and |gamma(k)| <= 1 for all k.
+        prop_assert_eq!(fgn_autocovariance(h, 0), 1.0);
+        for k in 1..50 {
+            let g = fgn_autocovariance(h, k);
+            prop_assert!(g.abs() <= 1.0 + 1e-12, "gamma({k}) = {g}");
+        }
+        // Monotone decay in magnitude beyond lag 1 for H > 1/2.
+        if h > 0.55 {
+            let mut prev = fgn_autocovariance(h, 1);
+            for k in 2..20 {
+                let g = fgn_autocovariance(h, k);
+                prop_assert!(g <= prev + 1e-12);
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn davies_harte_is_deterministic_and_sane(h in 0.1f64..0.9, seed in any::<u64>()) {
+        let gen = DaviesHarte::new(h).expect("valid H");
+        let a = gen.sample(256, &mut Rng::new(seed)).expect("sample");
+        let b = gen.sample(256, &mut Rng::new(seed)).expect("sample");
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+        // Unit-variance process: sample std within a loose band.
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        let var = a.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / a.len() as f64;
+        prop_assert!(var > 0.2 && var < 5.0, "var = {var}");
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 2usize..50,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = linear_fit(&xs, &ys).expect("non-degenerate");
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn distributions_respect_support(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let u = Uniform::new(2.0, 3.0);
+        let e = Exponential::new(0.5);
+        let p = Pareto::new(1.5, 4.0).with_cap(100.0);
+        let l = LogNormal::new(0.0, 1.0);
+        for _ in 0..200 {
+            let x = u.sample(&mut rng);
+            prop_assert!((2.0..3.0).contains(&x));
+            prop_assert!(e.sample(&mut rng) > 0.0);
+            let y = p.sample(&mut rng);
+            prop_assert!((4.0..=100.0).contains(&y));
+            prop_assert!(l.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn acf_of_shuffled_data_loses_structure(seed in any::<u64>()) {
+        // A strongly trending series has rho(1) ~ 1; value order matters.
+        let n = 400usize;
+        let trend: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let rho_trend = autocorrelation(&trend, 1).expect("long enough")[1];
+        prop_assert!(rho_trend > 0.95);
+        // Pseudo-shuffle by striding with a coprime step.
+        let mut rng = Rng::new(seed);
+        let step = 2 * (rng.below(100) as usize) + 101; // odd, > n/4
+        let shuffled: Vec<f64> = (0..n).map(|i| trend[(i * step) % n]).collect();
+        let rho_shuf = autocorrelation(&shuffled, 1).expect("long enough")[1];
+        prop_assert!(rho_shuf < rho_trend);
+    }
+}

@@ -1,0 +1,252 @@
+//! Block aggregation: the `X^(m)` construction of Section 3.2.
+//!
+//! For a series `X_1, X_2, …` and aggregation level `m`, the aggregated
+//! series is `X^(m)_k = (X_{km-m+1} + … + X_{km}) / m` — non-overlapping
+//! block means. The paper aggregates 10-second availability measurements
+//! with `m = 30` to obtain 5-minute average availability (Tables 4–6,
+//! Figure 4). For self-similar series the variance of `X^(m)` decays like
+//! `m^(2H-2)`, more slowly than the `1/m` of short-range-dependent series.
+
+use crate::series::Series;
+
+/// Non-overlapping block means of `values` with block length `m`.
+///
+/// Any trailing partial block is discarded, matching the paper's
+/// construction (`k` runs over whole blocks only).
+///
+/// # Examples
+///
+/// ```
+/// use nws_timeseries::aggregate_mean;
+///
+/// // 10-second measurements -> 30-second block means (m = 3).
+/// let x = [0.9, 0.8, 1.0, 0.2, 0.3, 0.4, 0.99];
+/// assert_eq!(aggregate_mean(&x, 3), vec![0.9, 0.3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn aggregate_mean(values: &[f64], m: usize) -> Vec<f64> {
+    assert!(m > 0, "aggregation level m must be positive");
+    values
+        .chunks_exact(m)
+        .map(|block| block.iter().sum::<f64>() / m as f64)
+        .collect()
+}
+
+/// Aggregates a [`Series`] into block means of `m` consecutive observations.
+///
+/// The timestamp of each aggregated point is the timestamp of the *last*
+/// observation in its block, so a forecast of the aggregated series made "at"
+/// a block's timestamp only uses data available by then.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn aggregate_series(series: &Series, m: usize) -> Series {
+    assert!(m > 0, "aggregation level m must be positive");
+    let mut out = Series::with_capacity(format!("{}^({m})", series.name()), series.len() / m);
+    let times = series.times();
+    let values = series.values();
+    for (k, block) in values.chunks_exact(m).enumerate() {
+        let t = times[k * m + m - 1];
+        let mean = block.iter().sum::<f64>() / m as f64;
+        out.push(t, mean).expect("block timestamps are increasing");
+    }
+    out
+}
+
+/// Block means over fixed wall-clock windows rather than fixed counts.
+///
+/// Splits `[t0, t0 + n*window)` into consecutive windows of `window` seconds
+/// and returns the mean of the observations inside each non-empty window,
+/// stamped at the window end. Windows with no observations are skipped.
+/// Useful when a series is irregularly sampled (e.g. a trace with gaps).
+pub fn hourly_block_means(series: &Series, window: f64) -> Series {
+    assert!(window > 0.0, "window must be positive");
+    let mut out = Series::new(format!("{} ({window}s means)", series.name()));
+    if series.is_empty() {
+        return out;
+    }
+    let t0 = series.times()[0];
+    let t_end = series.times()[series.len() - 1];
+    let mut start = t0;
+    while start <= t_end {
+        let end = start + window;
+        if let Some(mean) = series.mean_in_interval(start, end) {
+            out.push(end, mean).expect("window ends are increasing");
+        }
+        start = end;
+    }
+    out
+}
+
+/// Linearly resamples a series onto a regular grid of spacing `dt`
+/// starting at its first timestamp.
+///
+/// Values between observations are linearly interpolated; the grid stops
+/// at the last observation. Useful for bringing irregular external traces
+/// (gappy `/proc` recordings, event logs) onto the fixed cadence the
+/// forecasting and self-similarity analyses assume.
+///
+/// Returns an empty series for inputs with fewer than two points.
+///
+/// # Panics
+///
+/// Panics unless `dt > 0`.
+pub fn resample(series: &Series, dt: f64) -> Series {
+    assert!(dt > 0.0, "resampling interval must be positive");
+    let mut out = Series::new(format!("{} (dt={dt})", series.name()));
+    if series.len() < 2 {
+        return out;
+    }
+    let times = series.times();
+    let values = series.values();
+    let t0 = times[0];
+    let t_end = times[times.len() - 1];
+    let mut idx = 0usize;
+    let mut k = 0u64;
+    loop {
+        let t = t0 + k as f64 * dt;
+        if t > t_end + 1e-9 {
+            break;
+        }
+        // Advance to the segment containing t.
+        while idx + 1 < times.len() && times[idx + 1] < t {
+            idx += 1;
+        }
+        let (ta, va) = (times[idx], values[idx]);
+        let v = if idx + 1 < times.len() {
+            let (tb, vb) = (times[idx + 1], values[idx + 1]);
+            if tb > ta {
+                va + (vb - va) * ((t - ta) / (tb - ta)).clamp(0.0, 1.0)
+            } else {
+                va
+            }
+        } else {
+            va
+        };
+        out.push(t, v).expect("grid is strictly increasing");
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_mean_blocks() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert_eq!(aggregate_mean(&v, 2), vec![1.5, 3.5, 5.5]);
+        assert_eq!(aggregate_mean(&v, 3), vec![2.0, 5.0]);
+        assert_eq!(aggregate_mean(&v, 7), vec![4.0]);
+        assert_eq!(aggregate_mean(&v, 8), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn aggregate_mean_m1_is_identity() {
+        let v = [0.25, 0.5, 0.75];
+        assert_eq!(aggregate_mean(&v, 1), v.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregation level m must be positive")]
+    fn aggregate_mean_rejects_zero_m() {
+        aggregate_mean(&[1.0], 0);
+    }
+
+    #[test]
+    fn aggregate_series_stamps_block_end() {
+        let s = Series::from_values("a", 0.0, 10.0, [1.0, 2.0, 3.0, 4.0]).unwrap();
+        let agg = aggregate_series(&s, 2);
+        assert_eq!(agg.values(), &[1.5, 3.5]);
+        // Block of t=0,10 stamped at 10; block of t=20,30 stamped at 30.
+        assert_eq!(agg.times(), &[10.0, 30.0]);
+        assert_eq!(agg.name(), "a^(2)");
+    }
+
+    #[test]
+    fn aggregate_series_drops_partial_tail() {
+        let s = Series::from_values("a", 0.0, 1.0, [1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let agg = aggregate_series(&s, 2);
+        assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    fn wall_clock_means_skip_empty_windows() {
+        let mut s = Series::new("gappy");
+        s.push(0.0, 1.0).unwrap();
+        s.push(1.0, 3.0).unwrap();
+        // Gap: nothing in [10, 20).
+        s.push(25.0, 5.0).unwrap();
+        let means = hourly_block_means(&s, 10.0);
+        assert_eq!(means.values(), &[2.0, 5.0]);
+        assert_eq!(means.times(), &[10.0, 30.0]);
+    }
+
+    #[test]
+    fn resample_interpolates_linearly() {
+        let mut s = Series::new("irregular");
+        s.push(0.0, 0.0).unwrap();
+        s.push(4.0, 4.0).unwrap();
+        s.push(10.0, 1.0).unwrap();
+        let r = resample(&s, 2.0);
+        assert_eq!(r.times(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let v = r.values();
+        assert!((v[1] - 2.0).abs() < 1e-12); // midpoint of 0->4
+        assert!((v[2] - 4.0).abs() < 1e-12); // exact knot
+        assert!((v[3] - 3.0).abs() < 1e-12); // 1/3 of 4->1
+        assert!((v[5] - 1.0).abs() < 1e-12); // endpoint
+    }
+
+    #[test]
+    fn resample_degenerate_inputs() {
+        assert!(resample(&Series::new("e"), 1.0).is_empty());
+        let mut one = Series::new("one");
+        one.push(5.0, 2.0).unwrap();
+        assert!(resample(&one, 1.0).is_empty());
+    }
+
+    #[test]
+    fn resample_identity_on_matching_grid() {
+        let s = Series::from_values("g", 0.0, 10.0, [0.1, 0.2, 0.3]).unwrap();
+        let r = resample(&s, 10.0);
+        assert_eq!(r.values(), s.values());
+        assert_eq!(r.times(), s.times());
+    }
+
+    #[test]
+    #[should_panic(expected = "resampling interval")]
+    fn resample_rejects_zero_dt() {
+        resample(&Series::new("x"), 0.0);
+    }
+
+    #[test]
+    fn variance_of_aggregate_of_iid_decays_like_one_over_m() {
+        // For i.i.d.-ish data the block-mean variance should shrink by ~m.
+        // Use a deterministic pseudo-random-looking sequence.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let v: Vec<f64> = (0..4000)
+            .map(|_| {
+                // SplitMix64 step: high-quality, dependency-free pseudo-noise.
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let var = |x: &[f64]| {
+            let m = x.iter().sum::<f64>() / x.len() as f64;
+            x.iter().map(|&a| (a - m) * (a - m)).sum::<f64>() / x.len() as f64
+        };
+        let v10 = aggregate_mean(&v, 10);
+        let ratio = var(&v) / var(&v10);
+        // Short-range data: ratio near 10 (generous tolerance).
+        assert!(ratio > 4.0 && ratio < 25.0, "ratio = {ratio}");
+    }
+}

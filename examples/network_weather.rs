@@ -1,0 +1,52 @@
+//! The network half of the weather service: probing and forecasting
+//! bandwidth on simulated wide-area links.
+//!
+//! ```sh
+//! cargo run --release --example network_weather
+//! ```
+//!
+//! Three links (two congested WAN paths, one LAN) carry heavy-tailed
+//! cross-traffic; the NWS bandwidth sensor times a 64 KB probe transfer on
+//! each every two minutes, and the forecaster panel predicts the next
+//! probe's throughput — the same measure-and-forecast loop as the paper's
+//! CPU study, applied to the network resources its introduction motivates.
+
+use nws::core::plot::ascii_series;
+use nws::net::LinkMonitor;
+
+fn human_bw(bytes_per_s: f64) -> String {
+    format!("{:.2} Mbit/s", bytes_per_s * 8.0 / 1.0e6)
+}
+
+fn main() {
+    let mut monitor = LinkMonitor::demo_grid(2026);
+    println!(
+        "probing {} links every 2 minutes for 8 simulated hours...",
+        monitor.len()
+    );
+    monitor.run_probes(240);
+
+    println!(
+        "\n{:<11} {:>14} {:>10} {:>12} {:>16}",
+        "link", "mean bw", "mean rtt", "1-step MAE", "next forecast"
+    );
+    for r in monitor.report() {
+        println!(
+            "{:<11} {:>14} {:>8.0}ms {:>11.1}% {:>16}",
+            r.name,
+            human_bw(r.mean_bandwidth),
+            r.mean_latency * 1000.0,
+            r.bandwidth_forecast_mae * 100.0,
+            r.forecast.map(human_bw).unwrap_or_else(|| "-".into())
+        );
+    }
+
+    let (bw, _) = monitor.series("ucsd->utk").expect("link exists");
+    println!("\nucsd->utk probe throughput (bytes/s):");
+    println!("{}", ascii_series(bw, 100, 10));
+    println!(
+        "Heavy-tailed cross-traffic makes the series bursty and long-range\n\
+         dependent — the same structure the paper documents for CPU load —\n\
+         yet the one-step forecasts stay in the usable band."
+    );
+}

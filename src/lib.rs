@@ -1,0 +1,34 @@
+//! `nws` — umbrella crate for the NWS CPU availability prediction
+//! reproduction (Wolski, Spring & Hayes, HPDC 1999).
+//!
+//! This crate re-exports the workspace's public API under one roof so the
+//! examples and integration tests can `use nws::…`. See the individual
+//! crates for the substance:
+//!
+//! - [`forecast`] — the NWS forecaster panel with dynamic predictor
+//!   selection (the paper's primary contribution).
+//! - [`sensors`] — the three CPU availability sensors (load average,
+//!   vmstat, hybrid probe) and the test process.
+//! - [`sim`] — the time-shared Unix host simulator the sensors run against.
+//! - [`stats`] — autocorrelation, R/S analysis, Hurst estimation,
+//!   fractional Gaussian noise, FFT, RNG, distributions.
+//! - [`timeseries`] — series container, windows, aggregation, CSV.
+//! - [`core`] — the monitoring pipeline and the drivers that regenerate
+//!   every table and figure in the paper.
+//! - [`sched`] — the motivating application: dynamic scheduling with
+//!   forecast-derived expansion factors.
+//! - [`grid`] — a miniature Network Weather Service: registry, measurement
+//!   memory, and forecast service over a fleet of monitored hosts.
+//! - [`net`] — the network half of the weather service: simulated
+//!   wide-area links with self-similar cross-traffic, bandwidth/latency
+//!   sensors, and forecasting over their series.
+
+pub use nws_core as core;
+pub use nws_forecast as forecast;
+pub use nws_grid as grid;
+pub use nws_net as net;
+pub use nws_sched as sched;
+pub use nws_sensors as sensors;
+pub use nws_sim as sim;
+pub use nws_stats as stats;
+pub use nws_timeseries as timeseries;

@@ -1,0 +1,77 @@
+//! Reproducibility guarantees: every experiment is a pure function of its
+//! seed. This is what lets the repro harness regenerate the tables
+//! bit-identically.
+
+use nws::core::experiments::{short_dataset, table1_from, ExperimentConfig};
+use nws::sched::experiment::{run_scheduling_experiment, SchedConfig};
+use nws::sim::HostProfile;
+use nws::stats::{DaviesHarte, Hosking, Rng};
+
+#[test]
+fn tables_are_bit_identical_across_runs() {
+    let cfg = ExperimentConfig::quick();
+    let a = table1_from(&short_dataset(&cfg));
+    let b = table1_from(&short_dataset(&cfg));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seeds_change_values_but_not_shape() {
+    let t_a = table1_from(&short_dataset(&ExperimentConfig {
+        seed: 1,
+        ..ExperimentConfig::quick()
+    }));
+    let t_b = table1_from(&short_dataset(&ExperimentConfig {
+        seed: 2,
+        ..ExperimentConfig::quick()
+    }));
+    // Different realizations...
+    assert_ne!(t_a, t_b);
+    // ...same qualitative structure: both pathologies in both runs.
+    for t in [&t_a, &t_b] {
+        let con = t.row("conundrum").expect("row exists");
+        assert!(con.load > con.hybrid);
+        let kongo = t.row("kongo").expect("row exists");
+        assert!(kongo.hybrid > kongo.load);
+    }
+}
+
+#[test]
+fn host_traces_replay_exactly() {
+    let run = |seed| {
+        let mut h = HostProfile::Thing2.build(seed);
+        h.advance(3600.0);
+        (
+            h.load_average().one_minute(),
+            h.accounting().user,
+            h.runnable_count(),
+        )
+    };
+    assert_eq!(run(99), run(99));
+    assert_ne!(run(99), run(100));
+}
+
+#[test]
+fn fgn_generators_replay_exactly() {
+    let dh = DaviesHarte::new(0.72).expect("valid H");
+    assert_eq!(
+        dh.sample(512, &mut Rng::new(5)).expect("sample"),
+        dh.sample(512, &mut Rng::new(5)).expect("sample")
+    );
+    let ho = Hosking::new(0.72).expect("valid H");
+    assert_eq!(
+        ho.sample(256, &mut Rng::new(5)).expect("sample"),
+        ho.sample(256, &mut Rng::new(5)).expect("sample")
+    );
+}
+
+#[test]
+fn scheduling_experiment_replays_exactly() {
+    let a = run_scheduling_experiment(&SchedConfig::quick());
+    let b = run_scheduling_experiment(&SchedConfig::quick());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.policy, y.policy);
+        assert_eq!(x.makespan, y.makespan);
+        assert_eq!(x.availabilities, y.availabilities);
+    }
+}

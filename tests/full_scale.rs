@@ -1,0 +1,94 @@
+//! Full-scale (24 h / 1 week) reproduction assertions.
+//!
+//! These run the paper's actual protocol sizes and assert the calibrated
+//! bands recorded in `EXPERIMENTS.md`. They take a few seconds each in
+//! release mode and are `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test full_scale -- --ignored
+//! ```
+
+use nws::core::experiments::{
+    short_dataset, table1_from, table3_from, table4_from, weekly_load_series, ExperimentConfig,
+};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::default()
+}
+
+#[test]
+#[ignore = "full-scale run (~3 s release); use --ignored"]
+fn table1_cells_land_in_calibrated_bands() {
+    let t1 = table1_from(&short_dataset(&cfg()));
+    // Pathologies, full strength.
+    let con = t1.row("conundrum").expect("row");
+    assert!(
+        (0.28..0.45).contains(&con.load),
+        "conundrum load {}",
+        con.load
+    );
+    assert!(con.hybrid < 0.12, "conundrum hybrid {}", con.hybrid);
+    let kongo = t1.row("kongo").expect("row");
+    assert!(
+        (0.30..0.50).contains(&kongo.hybrid),
+        "kongo hybrid {}",
+        kongo.hybrid
+    );
+    assert!(kongo.load < 0.10, "kongo load {}", kongo.load);
+    // Normal hosts: load-average error in the paper's usable band.
+    for host in ["thing2", "thing1", "beowulf", "gremlin"] {
+        let r = t1.row(host).expect("row");
+        assert!((0.02..0.15).contains(&r.load), "{host} load {}", r.load);
+    }
+    // gremlin (lightest) is the easiest host.
+    let gremlin = t1.row("gremlin").expect("row");
+    for host in ["thing2", "thing1"] {
+        assert!(
+            gremlin.load < t1.row(host).expect("row").load,
+            "gremlin should beat {host}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "full-scale run (~3 s release); use --ignored"]
+fn table3_one_step_errors_stay_below_six_percent() {
+    let t3 = table3_from(&short_dataset(&cfg()));
+    for r in &t3.rows {
+        for v in r.values() {
+            assert!(v < 0.06, "{}: {v}", r.host);
+        }
+    }
+}
+
+#[test]
+#[ignore = "full-scale run (~6 s release); use --ignored"]
+fn table4_hurst_and_variances_at_week_scale() {
+    let c = cfg();
+    let rows = table4_from(&short_dataset(&c), &weekly_load_series(&c));
+    for r in &rows {
+        assert!(
+            (0.65..0.95).contains(&r.hurst),
+            "{}: H = {}",
+            r.host,
+            r.hurst
+        );
+        // Variance drops under aggregation in every cell at full scale.
+        for (orig, agg) in r.variances {
+            assert!(agg <= orig + 1e-9, "{}: {orig} -> {agg}", r.host);
+            // …but far more slowly than the 1/m of short-range data.
+            assert!(
+                agg > orig / 30.0,
+                "{}: variance fell like independent data",
+                r.host
+            );
+        }
+    }
+    // conundrum is the near-constant host of the paper.
+    let con = rows.iter().find(|r| r.host == "conundrum").expect("row");
+    assert!(
+        con.variances[0].0 < 0.002,
+        "conundrum var {}",
+        con.variances[0].0
+    );
+}

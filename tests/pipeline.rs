@@ -1,0 +1,101 @@
+//! Cross-crate pipeline tests: simulator → sensors → series → CSV →
+//! forecaster, exercised through the public facade the way a downstream
+//! user would.
+
+use nws::core::monitor::{Monitor, MonitorConfig};
+use nws::forecast::NwsForecaster;
+use nws::sensors::{HybridSensor, LoadAvgSensor, TestProcess, VmstatSensor};
+use nws::sim::{Host, HostProfile};
+use nws::timeseries::csv::{parse_series, series_to_csv};
+use nws::timeseries::Series;
+
+#[test]
+fn manual_monitoring_loop_with_public_api() {
+    // A user wiring the pieces manually (without the Monitor driver).
+    let mut host = HostProfile::Gremlin.build(31);
+    host.advance(600.0);
+    let mut load = LoadAvgSensor::new();
+    let mut vmstat = VmstatSensor::new();
+    let mut hybrid = HybridSensor::default();
+    let mut series = Series::new("manual");
+    for step in 0..60 {
+        host.advance(10.0);
+        let _ = load.measure(&host);
+        let _ = vmstat.measure(&host);
+        let value = if step % 6 == 0 {
+            hybrid.measure_with_probe(&mut host)
+        } else {
+            hybrid.measure(&host)
+        };
+        series.push(host.now(), value).expect("time advances");
+    }
+    assert_eq!(series.len(), 60);
+    assert!(hybrid.probes_run() >= 10);
+    // Ground truth against the last readings.
+    let mut tp = TestProcess::short();
+    let truth = tp.run(&mut host);
+    let last = series.last().expect("non-empty").value;
+    assert!(
+        (truth - last).abs() < 0.35,
+        "hybrid {last} vs test process {truth}"
+    );
+}
+
+#[test]
+fn monitored_series_roundtrips_through_csv() {
+    let mut host = HostProfile::Thing1.build(33);
+    let out = Monitor::new(MonitorConfig::test_scale()).run(&mut host);
+    let text = series_to_csv(&out.series.load);
+    let back = parse_series(&text).expect("csv parses");
+    assert_eq!(back.len(), out.series.load.len());
+    for (a, b) in back.values().iter().zip(out.series.load.values()) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn forecaster_consumes_monitor_output_directly() {
+    let mut host = HostProfile::Beowulf.build(35);
+    let out = Monitor::new(MonitorConfig::test_scale()).run(&mut host);
+    let mut nws = NwsForecaster::nws_default();
+    let mut last_forecast = None;
+    for point in out.series.vmstat.iter() {
+        last_forecast = nws.update(point.value);
+    }
+    let f = last_forecast.expect("forecaster warm");
+    assert!((0.0..=1.0).contains(&f.value));
+    assert_eq!(nws.observations(), out.series.vmstat.len() as u64);
+}
+
+#[test]
+fn two_hosts_can_be_driven_in_lockstep() {
+    // A mini-grid: advance two hosts alternately and compare their state.
+    let mut a = HostProfile::Thing2.build(37);
+    let mut b = HostProfile::Gremlin.build(37);
+    for _ in 0..100 {
+        a.advance(10.0);
+        b.advance(10.0);
+    }
+    assert_eq!(a.now(), b.now());
+    // The busy workstation should be visibly busier than the light server.
+    let la = a.load_average().five_minute();
+    let lb = b.load_average().five_minute();
+    assert!(la > lb, "thing2 load {la} vs gremlin load {lb}");
+}
+
+#[test]
+fn ad_hoc_host_with_custom_workload() {
+    use nws::sim::workload::{NiceSoaker, Workload};
+    // Users can define their own hosts and attach stock workloads.
+    let mut host = Host::new("custom-box", 39);
+    let rng = host.fork_rng("bg");
+    let soaker: Box<dyn Workload> = Box::new(NiceSoaker::new("bg", 120.0, 60.0, rng));
+    host.add_workload(soaker);
+    host.advance(1200.0);
+    let avail = nws::sensors::availability_from_load(host.load_average().one_minute());
+    assert!((0.0..=1.0).contains(&avail));
+    // The soaker keeps the box partly busy on average.
+    let acct = host.accounting();
+    let busy = (acct.user + acct.sys) / acct.total();
+    assert!(busy > 0.3, "busy = {busy}");
+}
