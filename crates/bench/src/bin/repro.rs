@@ -1,18 +1,27 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] <experiment>...
+//! repro [--quick] [--seed N] [--threads N] <experiment>...
 //! experiments: table1 table2 table3 table4 table5 table6
-//!              fig1 fig2 fig3 fig4 ablation sched all
+//!              fig1 fig2 fig3 fig4 ablation sweep robustness
+//!              sched datasched net loadstats perf all
 //! ```
 //!
 //! Tables are printed with the paper's published value in parentheses next
 //! to each measured cell; every artifact is also written as CSV under
 //! `results/` (override with `NWS_RESULTS_DIR`).
+//!
+//! Experiment drivers fan out over hosts/seeds/sweep points through
+//! `nws-runtime`; `--threads N` (or the `NWS_THREADS` environment
+//! variable) pins the worker count, and `--threads 1` forces fully
+//! sequential execution. Results are bit-identical at any thread count.
+//! Per-stage wall-clock timings are written to `BENCH_repro.json` after
+//! every run; the `perf` experiment runs a representative timing suite
+//! without printing the tables.
 
 use nws_bench::write_artifact;
 use nws_core::experiments::{
-    aggregation_sweep, bias_ablation, fig1_from, fig2_from, fig3_from, fig4_from,
+    aggregation_sweep, all_datasets, bias_ablation, fig1_from, fig2_from, fig3_from, fig4_from,
     forecaster_ablation, horizon_sweep, load_statistics, medium_dataset, probe_duration_sweep,
     seed_robustness, short_dataset, sweep_dataset, table1_from, table2_from, table3_from,
     table4_from, table5_from, table6_from, weekly_load_series, ExperimentConfig,
@@ -35,12 +44,14 @@ use std::fmt::Write as _;
 struct Args {
     quick: bool,
     seed: Option<u64>,
+    threads: Option<usize>,
     experiments: BTreeSet<String>,
 }
 
 fn parse_args() -> Args {
     let mut quick = false;
     let mut seed = None;
+    let mut threads = None;
     let mut experiments = BTreeSet::new();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -49,6 +60,16 @@ fn parse_args() -> Args {
             "--seed" => {
                 let v = iter.next().unwrap_or_else(|| usage("--seed needs a value"));
                 seed = Some(v.parse().unwrap_or_else(|_| usage("bad seed")));
+            }
+            "--threads" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
+                let n: usize = v.parse().unwrap_or_else(|_| usage("bad thread count"));
+                if n == 0 {
+                    usage("thread count must be positive");
+                }
+                threads = Some(n);
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -60,9 +81,36 @@ fn parse_args() -> Args {
     if experiments.is_empty() {
         experiments.insert("all".to_string());
     }
+    const KNOWN: &[&str] = &[
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "ablation",
+        "sweep",
+        "robustness",
+        "sched",
+        "datasched",
+        "net",
+        "loadstats",
+        "perf",
+        "all",
+    ];
+    for exp in &experiments {
+        if !KNOWN.contains(&exp.as_str()) {
+            usage(&format!("unknown experiment {exp}"));
+        }
+    }
     Args {
         quick,
         seed,
+        threads,
         experiments,
     }
 }
@@ -72,12 +120,40 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--quick] [--seed N] <experiment>...\n\
+        "usage: repro [--quick] [--seed N] [--threads N] <experiment>...\n\
          experiments: table1 table2 table3 table4 table5 table6\n\
          \x20            fig1 fig2 fig3 fig4 ablation sweep robustness\n\
-         \x20            sched datasched net loadstats all"
+         \x20            sched datasched net loadstats perf all"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Runs `f`, recording its wall-clock time under `name` for
+/// `BENCH_repro.json`.
+fn timed<T>(stages: &mut Vec<(String, f64)>, name: &str, f: impl FnOnce() -> T) -> T {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    stages.push((name.to_string(), t0.elapsed().as_secs_f64() * 1e3));
+    out
+}
+
+/// Writes the per-stage timing artifact (hand-rolled JSON; stage names are
+/// plain identifiers, so no escaping is needed).
+fn write_bench_artifact(stages: &[(String, f64)], quick: bool) {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads\": {},", nws_runtime::threads());
+    let _ = writeln!(json, "  \"hosts\": {},", HostProfile::all().len());
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"stages_ms\": {\n");
+    for (i, (name, ms)) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {ms:.3}{comma}");
+    }
+    json.push_str("  },\n");
+    let total: f64 = stages.iter().map(|(_, ms)| ms).sum();
+    let _ = writeln!(json, "  \"total_ms\": {total:.3}");
+    json.push_str("}\n");
+    write_artifact("BENCH_repro.json", &json);
 }
 
 /// Caches the expensive dataset collections across experiments.
@@ -113,6 +189,7 @@ impl Datasets {
 
 fn main() {
     let args = parse_args();
+    nws_runtime::set_threads(args.threads);
     let mut cfg = if args.quick {
         ExperimentConfig::quick()
     } else {
@@ -124,109 +201,194 @@ fn main() {
     let run_all = args.experiments.contains("all");
     let want = |name: &str| run_all || args.experiments.contains(name);
     let mut data = Datasets::default();
+    let mut stages: Vec<(String, f64)> = Vec::new();
+
+    if run_all {
+        // Every dataset will be needed; collect all 18 monitoring runs
+        // (6 hosts x short/medium/weekly) through one shared work queue
+        // instead of dataset-by-dataset.
+        timed(&mut stages, "datasets", || {
+            eprintln!(
+                "collecting all datasets concurrently (18 runs, {} threads)...",
+                nws_runtime::threads()
+            );
+            let (short, medium, weekly) = all_datasets(&cfg);
+            data.short = Some(short);
+            data.medium = Some(medium);
+            data.weekly = Some(weekly);
+        });
+    }
 
     if want("table1") {
-        let t = table1_from(data.short(&cfg));
-        println!("\n{}", render_method_table(&t, Some(&paper::TABLE1)));
-        write_artifact("table1.csv", &method_table_to_csv(&t));
+        timed(&mut stages, "table1", || {
+            let t = table1_from(data.short(&cfg));
+            println!("\n{}", render_method_table(&t, Some(&paper::TABLE1)));
+            write_artifact("table1.csv", &method_table_to_csv(&t));
+        });
     }
     if want("table2") {
-        let t = table2_from(data.short(&cfg));
-        println!("\n{}", render_method_table(&t, Some(&paper::TABLE2)));
-        write_artifact("table2.csv", &method_table_to_csv(&t));
+        timed(&mut stages, "table2", || {
+            let t = table2_from(data.short(&cfg));
+            println!("\n{}", render_method_table(&t, Some(&paper::TABLE2)));
+            write_artifact("table2.csv", &method_table_to_csv(&t));
+        });
     }
     if want("table3") {
-        let t = table3_from(data.short(&cfg));
-        println!("\n{}", render_method_table(&t, Some(&paper::TABLE3)));
-        write_artifact("table3.csv", &method_table_to_csv(&t));
+        timed(&mut stages, "table3", || {
+            let t = table3_from(data.short(&cfg));
+            println!("\n{}", render_method_table(&t, Some(&paper::TABLE3)));
+            write_artifact("table3.csv", &method_table_to_csv(&t));
+        });
     }
     if want("table4") {
-        data.short(&cfg);
-        data.weekly(&cfg);
-        let rows = table4_from(
-            data.short.as_ref().expect("just collected"),
-            data.weekly.as_ref().expect("just collected"),
-        );
-        println!("\n{}", render_table4(&rows, true));
-        write_artifact("table4.csv", &table4_to_csv(&rows));
+        timed(&mut stages, "table4", || {
+            data.short(&cfg);
+            data.weekly(&cfg);
+            let rows = table4_from(
+                data.short.as_ref().expect("just collected"),
+                data.weekly.as_ref().expect("just collected"),
+            );
+            println!("\n{}", render_table4(&rows, true));
+            write_artifact("table4.csv", &table4_to_csv(&rows));
+        });
     }
     if want("table5") {
-        let t = table5_from(data.short(&cfg));
-        println!("\n{}", render_method_table(&t, Some(&paper::TABLE5)));
-        write_artifact("table5.csv", &method_table_to_csv(&t));
+        timed(&mut stages, "table5", || {
+            let t = table5_from(data.short(&cfg));
+            println!("\n{}", render_method_table(&t, Some(&paper::TABLE5)));
+            write_artifact("table5.csv", &method_table_to_csv(&t));
+        });
     }
     if want("table6") {
-        let t = table6_from(data.medium(&cfg));
-        println!("\n{}", render_method_table(&t, Some(&paper::TABLE6)));
-        write_artifact("table6.csv", &method_table_to_csv(&t));
+        timed(&mut stages, "table6", || {
+            let t = table6_from(data.medium(&cfg));
+            println!("\n{}", render_method_table(&t, Some(&paper::TABLE6)));
+            write_artifact("table6.csv", &method_table_to_csv(&t));
+        });
     }
     if want("fig1") {
-        let f = fig1_from(data.short(&cfg));
-        println!("\n{}", f.title);
-        for (host, series) in &f.series {
-            println!("{}", ascii_series(series, 100, 12));
-            write_artifact(&format!("fig1_{host}.csv"), &series_to_csv(series));
-        }
+        timed(&mut stages, "fig1", || {
+            let f = fig1_from(data.short(&cfg));
+            println!("\n{}", f.title);
+            for (host, series) in &f.series {
+                println!("{}", ascii_series(series, 100, 12));
+                write_artifact(&format!("fig1_{host}.csv"), &series_to_csv(series));
+            }
+        });
     }
     if want("fig2") {
-        let f = fig2_from(data.short(&cfg));
-        println!("\n{}", f.title);
-        for (host, series) in &f.series {
-            println!("{}", ascii_series(series, 100, 12));
-            write_artifact(&format!("fig2_{host}.csv"), &series_to_csv(series));
-        }
+        timed(&mut stages, "fig2", || {
+            let f = fig2_from(data.short(&cfg));
+            println!("\n{}", f.title);
+            for (host, series) in &f.series {
+                println!("{}", ascii_series(series, 100, 12));
+                write_artifact(&format!("fig2_{host}.csv"), &series_to_csv(series));
+            }
+        });
     }
     if want("fig3") {
-        let figs = fig3_from(data.weekly(&cfg), &nws_sim::UCSD_HOST_NAMES);
+        timed(&mut stages, "fig3", || {
+            let figs = fig3_from(data.weekly(&cfg), &nws_sim::UCSD_HOST_NAMES);
 
-        println!("\nFigure 3: R/S pox plots (Unix load average, one week)");
-        for fig in &figs {
-            let pts: Vec<(f64, f64)> = fig.points.iter().map(|p| (p.log10_d, p.log10_rs)).collect();
-            println!(
-                "{}",
-                ascii_scatter(
-                    &format!("{}  H = {:.2}", fig.host, fig.estimate.h),
-                    &pts,
-                    Some((fig.estimate.fit.slope, fig.estimate.fit.intercept)),
-                    80,
-                    20,
-                )
-            );
-            let mut csv = String::from("log10_d,log10_rs\n");
-            for p in &fig.points {
-                let _ = writeln!(csv, "{},{}", p.log10_d, p.log10_rs);
+            println!("\nFigure 3: R/S pox plots (Unix load average, one week)");
+            for fig in &figs {
+                let pts: Vec<(f64, f64)> =
+                    fig.points.iter().map(|p| (p.log10_d, p.log10_rs)).collect();
+                println!(
+                    "{}",
+                    ascii_scatter(
+                        &format!("{}  H = {:.2}", fig.host, fig.estimate.h),
+                        &pts,
+                        Some((fig.estimate.fit.slope, fig.estimate.fit.intercept)),
+                        80,
+                        20,
+                    )
+                );
+                let mut csv = String::from("log10_d,log10_rs\n");
+                for p in &fig.points {
+                    let _ = writeln!(csv, "{},{}", p.log10_d, p.log10_rs);
+                }
+                write_artifact(&format!("fig3_{}.csv", fig.host), &csv);
             }
-            write_artifact(&format!("fig3_{}.csv", fig.host), &csv);
-        }
+        });
     }
     if want("fig4") {
-        let f = fig4_from(data.medium(&cfg));
-        println!("\n{}", f.title);
-        for (host, series) in &f.series {
-            println!("{}", ascii_series(series, 100, 12));
-            write_artifact(&format!("fig4_{host}.csv"), &series_to_csv(series));
-        }
+        timed(&mut stages, "fig4", || {
+            let f = fig4_from(data.medium(&cfg));
+            println!("\n{}", f.title);
+            for (host, series) in &f.series {
+                println!("{}", ascii_series(series, 100, 12));
+                write_artifact(&format!("fig4_{host}.csv"), &series_to_csv(series));
+            }
+        });
     }
     if want("ablation") {
-        run_ablations(&cfg);
+        timed(&mut stages, "ablation", || run_ablations(&cfg));
     }
     if want("sweep") {
-        run_sweeps(&cfg);
+        timed(&mut stages, "sweep", || run_sweeps(&cfg));
     }
     if want("robustness") {
-        run_robustness(&cfg);
+        timed(&mut stages, "robustness", || run_robustness(&cfg));
     }
     if want("sched") {
-        run_sched(args.quick);
+        timed(&mut stages, "sched", || run_sched(args.quick));
     }
     if want("datasched") {
-        run_data_sched(&cfg);
+        timed(&mut stages, "datasched", || run_data_sched(&cfg));
     }
     if want("net") {
-        run_net(&cfg);
+        timed(&mut stages, "net", || run_net(&cfg));
     }
     if want("loadstats") {
-        run_loadstats(&cfg);
+        timed(&mut stages, "loadstats", || run_loadstats(&cfg));
+    }
+    // `perf` is a pure timing suite; it is only run when asked for by name
+    // (it would double-run stages under `all`).
+    if !run_all && args.experiments.contains("perf") {
+        run_perf(&cfg, args.quick, &mut stages);
+    }
+
+    write_bench_artifact(&stages, args.quick);
+    eprintln!(
+        "wrote BENCH_repro.json ({} stages, {} threads)",
+        stages.len(),
+        nws_runtime::threads()
+    );
+}
+
+/// The `perf` experiment: times representative stages of the pipeline
+/// (dataset collection, grid fleet monitoring, scheduling) without
+/// printing their tables. The timings land in `BENCH_repro.json` like any
+/// other stage's.
+fn run_perf(cfg: &ExperimentConfig, quick: bool, stages: &mut Vec<(String, f64)>) {
+    println!(
+        "\nperf: timing suite ({} threads over {} hosts)",
+        nws_runtime::threads(),
+        HostProfile::all().len()
+    );
+    timed(stages, "perf_datasets", || {
+        let (short, medium, weekly) = all_datasets(cfg);
+        std::hint::black_box((short.len(), medium.len(), weekly.len()))
+    });
+    timed(stages, "perf_grid_fleet", || {
+        let mut grid = nws_grid::GridMonitor::ucsd(cfg.seed);
+        let steps = if quick { 360 } else { 8640 };
+        grid.run_steps(steps);
+        std::hint::black_box(grid.slots())
+    });
+    timed(stages, "perf_sched", || {
+        let scfg = if quick {
+            SchedConfig::quick()
+        } else {
+            SchedConfig::default()
+        };
+        std::hint::black_box(run_scheduling_experiment(&scfg).len())
+    });
+    for (name, ms) in stages.iter() {
+        if name.starts_with("perf_") {
+            println!("  {name:<18} {ms:>10.1} ms");
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::experiments::dataset::ExperimentConfig;
 use crate::monitor::{Monitor, MonitorConfig};
 use nws_forecast::{evaluate_one_step, NwsForecaster};
+use nws_runtime::parallel_map;
 use nws_sensors::HybridConfig;
 use nws_sim::HostProfile;
 use nws_stats::mean_absolute_pair_error;
@@ -120,24 +121,23 @@ pub fn probe_duration_sweep(
     host: HostProfile,
     durations: &[f64],
 ) -> Vec<ProbeSweepPoint> {
-    durations
-        .iter()
-        .map(|&d| {
-            let err = hybrid_measurement_error(
-                cfg,
-                host,
-                HybridConfig {
-                    probe_duration: d,
-                    ..HybridConfig::default()
-                },
-            );
-            ProbeSweepPoint {
+    // Every duration replays a full monitoring day on its own host copy;
+    // the runs are seed-isolated, so they fan out across worker threads.
+    parallel_map(durations.to_vec(), |d| {
+        let err = hybrid_measurement_error(
+            cfg,
+            host,
+            HybridConfig {
                 probe_duration: d,
-                hybrid_error: err,
-                overhead: d / nws_sensors::PROBE_PERIOD,
-            }
-        })
-        .collect()
+                ..HybridConfig::default()
+            },
+        );
+        ProbeSweepPoint {
+            probe_duration: d,
+            hybrid_error: err,
+            overhead: d / nws_sensors::PROBE_PERIOD,
+        }
+    })
 }
 
 #[cfg(test)]

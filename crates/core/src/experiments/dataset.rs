@@ -1,6 +1,11 @@
 //! Dataset collection: the monitoring runs all tables/figures share.
+//!
+//! Every host's trace is a pure function of its own derived seed, so the
+//! collectors below fan out over hosts with [`nws_runtime::parallel_map`]:
+//! the outputs are bit-identical to a sequential run at any thread count.
 
 use crate::monitor::{Monitor, MonitorConfig, MonitorOutput};
+use nws_runtime::parallel_map;
 use nws_sim::{HostProfile, Seconds};
 use nws_timeseries::Series;
 
@@ -83,28 +88,22 @@ impl ExperimentConfig {
 /// behind Tables 1–5 and Figures 1–2.
 pub fn short_dataset(cfg: &ExperimentConfig) -> Vec<MonitorOutput> {
     let monitor = Monitor::new(cfg.short_monitor());
-    HostProfile::all()
-        .iter()
-        .map(|p| {
-            let mut host = p.build(cfg.per_host_seed(p.name()));
-            monitor.run(&mut host)
-        })
-        .collect()
+    parallel_map(HostProfile::all().to_vec(), |p| {
+        let mut host = p.build(cfg.per_host_seed(p.name()));
+        monitor.run(&mut host)
+    })
 }
 
 /// Runs the medium-term monitor (5-minute test process hourly) over all six
 /// hosts — the dataset behind Table 6 and Figure 4.
 pub fn medium_dataset(cfg: &ExperimentConfig) -> Vec<MonitorOutput> {
     let monitor = Monitor::new(cfg.medium_monitor());
-    HostProfile::all()
-        .iter()
-        .map(|p| {
-            // Distinct sub-seed so the medium traces are not the identical
-            // realization as the short ones (a different day of monitoring).
-            let mut host = p.build(cfg.per_host_seed(p.name()).wrapping_add(0x5EED));
-            monitor.run(&mut host)
-        })
-        .collect()
+    parallel_map(HostProfile::all().to_vec(), |p| {
+        // Distinct sub-seed so the medium traces are not the identical
+        // realization as the short ones (a different day of monitoring).
+        let mut host = p.build(cfg.per_host_seed(p.name()).wrapping_add(0x5EED));
+        monitor.run(&mut host)
+    })
 }
 
 /// Collects week-long load-average availability series for every host, with
@@ -117,13 +116,74 @@ pub fn weekly_load_series(cfg: &ExperimentConfig) -> Vec<Series> {
         test_period: None,
         ..MonitorConfig::default()
     });
-    HostProfile::all()
-        .iter()
-        .map(|p| {
+    parallel_map(HostProfile::all().to_vec(), |p| {
+        let mut host = p.build(cfg.per_host_seed(p.name()).wrapping_add(0x7DA));
+        monitor.run(&mut host).series.load
+    })
+}
+
+/// All three datasets collected concurrently: the 18 monitoring runs
+/// (6 hosts × {short, medium, weekly}) are independent, so they share one
+/// work queue instead of running dataset-by-dataset.
+///
+/// The week-long Hurst traces dominate the wall clock, so they are queued
+/// first; results are reassembled per dataset in host order, making the
+/// output identical to calling the three collectors back to back.
+pub fn all_datasets(
+    cfg: &ExperimentConfig,
+) -> (Vec<MonitorOutput>, Vec<MonitorOutput>, Vec<Series>) {
+    enum Job {
+        Short(HostProfile),
+        Medium(HostProfile),
+        Weekly(HostProfile),
+    }
+    enum Out {
+        Monitor(Box<MonitorOutput>),
+        Load(Series),
+    }
+
+    let short_monitor = Monitor::new(cfg.short_monitor());
+    let medium_monitor = Monitor::new(cfg.medium_monitor());
+    let weekly_monitor = Monitor::new(MonitorConfig {
+        duration: cfg.hurst_duration,
+        warmup: cfg.warmup,
+        test_period: None,
+        ..MonitorConfig::default()
+    });
+
+    let profiles = HostProfile::all();
+    let mut jobs: Vec<Job> = Vec::with_capacity(3 * profiles.len());
+    jobs.extend(profiles.iter().map(|p| Job::Weekly(*p)));
+    jobs.extend(profiles.iter().map(|p| Job::Short(*p)));
+    jobs.extend(profiles.iter().map(|p| Job::Medium(*p)));
+
+    let outs = parallel_map(jobs, |job| match job {
+        Job::Short(p) => {
+            let mut host = p.build(cfg.per_host_seed(p.name()));
+            Out::Monitor(Box::new(short_monitor.run(&mut host)))
+        }
+        Job::Medium(p) => {
+            let mut host = p.build(cfg.per_host_seed(p.name()).wrapping_add(0x5EED));
+            Out::Monitor(Box::new(medium_monitor.run(&mut host)))
+        }
+        Job::Weekly(p) => {
             let mut host = p.build(cfg.per_host_seed(p.name()).wrapping_add(0x7DA));
-            monitor.run(&mut host).series.load
-        })
-        .collect()
+            Out::Load(weekly_monitor.run(&mut host).series.load)
+        }
+    });
+
+    let n = profiles.len();
+    let mut weekly = Vec::with_capacity(n);
+    let mut short = Vec::with_capacity(n);
+    let mut medium = Vec::with_capacity(n);
+    for out in outs {
+        match out {
+            Out::Load(s) => weekly.push(s),
+            Out::Monitor(m) if short.len() < n => short.push(*m),
+            Out::Monitor(m) => medium.push(*m),
+        }
+    }
+    (short, medium, weekly)
 }
 
 #[cfg(test)]
@@ -161,6 +221,27 @@ mod tests {
             for t in &out.tests {
                 assert!(t.duration >= 100.0, "medium test too short");
             }
+        }
+    }
+
+    #[test]
+    fn all_datasets_matches_individual_collectors() {
+        let cfg = ExperimentConfig::quick();
+        let (short, medium, weekly) = all_datasets(&cfg);
+        let short_ref = short_dataset(&cfg);
+        let medium_ref = medium_dataset(&cfg);
+        let weekly_ref = weekly_load_series(&cfg);
+        assert_eq!(short.len(), short_ref.len());
+        for (a, b) in short.iter().zip(&short_ref) {
+            assert_eq!(a.host, b.host);
+            assert_eq!(a.series.load.values(), b.series.load.values());
+        }
+        for (a, b) in medium.iter().zip(&medium_ref) {
+            assert_eq!(a.host, b.host);
+            assert_eq!(a.series.load.values(), b.series.load.values());
+        }
+        for (a, b) in weekly.iter().zip(&weekly_ref) {
+            assert_eq!(a.values(), b.values());
         }
     }
 

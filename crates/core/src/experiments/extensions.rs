@@ -19,6 +19,7 @@ use crate::experiments::dataset::{short_dataset, ExperimentConfig};
 use crate::experiments::tables::table1_from;
 use crate::monitor::{Monitor, MonitorConfig, MonitorOutput};
 use nws_forecast::{evaluate_one_step, NwsForecaster};
+use nws_runtime::parallel_map;
 use nws_sim::HostProfile;
 use nws_timeseries::aggregate_mean;
 
@@ -38,30 +39,29 @@ pub struct AggregationPoint {
 
 /// Sweeps aggregation levels on one host's 24-hour series.
 pub fn aggregation_sweep(output: &MonitorOutput, levels: &[usize]) -> Vec<AggregationPoint> {
-    levels
-        .iter()
-        .map(|&m| {
-            let mae = [
-                &output.series.load,
-                &output.series.vmstat,
-                &output.series.hybrid,
-            ]
-            .map(|s| {
-                let agg = aggregate_mean(s.values(), m);
-                let mut nws = NwsForecaster::nws_default();
-                evaluate_one_step(&mut nws, &agg)
-                    .map(|r| r.mae)
-                    .unwrap_or(f64::NAN)
-            });
-            let n = output.series.load.len() / m;
-            AggregationPoint {
-                m,
-                span: m as f64 * 10.0,
-                mae,
-                n,
-            }
-        })
-        .collect()
+    // Each level replays three forecaster streams from scratch; the levels
+    // are independent, so they fan out across worker threads.
+    parallel_map(levels.to_vec(), |m| {
+        let mae = [
+            &output.series.load,
+            &output.series.vmstat,
+            &output.series.hybrid,
+        ]
+        .map(|s| {
+            let agg = aggregate_mean(s.values(), m);
+            let mut nws = NwsForecaster::nws_default();
+            evaluate_one_step(&mut nws, &agg)
+                .map(|r| r.mae)
+                .unwrap_or(f64::NAN)
+        });
+        let n = output.series.load.len() / m;
+        AggregationPoint {
+            m,
+            span: m as f64 * 10.0,
+            mae,
+            n,
+        }
+    })
 }
 
 /// One row of the horizon sweep.
@@ -84,50 +84,47 @@ pub fn horizon_sweep(output: &MonitorOutput, ks: &[usize]) -> Vec<HorizonPoint> 
         &output.series.vmstat,
         &output.series.hybrid,
     ];
-    let forecast_streams: Vec<Vec<Option<f64>>> = methods
-        .iter()
-        .map(|s| {
-            let mut nws = NwsForecaster::nws_default();
-            s.values()
-                .iter()
-                .map(|&v| {
-                    let standing = nws.forecast().map(|f| f.value);
-                    nws.update(v);
-                    standing
-                })
-                .collect()
-        })
-        .collect();
-    ks.iter()
-        .map(|&k| {
-            assert!(k >= 1, "horizon must be at least one step");
-            let mae = [0, 1, 2].map(|mi| {
-                let values = methods[mi].values();
-                let stream = &forecast_streams[mi];
-                let mut acc = 0.0;
-                let mut n = 0usize;
-                // The forecast standing just before index t (stream[t]) is
-                // scored against the value k-1 further on: stream[t] already
-                // is the 1-step forecast of values[t].
-                for t in 0..values.len().saturating_sub(k - 1) {
-                    if let Some(f) = stream[t] {
-                        acc += (f - values[t + k - 1]).abs();
-                        n += 1;
-                    }
+    let forecast_streams: Vec<Vec<Option<f64>>> = parallel_map(methods.to_vec(), |s| {
+        let mut nws = NwsForecaster::nws_default();
+        s.values()
+            .iter()
+            .map(|&v| {
+                let standing = nws.forecast().map(|f| f.value);
+                nws.update(v);
+                standing
+            })
+            .collect()
+    });
+    for &k in ks {
+        assert!(k >= 1, "horizon must be at least one step");
+    }
+    parallel_map(ks.to_vec(), |k| {
+        let mae = [0, 1, 2].map(|mi| {
+            let values = methods[mi].values();
+            let stream = &forecast_streams[mi];
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            // The forecast standing just before index t (stream[t]) is
+            // scored against the value k-1 further on: stream[t] already
+            // is the 1-step forecast of values[t].
+            for t in 0..values.len().saturating_sub(k - 1) {
+                if let Some(f) = stream[t] {
+                    acc += (f - values[t + k - 1]).abs();
+                    n += 1;
                 }
-                if n == 0 {
-                    f64::NAN
-                } else {
-                    acc / n as f64
-                }
-            });
-            HorizonPoint {
-                k,
-                lead: k as f64 * 10.0,
-                mae,
             }
-        })
-        .collect()
+            if n == 0 {
+                f64::NAN
+            } else {
+                acc / n as f64
+            }
+        });
+        HorizonPoint {
+            k,
+            lead: k as f64 * 10.0,
+            mae,
+        }
+    })
 }
 
 /// Per-cell mean and standard deviation of Table 1 across seeds.
@@ -142,10 +139,14 @@ pub struct RobustnessRow {
 /// Reruns Table 1 for each seed and aggregates per cell.
 pub fn seed_robustness(base: &ExperimentConfig, seeds: &[u64]) -> Vec<RobustnessRow> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let tables: Vec<_> = seeds
-        .iter()
-        .map(|&seed| table1_from(&short_dataset(&ExperimentConfig { seed, ..*base })))
-        .collect();
+    // Each seed is a full 6-host monitoring day. The outer sweep fans out
+    // over seeds so cores stay busy even at the tail of a seed's run; the
+    // nested per-host fan-out inside `short_dataset` briefly oversubscribes
+    // (bounded by seeds × hosts threads), which the OS absorbs and which
+    // cannot affect the result order.
+    let tables: Vec<_> = parallel_map(seeds.to_vec(), |seed| {
+        table1_from(&short_dataset(&ExperimentConfig { seed, ..*base }))
+    });
     let hosts: Vec<String> = tables[0].rows.iter().map(|r| r.host.clone()).collect();
     hosts
         .iter()

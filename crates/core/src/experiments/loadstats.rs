@@ -11,6 +11,7 @@
 
 use crate::experiments::dataset::ExperimentConfig;
 use crate::monitor::{Monitor, MonitorConfig};
+use nws_runtime::parallel_map;
 use nws_sim::HostProfile;
 use nws_stats::{aggregated_variance_hurst, autocorrelation, hurst_rs, periodogram_hurst};
 use nws_timeseries::{summarize, Series};
@@ -47,38 +48,37 @@ pub fn load_statistics(cfg: &ExperimentConfig) -> Vec<LoadStatsRow> {
         test_period: None,
         ..MonitorConfig::default()
     });
-    HostProfile::all()
-        .iter()
-        .map(|p| {
-            let mut host = p.build(cfg.seed ^ 0x10AD);
-            let out = monitor.run(&mut host);
-            let load_series: Series = out
-                .series
-                .load
-                .map_values(|avail| (1.0 / avail.max(1e-6) - 1.0).max(0.0));
-            let values = load_series.values();
-            let summary = summarize(values).expect("non-empty trace");
-            let max_lag = 360.min(values.len().saturating_sub(2));
-            let rho = autocorrelation(values, max_lag).unwrap_or_default();
-            let at = |lag: usize| rho.get(lag).copied().unwrap_or(f64::NAN);
-            LoadStatsRow {
-                host: out.host,
-                n: values.len(),
-                mean: summary.mean,
-                std_dev: summary.std_dev,
-                max: summary.max,
-                median: summary.median,
-                acf: [at(1), at(6), at(30), at(360)],
-                hurst: (
-                    hurst_rs(values, 10).map(|e| e.h).unwrap_or(f64::NAN),
-                    aggregated_variance_hurst(values)
-                        .map(|e| e.h)
-                        .unwrap_or(f64::NAN),
-                    periodogram_hurst(values).map(|e| e.h).unwrap_or(f64::NAN),
-                ),
-            }
-        })
-        .collect()
+    // Per-host monitoring plus the three Hurst estimators is embarrassingly
+    // parallel; host order is preserved by parallel_map.
+    parallel_map(HostProfile::all().to_vec(), |p| {
+        let mut host = p.build(cfg.seed ^ 0x10AD);
+        let out = monitor.run(&mut host);
+        let load_series: Series = out
+            .series
+            .load
+            .map_values(|avail| (1.0 / avail.max(1e-6) - 1.0).max(0.0));
+        let values = load_series.values();
+        let summary = summarize(values).expect("non-empty trace");
+        let max_lag = 360.min(values.len().saturating_sub(2));
+        let rho = autocorrelation(values, max_lag).unwrap_or_default();
+        let at = |lag: usize| rho.get(lag).copied().unwrap_or(f64::NAN);
+        LoadStatsRow {
+            host: out.host,
+            n: values.len(),
+            mean: summary.mean,
+            std_dev: summary.std_dev,
+            max: summary.max,
+            median: summary.median,
+            acf: [at(1), at(6), at(30), at(360)],
+            hurst: (
+                hurst_rs(values, 10).map(|e| e.h).unwrap_or(f64::NAN),
+                aggregated_variance_hurst(values)
+                    .map(|e| e.h)
+                    .unwrap_or(f64::NAN),
+                periodogram_hurst(values).map(|e| e.h).unwrap_or(f64::NAN),
+            ),
+        }
+    })
 }
 
 /// Sanity helper: Eq. 1 really is invertible on its range.

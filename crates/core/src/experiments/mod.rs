@@ -33,7 +33,9 @@ pub mod loadstats;
 pub mod tables;
 
 pub use ablations::{bias_ablation, forecaster_ablation, probe_duration_sweep};
-pub use dataset::{medium_dataset, short_dataset, weekly_load_series, ExperimentConfig};
+pub use dataset::{
+    all_datasets, medium_dataset, short_dataset, weekly_load_series, ExperimentConfig,
+};
 pub use extensions::{
     aggregation_sweep, horizon_sweep, seed_robustness, sweep_dataset, AggregationPoint,
     HorizonPoint, RobustnessRow,

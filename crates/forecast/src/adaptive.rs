@@ -11,6 +11,12 @@ use nws_timeseries::SlidingWindow;
 /// current window's error, and moves to whichever was best. This is the
 /// "adjusted" window scheme from the NWS forecaster family: long windows
 /// win on slowly varying series, short ones after regime changes.
+///
+/// The three candidate suffix sums are maintained as rolling sums (add the
+/// incoming value, subtract the value sliding out of that suffix), so an
+/// observation costs O(1) instead of three O(window) rescans. The sums are
+/// recomputed exactly whenever the window length changes and periodically
+/// in between to bound floating-point drift.
 #[derive(Debug)]
 pub struct AdaptiveWindowMean {
     min_len: usize,
@@ -19,13 +25,22 @@ pub struct AdaptiveWindowMean {
     /// One shared buffer sized to `max_len`; each candidate length reads a
     /// suffix of it.
     window: SlidingWindow,
+    /// Rolling suffix sums for the half/current/double candidate lengths.
+    sum_half: f64,
+    sum_current: f64,
+    sum_double: f64,
     err_current: f64,
     err_half: f64,
     err_double: f64,
     since_review: usize,
     review_every: usize,
+    pushes_since_refresh: usize,
     count: u64,
 }
+
+/// How many observations between exact recomputations of the rolling
+/// candidate sums.
+const SUM_REFRESH_INTERVAL: usize = 4096;
 
 impl AdaptiveWindowMean {
     /// Creates an adaptive window constrained to `[min_len, max_len]`.
@@ -40,11 +55,15 @@ impl AdaptiveWindowMean {
             max_len,
             len: min_len.max((min_len + max_len) / 4),
             window: SlidingWindow::new(max_len),
+            sum_half: 0.0,
+            sum_current: 0.0,
+            sum_double: 0.0,
             err_current: 0.0,
             err_half: 0.0,
             err_double: 0.0,
             since_review: 0,
             review_every: 8,
+            pushes_since_refresh: 0,
             count: 0,
         }
     }
@@ -54,15 +73,37 @@ impl AdaptiveWindowMean {
         self.len
     }
 
-    fn suffix_mean(&self, len: usize) -> Option<f64> {
+    /// The half-length candidate for the current window length.
+    fn half_len(&self) -> usize {
+        (self.len / 2).max(self.min_len)
+    }
+
+    /// The double-length candidate for the current window length.
+    fn double_len(&self) -> usize {
+        (self.len * 2).min(self.max_len)
+    }
+
+    /// Exact sum of the last `min(len, have)` window values, by rescan.
+    fn exact_suffix_sum(&self, len: usize) -> f64 {
+        let have = self.window.len();
+        let skip = have - len.min(have);
+        self.window.iter().skip(skip).sum()
+    }
+
+    /// Recomputes all three candidate sums exactly from the buffer.
+    fn refresh_sums(&mut self) {
+        self.sum_half = self.exact_suffix_sum(self.half_len());
+        self.sum_current = self.exact_suffix_sum(self.len);
+        self.sum_double = self.exact_suffix_sum(self.double_len());
+        self.pushes_since_refresh = 0;
+    }
+
+    fn suffix_mean(&self, len: usize, sum: f64) -> Option<f64> {
         let have = self.window.len();
         if have == 0 {
             return None;
         }
-        let take = len.min(have);
-        let skip = have - take;
-        let sum: f64 = self.window.iter().skip(skip).sum();
-        Some(sum / take as f64)
+        Some(sum / len.min(have) as f64)
     }
 }
 
@@ -75,22 +116,41 @@ impl Forecaster for AdaptiveWindowMean {
         // Score the three candidate lengths on this observation before
         // absorbing it (exponentially faded absolute error).
         const FADE: f64 = 0.9;
-        let half = (self.len / 2).max(self.min_len);
-        let double = (self.len * 2).min(self.max_len);
-        if let Some(p) = self.suffix_mean(self.len) {
+        let half = self.half_len();
+        let double = self.double_len();
+        if let Some(p) = self.suffix_mean(self.len, self.sum_current) {
             self.err_current = FADE * self.err_current + (p - value).abs();
         }
-        if let Some(p) = self.suffix_mean(half) {
+        if let Some(p) = self.suffix_mean(half, self.sum_half) {
             self.err_half = FADE * self.err_half + (p - value).abs();
         }
-        if let Some(p) = self.suffix_mean(double) {
+        if let Some(p) = self.suffix_mean(double, self.sum_double) {
             self.err_double = FADE * self.err_double + (p - value).abs();
         }
+        // Roll each candidate sum forward: the new value enters every
+        // suffix; a suffix already at its target length sheds its oldest
+        // member (indexed before the push shifts positions).
+        let have = self.window.len();
+        for (target_len, sum) in [
+            (half, &mut self.sum_half),
+            (self.len, &mut self.sum_current),
+            (double, &mut self.sum_double),
+        ] {
+            *sum += value;
+            if have >= target_len {
+                *sum -= self
+                    .window
+                    .get(have - target_len)
+                    .expect("suffix start is in range");
+            }
+        }
         self.window.push(value);
+        self.pushes_since_refresh += 1;
         self.count += 1;
         self.since_review += 1;
         if self.since_review >= self.review_every {
             self.since_review = 0;
+            let old_len = self.len;
             if self.err_half < self.err_current && self.err_half <= self.err_double {
                 self.len = half;
             } else if self.err_double < self.err_current {
@@ -99,11 +159,18 @@ impl Forecaster for AdaptiveWindowMean {
             self.err_current = 0.0;
             self.err_half = 0.0;
             self.err_double = 0.0;
+            if self.len != old_len {
+                // The candidate lengths changed; rebase the sums exactly.
+                self.refresh_sums();
+            }
+        }
+        if self.pushes_since_refresh >= SUM_REFRESH_INTERVAL {
+            self.refresh_sums();
         }
     }
 
     fn predict(&self) -> Option<f64> {
-        self.suffix_mean(self.len)
+        self.suffix_mean(self.len, self.sum_current)
     }
 
     fn reset(&mut self) {

@@ -134,9 +134,16 @@ impl Forecaster for SlidingMean {
 
 /// Predicts the median of the last `k` measurements — robust to the
 /// spikes a run-queue series is full of.
+///
+/// Alongside the FIFO window it keeps the same `k` values in a sorted
+/// `Vec`, updated by binary-search insert and evict on every observation
+/// (O(k) moves, no comparison sort), so a prediction is an O(1) index into
+/// the middle instead of an O(k log k) copy-and-sort per call.
 #[derive(Debug, Clone)]
 pub struct SlidingMedian {
     window: SlidingWindow,
+    /// The window's values in ascending order.
+    sorted: Vec<f64>,
     k: usize,
 }
 
@@ -149,6 +156,7 @@ impl SlidingMedian {
     pub fn new(k: usize) -> Self {
         Self {
             window: SlidingWindow::new(k),
+            sorted: Vec::with_capacity(k),
             k,
         }
     }
@@ -160,15 +168,31 @@ impl Forecaster for SlidingMedian {
     }
 
     fn observe(&mut self, value: f64) {
-        self.window.push(value);
+        debug_assert!(value.is_finite(), "median window values must be finite");
+        if let Some(evicted) = self.window.push(value) {
+            let at = self.sorted.partition_point(|&x| x < evicted);
+            debug_assert!(self.sorted[at] == evicted, "evicted value not found");
+            self.sorted.remove(at);
+        }
+        let at = self.sorted.partition_point(|&x| x < value);
+        self.sorted.insert(at, value);
     }
 
     fn predict(&self) -> Option<f64> {
-        self.window.median()
+        let n = self.sorted.len();
+        if n == 0 {
+            return None;
+        }
+        Some(if n % 2 == 1 {
+            self.sorted[n / 2]
+        } else {
+            (self.sorted[n / 2 - 1] + self.sorted[n / 2]) / 2.0
+        })
     }
 
     fn reset(&mut self) {
         self.window.clear();
+        self.sorted.clear();
     }
 }
 

@@ -38,6 +38,30 @@ struct MonitoredHost {
     ids: [ResourceId; 4], // load, vmstat, hybrid, load1 (registry order)
 }
 
+/// Advances one host to the given slot's measurement time and takes all
+/// four readings. Touches only this host's state, so batches of slots can
+/// run on different hosts concurrently.
+fn measure_host(
+    mh: &mut MonitoredHost,
+    slot: u64,
+    probe_every: u64,
+    period: Seconds,
+) -> (Seconds, [f64; 4]) {
+    let probe_slot = slot.is_multiple_of(probe_every);
+    let target = (slot + 1) as f64 * period;
+    mh.host.advance_to(target);
+    let t = mh.host.now();
+    let load_avail = mh.load_sensor.measure(&mh.host);
+    let vm_avail = mh.vmstat_sensor.measure(&mh.host);
+    let hybrid_avail = if probe_slot {
+        mh.hybrid_sensor.measure_with_probe(&mut mh.host)
+    } else {
+        mh.hybrid_sensor.measure(&mh.host)
+    };
+    let load1 = mh.host.load_average().one_minute();
+    (t, [load_avail, vm_avail, hybrid_avail, load1])
+}
+
 /// One host's row in a grid snapshot.
 #[derive(Debug, Clone)]
 pub struct HostReport {
@@ -164,30 +188,20 @@ impl GridMonitor {
         self.slots
     }
 
+    fn probe_every(&self) -> u64 {
+        (self.config.probe_period / self.config.measurement_period)
+            .round()
+            .max(1.0) as u64
+    }
+
     /// Advances every host by one measurement period and publishes one
     /// measurement per registered series.
     pub fn step(&mut self) {
-        let probe_every = (self.config.probe_period / self.config.measurement_period)
-            .round()
-            .max(1.0) as u64;
-        let probe_slot = self.slots.is_multiple_of(probe_every);
+        let probe_every = self.probe_every();
+        let period = self.config.measurement_period;
         for mh in &mut self.hosts {
-            let target = (self.slots + 1) as f64 * self.config.measurement_period;
-            mh.host.advance_to(target);
-            let t = mh.host.now();
-            let load_avail = mh.load_sensor.measure(&mh.host);
-            let vm_avail = mh.vmstat_sensor.measure(&mh.host);
-            let hybrid_avail = if probe_slot {
-                mh.hybrid_sensor.measure_with_probe(&mut mh.host)
-            } else {
-                mh.hybrid_sensor.measure(&mh.host)
-            };
-            let load1 = mh.host.load_average().one_minute();
-            for (id, value) in mh
-                .ids
-                .iter()
-                .zip([load_avail, vm_avail, hybrid_avail, load1])
-            {
+            let (t, values) = measure_host(mh, self.slots, probe_every, period);
+            for (id, value) in mh.ids.iter().zip(values) {
                 if self.memory.store(*id, t, value) {
                     self.service.observe(*id, value);
                 }
@@ -197,10 +211,47 @@ impl GridMonitor {
     }
 
     /// Runs `n` measurement steps.
+    ///
+    /// With more than one worker thread available, the fleet is advanced
+    /// host-by-host in parallel: each host simulates all `n` slots on its
+    /// own thread (host simulators and sensors share no state), and the
+    /// buffered measurements are then committed to the memory and forecast
+    /// service slot-major in host-registration order — exactly the order a
+    /// sequential [`GridMonitor::step`] loop uses, so memory contents and
+    /// forecast state are bit-identical at any thread count.
     pub fn run_steps(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        if n == 0 {
+            return;
         }
+        if nws_runtime::threads() <= 1 || self.hosts.len() <= 1 {
+            for _ in 0..n {
+                self.step();
+            }
+            return;
+        }
+        let probe_every = self.probe_every();
+        let period = self.config.measurement_period;
+        let start_slot = self.slots;
+        let hosts = std::mem::take(&mut self.hosts);
+        let mut advanced = nws_runtime::parallel_map(hosts, |mut mh| {
+            let mut batch = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                batch.push(measure_host(&mut mh, start_slot + i, probe_every, period));
+            }
+            (mh, batch)
+        });
+        for i in 0..n as usize {
+            for (mh, batch) in &advanced {
+                let (t, values) = batch[i];
+                for (id, value) in mh.ids.iter().zip(values) {
+                    if self.memory.store(*id, t, value) {
+                        self.service.observe(*id, value);
+                    }
+                }
+            }
+        }
+        self.hosts = advanced.drain(..).map(|(mh, _)| mh).collect();
+        self.slots += n;
     }
 
     /// A snapshot of every host's latest hybrid measurement and forecast.
@@ -296,6 +347,39 @@ mod tests {
             .lookup("gremlin", Metric::LoadAverage)
             .expect("registered");
         assert_eq!(gm.memory().len(id), 10);
+    }
+
+    #[test]
+    fn batched_run_matches_sequential_stepping() {
+        // step() n times (always sequential) vs run_steps(n) (batched when
+        // threads allow): memory contents must be bit-identical.
+        let collect = |batched: bool| {
+            let mut gm = GridMonitor::ucsd(11);
+            if batched {
+                nws_runtime::set_threads(Some(4));
+                gm.run_steps(24);
+                nws_runtime::set_threads(None);
+            } else {
+                for _ in 0..24 {
+                    gm.step();
+                }
+            }
+            let mut all = Vec::new();
+            for mh in &gm.hosts {
+                for id in mh.ids {
+                    let points: Vec<(f64, f64)> = gm
+                        .memory
+                        .extract(id, usize::MAX)
+                        .iter()
+                        .map(|p| (p.time, p.value))
+                        .collect();
+                    let forecast = gm.service.forecast(id).map(|a| a.forecast.value);
+                    all.push((points, forecast));
+                }
+            }
+            all
+        };
+        assert_eq!(collect(true), collect(false));
     }
 
     #[test]

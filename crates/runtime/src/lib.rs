@@ -1,0 +1,198 @@
+//! Deterministic parallel execution primitives.
+//!
+//! The experiment stack fans out over independent units of work — hosts,
+//! seeds, probe durations, aggregation levels — whose outputs are pure
+//! functions of their inputs. [`parallel_map`] exploits that: it runs a
+//! closure over a batch of items on a bounded pool of scoped threads and
+//! returns the results **in input order**, so the output is bit-identical
+//! to a sequential `map` regardless of the thread count or OS scheduling.
+//!
+//! The layer is dependency-free (plain `std::thread::scope`) and the
+//! thread count is resolved, in priority order, from:
+//!
+//! 1. a programmatic override installed with [`set_threads`] (the
+//!    `repro --threads N` flag uses this),
+//! 2. the `NWS_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `threads = 1` is a guaranteed sequential fallback: the closure runs on
+//! the caller's thread and no worker threads are spawned at all.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Programmatic thread-count override; 0 means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide thread-count override taking precedence over
+/// `NWS_THREADS` and the detected parallelism. Pass `None` to clear it.
+///
+/// A count of 0 is treated as `None`.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Resolves the effective worker-thread count.
+///
+/// Priority: [`set_threads`] override, then the `NWS_THREADS` environment
+/// variable (ignored if unparsable or zero), then
+/// [`std::thread::available_parallelism`] (1 if unavailable).
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("NWS_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`threads`]`()` scoped worker threads,
+/// returning the results in input order.
+///
+/// Work is handed out through a shared atomic cursor, so threads stay busy
+/// even when per-item costs are uneven; each result is written back into
+/// the slot matching its input index, which makes the output order — and
+/// therefore every downstream artifact — independent of scheduling.
+///
+/// With an effective thread count of 1 (or at most one item) this runs
+/// sequentially on the caller's thread. A panic in `f` propagates to the
+/// caller once the scope joins.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit thread count, bypassing the global
+/// resolution. Mostly useful for tests pinning both sides of an
+/// equivalence check.
+pub fn parallel_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= slots.len() {
+                        break;
+                    }
+                    let item = slots[idx]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item claimed twice");
+                    let out = f(item);
+                    *results[idx].lock().expect("result slot poisoned") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker panic resurfaces with its original
+        // payload instead of the scope's generic one.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker left result slot empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        for workers in [1, 2, 3, 8, 64] {
+            let items: Vec<u64> = (0..97).collect();
+            let out = parallel_map_with(workers, items.clone(), |x| x * x);
+            let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert_eq!(parallel_map_with(4, empty, |x| x + 1), Vec::<i32>::new());
+        assert_eq!(parallel_map_with(4, vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn handles_non_clone_items_and_results() {
+        // T and R only need Send; exercise with heap-owning values.
+        let items: Vec<String> = (0..20).map(|i| format!("host-{i}")).collect();
+        let out = parallel_map_with(4, items, |s| s.into_bytes());
+        assert_eq!(out.len(), 20);
+        assert_eq!(out[7], b"host-7".to_vec());
+    }
+
+    #[test]
+    fn uneven_work_is_still_ordered() {
+        // Early items sleep longer, so later items finish first.
+        let items: Vec<u64> = (0..16).collect();
+        let out = parallel_map_with(8, items, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - i));
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        parallel_map_with(4, vec![0, 1, 2, 3], |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn override_beats_env_and_detection() {
+        set_threads(Some(3));
+        assert_eq!(threads(), 3);
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn sequential_fallback_runs_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let out = parallel_map_with(1, vec![(), (), ()], |()| std::thread::current().id());
+        assert!(out.iter().all(|id| *id == caller));
+    }
+}

@@ -22,6 +22,7 @@
 use crate::policy::{place, Placement, Policy};
 use nws_core::monitor::{Monitor, MonitorConfig};
 use nws_forecast::NwsForecaster;
+use nws_runtime::parallel_map;
 use nws_sensors::LoadAvgSensor;
 use nws_sim::{Host, HostProfile, ProcessSpec, Seconds};
 use nws_stats::Rng;
@@ -121,9 +122,6 @@ fn gather_estimates(cfg: &SchedConfig) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         test_period: None,
         ..MonitorConfig::default()
     });
-    let mut hybrid_fc = Vec::new();
-    let mut load_fc = Vec::new();
-    let mut loads = Vec::new();
     let forecast_of = |values: &[f64]| {
         let mut nws = NwsForecaster::nws_default();
         let mut forecast = 1.0;
@@ -134,12 +132,24 @@ fn gather_estimates(cfg: &SchedConfig) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         }
         forecast.clamp(0.0, 1.0)
     };
-    for p in HostProfile::all() {
+    // Each host's measurement phase is seed-isolated; fan out and unzip in
+    // host order.
+    let rows = parallel_map(HostProfile::all().to_vec(), |p| {
         let mut host = p.build(per_host_seed(cfg.seed, p.name()));
         let out = monitor.run(&mut host);
-        hybrid_fc.push(forecast_of(out.series.hybrid.values()));
-        load_fc.push(forecast_of(out.series.load.values()));
-        loads.push(LoadAvgSensor::new().measure(&host));
+        (
+            forecast_of(out.series.hybrid.values()),
+            forecast_of(out.series.load.values()),
+            LoadAvgSensor::new().measure(&host),
+        )
+    });
+    let mut hybrid_fc = Vec::with_capacity(rows.len());
+    let mut load_fc = Vec::with_capacity(rows.len());
+    let mut loads = Vec::with_capacity(rows.len());
+    for (h, l, inst) in rows {
+        hybrid_fc.push(h);
+        load_fc.push(l);
+        loads.push(inst);
     }
     (hybrid_fc, load_fc, loads)
 }
@@ -147,8 +157,11 @@ fn gather_estimates(cfg: &SchedConfig) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
 /// Executes a placement against freshly rebuilt hosts and returns the
 /// observed makespan.
 fn execute_placement(cfg: &SchedConfig, bag: &TaskBag, placement: &Placement) -> Seconds {
-    let mut makespan: Seconds = 0.0;
-    for (h, p) in HostProfile::all().iter().enumerate() {
+    // Hosts execute their task shares independently; the makespan is a
+    // max-reduction over per-host completion times, so order is irrelevant
+    // and the per-host simulations fan out across worker threads.
+    let jobs: Vec<(usize, HostProfile)> = HostProfile::all().iter().copied().enumerate().collect();
+    let completions = parallel_map(jobs, |(h, p)| {
         let mut host: Host = p.build(per_host_seed(cfg.seed, p.name()));
         // Fast-forward to the scheduling instant (warmup + measurement).
         host.advance_to(600.0 + cfg.monitor_span);
@@ -161,15 +174,15 @@ fn execute_placement(cfg: &SchedConfig, bag: &TaskBag, placement: &Placement) ->
             .map(|(&w, _)| host.spawn(ProcessSpec::cpu_bound("grid-task").with_cpu_limit(w)))
             .collect();
         if pids.is_empty() {
-            continue;
+            return 0.0;
         }
         let deadline = start + cfg.max_execution;
         while pids.iter().any(|&pid| host.kernel().is_alive(pid)) && host.now() < deadline {
             host.advance(1.0);
         }
-        makespan = makespan.max(host.now() - start);
-    }
-    makespan
+        host.now() - start
+    });
+    completions.into_iter().fold(0.0, f64::max)
 }
 
 /// Runs the full experiment: every policy over the same task bag and the

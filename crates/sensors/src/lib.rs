@@ -77,7 +77,6 @@ impl AvailabilitySensor for HybridSensor {
     }
 }
 
-
 pub use hybrid::{HybridConfig, HybridSensor, Method};
 pub use loadavg_sensor::{availability_from_load, LoadAvgSensor};
 pub use test_process::TestProcess;

@@ -28,7 +28,10 @@ use crate::Seconds;
 use nws_stats::{DaviesHarte, Distribution, Exponential, Pareto, Rng};
 
 /// A source of load on a simulated host, polled once per scheduling tick.
-pub trait Workload: std::fmt::Debug {
+///
+/// `Send` is a supertrait so whole hosts (which own boxed workloads) can be
+/// moved onto worker threads by the parallel experiment drivers.
+pub trait Workload: std::fmt::Debug + Send {
     /// Display name (for traces and debugging).
     fn name(&self) -> &str;
 

@@ -141,6 +141,17 @@ impl SlidingWindow {
         }
     }
 
+    /// The value at position `i`, where 0 is the oldest retained value and
+    /// `len() - 1` the newest. `None` when out of range.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        if i >= self.len {
+            None
+        } else {
+            let cap = self.buf.len();
+            Some(self.buf[(self.head + i) % cap])
+        }
+    }
+
     /// Iterates oldest → newest.
     pub fn iter(&self) -> WindowIter<'_> {
         WindowIter {
@@ -307,6 +318,19 @@ mod tests {
         }
         let exact: f64 = w.iter().sum();
         assert!((w.sum() - exact).abs() < 1e-3, "drift too large");
+    }
+
+    #[test]
+    fn get_indexes_oldest_to_newest() {
+        let mut w = SlidingWindow::new(3);
+        assert_eq!(w.get(0), None);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert_eq!(w.get(0), Some(2.0));
+        assert_eq!(w.get(1), Some(3.0));
+        assert_eq!(w.get(2), Some(4.0));
+        assert_eq!(w.get(3), None);
     }
 
     #[test]

@@ -22,11 +22,14 @@
 //! - [`net`] — the network half of the weather service: simulated
 //!   wide-area links with self-similar cross-traffic, bandwidth/latency
 //!   sensors, and forecasting over their series.
+//! - [`runtime`] — deterministic parallel execution (`parallel_map`,
+//!   thread-count resolution) used by the experiment drivers.
 
 pub use nws_core as core;
 pub use nws_forecast as forecast;
 pub use nws_grid as grid;
 pub use nws_net as net;
+pub use nws_runtime as runtime;
 pub use nws_sched as sched;
 pub use nws_sensors as sensors;
 pub use nws_sim as sim;

@@ -2,7 +2,9 @@
 //! seed. This is what lets the repro harness regenerate the tables
 //! bit-identically.
 
-use nws::core::experiments::{short_dataset, table1_from, ExperimentConfig};
+use nws::core::experiments::{
+    all_datasets, medium_dataset, short_dataset, table1_from, weekly_load_series, ExperimentConfig,
+};
 use nws::sched::experiment::{run_scheduling_experiment, SchedConfig};
 use nws::sim::HostProfile;
 use nws::stats::{DaviesHarte, Hosking, Rng};
@@ -63,6 +65,50 @@ fn fgn_generators_replay_exactly() {
         ho.sample(256, &mut Rng::new(5)).expect("sample"),
         ho.sample(256, &mut Rng::new(5)).expect("sample")
     );
+}
+
+#[test]
+fn parallel_datasets_are_bit_identical_to_sequential() {
+    // The experiment drivers fan out over hosts through nws-runtime;
+    // ordered result reassembly must make thread count unobservable.
+    // Exercised at 1 worker (guaranteed sequential fallback) vs 4.
+    let cfg = ExperimentConfig::quick();
+    let collect = |threads: usize| {
+        nws::runtime::set_threads(Some(threads));
+        let short = short_dataset(&cfg);
+        let medium = medium_dataset(&cfg);
+        let weekly = weekly_load_series(&cfg);
+        let (short_c, medium_c, weekly_c) = all_datasets(&cfg);
+        nws::runtime::set_threads(None);
+        (short, medium, weekly, short_c, medium_c, weekly_c)
+    };
+    let seq = collect(1);
+    let par = collect(4);
+
+    for (outs_seq, outs_par) in [
+        (&seq.0, &par.0),
+        (&seq.1, &par.1),
+        (&seq.3, &par.3),
+        (&seq.4, &par.4),
+    ] {
+        assert_eq!(outs_seq.len(), outs_par.len());
+        for (a, b) in outs_seq.iter().zip(outs_par.iter()) {
+            assert_eq!(a.host, b.host);
+            assert_eq!(a.series.load.values(), b.series.load.values());
+            assert_eq!(a.series.vmstat.values(), b.series.vmstat.values());
+            assert_eq!(a.series.hybrid.values(), b.series.hybrid.values());
+            assert_eq!(a.tests.len(), b.tests.len());
+            for (ta, tb) in a.tests.iter().zip(b.tests.iter()) {
+                assert_eq!(ta.value, tb.value);
+                assert_eq!(ta.prior.hybrid, tb.prior.hybrid);
+            }
+        }
+    }
+    for (ws, wp) in [(&seq.2, &par.2), (&seq.5, &par.5)] {
+        for (a, b) in ws.iter().zip(wp.iter()) {
+            assert_eq!(a.values(), b.values());
+        }
+    }
 }
 
 #[test]
