@@ -1,10 +1,10 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--threads N] <experiment>...
+//! repro [--quick] [--smoke] [--seed N] [--threads N] <experiment>...
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 ablation sweep robustness
-//!              sched datasched net loadstats perf all
+//!              sched datasched net loadstats faults perf all
 //! ```
 //!
 //! Tables are printed with the paper's published value in parentheses next
@@ -43,6 +43,7 @@ use std::fmt::Write as _;
 
 struct Args {
     quick: bool,
+    smoke: bool,
     seed: Option<u64>,
     threads: Option<usize>,
     experiments: BTreeSet<String>,
@@ -50,6 +51,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut quick = false;
+    let mut smoke = false;
     let mut seed = None;
     let mut threads = None;
     let mut experiments = BTreeSet::new();
@@ -57,6 +59,12 @@ fn parse_args() -> Args {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--smoke" => {
+                // CI-sized runs: quick datasets plus the smallest sweep
+                // grids, meant for cross-thread-count diffing.
+                smoke = true;
+                quick = true;
+            }
             "--seed" => {
                 let v = iter.next().unwrap_or_else(|| usage("--seed needs a value"));
                 seed = Some(v.parse().unwrap_or_else(|_| usage("bad seed")));
@@ -99,6 +107,7 @@ fn parse_args() -> Args {
         "datasched",
         "net",
         "loadstats",
+        "faults",
         "perf",
         "all",
     ];
@@ -109,6 +118,7 @@ fn parse_args() -> Args {
     }
     Args {
         quick,
+        smoke,
         seed,
         threads,
         experiments,
@@ -120,10 +130,10 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--threads N] <experiment>...\n\
+        "usage: repro [--quick] [--smoke] [--seed N] [--threads N] <experiment>...\n\
          experiments: table1 table2 table3 table4 table5 table6\n\
          \x20            fig1 fig2 fig3 fig4 ablation sweep robustness\n\
-         \x20            sched datasched net loadstats perf all"
+         \x20            sched datasched net loadstats faults perf all"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -343,6 +353,11 @@ fn main() {
     if want("loadstats") {
         timed(&mut stages, "loadstats", || run_loadstats(&cfg));
     }
+    if want("faults") {
+        timed(&mut stages, "faults", || {
+            run_faults(&cfg, args.quick, args.smoke)
+        });
+    }
     // `perf` is a pure timing suite; it is only run when asked for by name
     // (it would double-run stages under `all`).
     if !run_all && args.experiments.contains("perf") {
@@ -438,6 +453,147 @@ fn run_loadstats(cfg: &ExperimentConfig) {
         );
     }
     write_artifact("loadstats.csv", &csv);
+}
+
+/// The `faults` experiment: sweeps fault intensity over the six-host grid
+/// and reports how the measurement path degrades — gap fraction, forecast
+/// error on the surviving hybrid series, divergence from the fault-free
+/// run (matched by timestamp), and degraded-mode reporting at the end.
+fn run_faults(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
+    use nws_faults::{FaultPlan, FaultRates};
+    use nws_forecast::{evaluate_one_step, NwsForecaster};
+    use nws_grid::{GridMonitor, Metric};
+    use std::collections::BTreeMap;
+
+    let steps: u64 = if smoke {
+        180 // half an hour
+    } else if quick {
+        360 // one hour
+    } else {
+        2160 // six hours
+    };
+    let rates: &[f64] = if quick {
+        &[0.0, 0.05, 0.2]
+    } else {
+        &[0.0, 0.02, 0.05, 0.1, 0.2]
+    };
+    let profiles = HostProfile::all();
+    println!(
+        "\nFault-injection sweep: {} hosts, {} slots ({} simulated minutes) per intensity",
+        profiles.len(),
+        steps,
+        steps * 10 / 60
+    );
+    println!(
+        "{:>6} {:>9} {:>7} {:>7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>5}",
+        "rate",
+        "delivered",
+        "gaps",
+        "reboot",
+        "late ok",
+        "late x",
+        "mae",
+        "diverge",
+        "conf",
+        "degr"
+    );
+    let mut csv = String::from(
+        "fault_rate,slots,delivered,gaps,gap_fraction,outage_slots,reboots,\
+         probe_attempts_failed,probes_abandoned,fallback_cross,delayed,\
+         late_delivered,late_dropped,hybrid_mae,divergence_vs_clean,\
+         mean_confidence,degraded_hosts\n",
+    );
+    // Fault-free reference: hybrid series keyed by timestamp bits, used to
+    // measure how far faulted runs drift on the slots both still measured.
+    let mut clean: Vec<BTreeMap<u64, f64>> = Vec::new();
+    for &rate in rates {
+        let mut gm = GridMonitor::with_faults(
+            &profiles,
+            cfg.seed,
+            nws_grid::GridMonitorConfig::default(),
+            FaultPlan::seeded(cfg.seed ^ 0xFA17, FaultRates::uniform(rate)),
+        );
+        gm.run_steps(steps);
+        let stats = gm.fault_stats();
+        let (mut mae_sum, mut mae_n) = (0.0, 0u32);
+        let (mut div_sum, mut div_n) = (0.0, 0u64);
+        let mut series_maps: Vec<BTreeMap<u64, f64>> = Vec::new();
+        for (i, p) in profiles.iter().enumerate() {
+            let id = gm
+                .registry()
+                .lookup(p.name(), Metric::CpuAvailabilityHybrid)
+                .expect("registered");
+            let pts = gm.memory().extract(id, usize::MAX);
+            let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
+            if let Some(r) = evaluate_one_step(&mut NwsForecaster::nws_default(), &values) {
+                mae_sum += r.mae;
+                mae_n += 1;
+            }
+            let map: BTreeMap<u64, f64> = pts.iter().map(|p| (p.time.to_bits(), p.value)).collect();
+            if let Some(c) = clean.get(i) {
+                for (t, v) in &map {
+                    if let Some(cv) = c.get(t) {
+                        div_sum += (v - cv).abs();
+                        div_n += 1;
+                    }
+                }
+            }
+            series_maps.push(map);
+        }
+        if clean.is_empty() {
+            clean = series_maps;
+        }
+        let snap = gm.snapshot();
+        let degraded = snap.hosts.iter().filter(|h| h.degraded).count();
+        let (conf_sum, conf_n) = snap
+            .hosts
+            .iter()
+            .filter_map(|h| h.forecast.as_ref())
+            .fold((0.0, 0u32), |(s, n), a| (s + a.confidence, n + 1));
+        let mae = mae_sum / f64::from(mae_n.max(1));
+        let divergence = if div_n > 0 {
+            div_sum / div_n as f64
+        } else {
+            0.0
+        };
+        let confidence = conf_sum / f64::from(conf_n.max(1));
+        let gap_fraction = stats.gaps as f64 / (stats.slots * 4) as f64;
+        println!(
+            "{:>6.2} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8.1}% {:>8.3} {:>9.2} {:>5}",
+            rate,
+            stats.delivered,
+            stats.gaps,
+            stats.reboots,
+            stats.late_delivered,
+            stats.late_dropped,
+            mae * 100.0,
+            divergence,
+            confidence,
+            degraded
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            rate,
+            stats.slots,
+            stats.delivered,
+            stats.gaps,
+            gap_fraction,
+            stats.outage_slots,
+            stats.reboots,
+            stats.probe_attempts_failed,
+            stats.probes_abandoned,
+            stats.fallback_cross,
+            stats.delayed,
+            stats.late_delivered,
+            stats.late_dropped,
+            mae,
+            divergence,
+            confidence,
+            degraded
+        );
+    }
+    write_artifact("faults_sweep.csv", &csv);
 }
 
 fn run_data_sched(cfg: &ExperimentConfig) {

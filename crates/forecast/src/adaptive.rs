@@ -177,6 +177,21 @@ impl Forecaster for AdaptiveWindowMean {
         let (min_len, max_len) = (self.min_len, self.max_len);
         *self = AdaptiveWindowMean::new(min_len, max_len);
     }
+
+    fn note_gap(&mut self) {
+        // Age out the pre-gap history but keep the learned window length:
+        // the series' timescale is a property of the workload mix, which
+        // usually survives an outage even though the level may not.
+        self.window.clear();
+        self.sum_half = 0.0;
+        self.sum_current = 0.0;
+        self.sum_double = 0.0;
+        self.err_current = 0.0;
+        self.err_half = 0.0;
+        self.err_double = 0.0;
+        self.since_review = 0;
+        self.pushes_since_refresh = 0;
+    }
 }
 
 /// Exponential smoothing with a Trigg–Leach adaptive gain.
@@ -305,6 +320,12 @@ impl Forecaster for StochasticGradient {
     fn reset(&mut self) {
         self.w = 1.0;
         self.b = 0.0;
+        self.last = None;
+    }
+
+    fn note_gap(&mut self) {
+        // The lag-1 link across the gap is meaningless; keep the learned
+        // AR(1) coefficients but wait for a fresh anchor value.
         self.last = None;
     }
 }

@@ -156,6 +156,14 @@ impl Forecaster for ArPredictor {
         self.since_refit = 0;
         self.mean = 0.0;
     }
+
+    fn note_gap(&mut self) {
+        // Autocovariance fits assume contiguous samples: drop the window
+        // so no lag ever spans the gap. The fitted model is kept — it
+        // resumes predicting once `order` fresh values accumulate.
+        self.window.clear();
+        self.since_refit = 0;
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,16 @@ pub trait Forecaster: std::fmt::Debug + Send {
 
     /// Resets the predictor to its initial state.
     fn reset(&mut self);
+
+    /// Notes a gap in the measurement stream (a slot with no reading).
+    ///
+    /// Window-based predictors age out their history rather than bridge
+    /// the gap — the values on the far side describe a workload that may
+    /// have changed entirely (most drastically across a host reboot).
+    /// Level-tracking predictors (smoothers, means of everything) keep
+    /// their state: their estimate is still the best guess for what comes
+    /// after the gap. The default is therefore a no-op.
+    fn note_gap(&mut self) {}
 }
 
 /// Predicts that the next value equals the most recent one.
@@ -130,6 +140,10 @@ impl Forecaster for SlidingMean {
     fn reset(&mut self) {
         self.window.clear();
     }
+
+    fn note_gap(&mut self) {
+        self.window.clear();
+    }
 }
 
 /// Predicts the median of the last `k` measurements — robust to the
@@ -194,6 +208,11 @@ impl Forecaster for SlidingMedian {
         self.window.clear();
         self.sorted.clear();
     }
+
+    fn note_gap(&mut self) {
+        self.window.clear();
+        self.sorted.clear();
+    }
 }
 
 /// Predicts the α-trimmed mean of the last `k` measurements (a compromise
@@ -235,6 +254,10 @@ impl Forecaster for TrimmedMean {
     }
 
     fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    fn note_gap(&mut self) {
         self.window.clear();
     }
 }
@@ -420,5 +443,30 @@ mod tests {
     #[should_panic(expected = "gain")]
     fn bad_gain_panics() {
         ExpSmoothing::new(0.0);
+    }
+
+    #[test]
+    fn gaps_age_out_windows_but_keep_levels() {
+        // Window predictors forget across a gap…
+        let mut sw = SlidingMean::new(5);
+        let mut med = SlidingMedian::new(5);
+        let mut trim = TrimmedMean::new(5, 0.2);
+        for f in [&mut sw as &mut dyn Forecaster, &mut med, &mut trim] {
+            feed(f, &[0.9, 0.9, 0.9]);
+            f.note_gap();
+            assert_eq!(f.predict(), None, "{} bridged the gap", f.name());
+            f.observe(0.2);
+            let p = f.predict().unwrap();
+            assert!((p - 0.2).abs() < 1e-12, "{}: {p}", f.name());
+        }
+        // …level predictors bridge it.
+        let mut last = LastValue::new();
+        let mut run = RunningMean::new();
+        let mut exp = ExpSmoothing::new(0.3);
+        for f in [&mut last as &mut dyn Forecaster, &mut run, &mut exp] {
+            feed(f, &[0.6, 0.6]);
+            f.note_gap();
+            assert_eq!(f.predict(), Some(0.6), "{} lost its level", f.name());
+        }
     }
 }

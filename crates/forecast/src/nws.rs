@@ -205,6 +205,26 @@ impl NwsForecaster {
         })
     }
 
+    /// Notes a gap in the measurement stream (a slot with no reading).
+    ///
+    /// Window-based panel members age out their stale history instead of
+    /// bridging the gap; level-tracking members keep their estimate. No
+    /// observation is counted and no member is scored — there is no value
+    /// to score against. The current selection is kept, but members whose
+    /// forecast went dark (cleared windows) are no longer served:
+    /// [`NwsForecaster::forecast`] returns what the selected member can
+    /// still predict, and the next real measurement reselects.
+    pub fn note_gap(&mut self) {
+        for f in &mut self.panel {
+            f.note_gap();
+        }
+        // If the selected member lost its forecast to the gap, fall back
+        // to any member that can still predict (a level smoother).
+        if self.panel[self.selected].predict().is_none() {
+            self.reselect();
+        }
+    }
+
     /// Resets every predictor and tracker.
     pub fn reset(&mut self) {
         for f in &mut self.panel {
@@ -351,5 +371,47 @@ mod tests {
     #[should_panic(expected = "panel")]
     fn empty_panel_panics() {
         NwsForecaster::new(Vec::new(), Selection::default(), 10);
+    }
+
+    #[test]
+    fn gap_keeps_a_live_forecast_without_counting_observations() {
+        let mut nws = NwsForecaster::nws_default();
+        for _ in 0..60 {
+            nws.update(0.8);
+        }
+        let n = nws.observations();
+        nws.note_gap();
+        assert_eq!(nws.observations(), n, "gaps are not observations");
+        // Some level predictor still serves a forecast near the old level.
+        let f = nws.forecast().expect("level members bridge the gap");
+        assert!(
+            (f.value - 0.8).abs() < 0.05,
+            "post-gap forecast {}",
+            f.value
+        );
+        // And the engine keeps working afterwards.
+        assert!(nws.update(0.5).is_some());
+    }
+
+    #[test]
+    fn gap_reselects_when_selected_member_goes_dark() {
+        // A window-only panel: the gap clears every member, so forecast()
+        // goes dark instead of serving stale values; the next measurement
+        // revives it.
+        let mut nws = NwsForecaster::new(
+            vec![
+                Box::new(SlidingMean::new(4)),
+                Box::new(SlidingMedian::new(4)),
+            ],
+            Selection::default(),
+            10,
+        );
+        for i in 0..20 {
+            nws.update(0.4 + 0.01 * (i % 3) as f64);
+        }
+        assert!(nws.forecast().is_some());
+        nws.note_gap();
+        assert!(nws.forecast().is_none(), "window panel must go dark");
+        assert!(nws.update(0.6).is_some());
     }
 }

@@ -27,11 +27,41 @@ impl Default for MemoryConfig {
     }
 }
 
+/// Why [`Memory::append`] accepted or refused a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The measurement was appended to the series.
+    Stored,
+    /// The timestamp was not strictly after the series' latest point
+    /// (late or duplicate delivery). Counted per series.
+    RejectedOutOfOrder,
+    /// The value or timestamp was NaN/infinite.
+    RejectedNonFinite,
+}
+
+impl StoreOutcome {
+    /// True when the measurement was stored.
+    pub fn is_stored(&self) -> bool {
+        matches!(self, StoreOutcome::Stored)
+    }
+}
+
+/// Per-series bookkeeping beyond the measurement ring itself.
+#[derive(Debug, Clone, Default)]
+struct SeriesMeta {
+    /// Out-of-order (or duplicate-time) deliveries dropped.
+    dropped: u64,
+    /// Timestamps of slots that resolved to no measurement at all,
+    /// bounded like the measurement ring.
+    gaps: VecDeque<Seconds>,
+}
+
 /// The measurement store.
 #[derive(Debug)]
 pub struct Memory {
     config: MemoryConfig,
     store: BTreeMap<ResourceId, VecDeque<TimePoint>>,
+    meta: BTreeMap<ResourceId, SeriesMeta>,
 }
 
 impl Memory {
@@ -45,27 +75,72 @@ impl Memory {
         Self {
             config,
             store: BTreeMap::new(),
+            meta: BTreeMap::new(),
         }
     }
 
     /// Stores one measurement. Timestamps within a series must be strictly
     /// increasing; out-of-order measurements are rejected with `false`
     /// (the NWS drops them too — clocks only move forward on one sensor).
+    ///
+    /// Convenience wrapper over [`Memory::append`].
     pub fn store(&mut self, id: ResourceId, time: Seconds, value: f64) -> bool {
+        self.append(id, time, value).is_stored()
+    }
+
+    /// Stores one measurement, reporting *why* a refused one was refused.
+    /// Out-of-order rejections are counted per series (see
+    /// [`Memory::dropped`]) so fault-injected delivery reordering is
+    /// observable rather than silent.
+    pub fn append(&mut self, id: ResourceId, time: Seconds, value: f64) -> StoreOutcome {
         if !value.is_finite() || !time.is_finite() {
-            return false;
+            return StoreOutcome::RejectedNonFinite;
         }
         let buf = self.store.entry(id).or_default();
         if let Some(last) = buf.back() {
             if time <= last.time {
-                return false;
+                self.meta.entry(id).or_default().dropped += 1;
+                return StoreOutcome::RejectedOutOfOrder;
             }
         }
         if buf.len() == self.config.retain {
             buf.pop_front();
         }
         buf.push_back(TimePoint::new(time, value));
-        true
+        StoreOutcome::Stored
+    }
+
+    /// Records that the slot at `time` produced no measurement for this
+    /// series — an explicit gap, distinct from "nothing happened". Gap
+    /// timestamps are retained under the same bound as measurements.
+    pub fn record_gap(&mut self, id: ResourceId, time: Seconds) {
+        let meta = self.meta.entry(id).or_default();
+        if meta.gaps.len() == self.config.retain {
+            meta.gaps.pop_front();
+        }
+        meta.gaps.push_back(time);
+    }
+
+    /// Number of out-of-order deliveries dropped from a series.
+    pub fn dropped(&self, id: ResourceId) -> u64 {
+        self.meta.get(&id).map_or(0, |m| m.dropped)
+    }
+
+    /// Total out-of-order drops across all series.
+    pub fn total_dropped(&self) -> u64 {
+        self.meta.values().map(|m| m.dropped).sum()
+    }
+
+    /// Number of recorded gaps for a series (bounded by retention).
+    pub fn gap_count(&self, id: ResourceId) -> usize {
+        self.meta.get(&id).map_or(0, |m| m.gaps.len())
+    }
+
+    /// The recorded gap timestamps for a series, oldest first.
+    pub fn gaps(&self, id: ResourceId) -> Vec<Seconds> {
+        self.meta
+            .get(&id)
+            .map_or_else(Vec::new, |m| m.gaps.iter().copied().collect())
     }
 
     /// Number of measurements currently held for a series.
@@ -245,5 +320,42 @@ mod tests {
         assert_eq!(m.len(rid(1)), 1);
         assert_eq!(m.len(rid(2)), 1);
         assert_eq!(m.resource_ids(), vec![rid(1), rid(2)]);
+    }
+
+    #[test]
+    fn append_reports_rejection_reasons_and_counts_drops() {
+        let mut m = Memory::new(MemoryConfig::default());
+        assert_eq!(m.append(rid(1), 10.0, 0.5), StoreOutcome::Stored);
+        assert_eq!(
+            m.append(rid(1), 10.0, 0.6),
+            StoreOutcome::RejectedOutOfOrder
+        );
+        assert_eq!(m.append(rid(1), 5.0, 0.6), StoreOutcome::RejectedOutOfOrder);
+        assert_eq!(
+            m.append(rid(1), 20.0, f64::NAN),
+            StoreOutcome::RejectedNonFinite
+        );
+        assert_eq!(m.dropped(rid(1)), 2, "only out-of-order deliveries count");
+        assert_eq!(m.dropped(rid(2)), 0);
+        assert_eq!(m.append(rid(2), 1.0, 0.1), StoreOutcome::Stored);
+        assert_eq!(m.append(rid(2), 0.5, 0.1), StoreOutcome::RejectedOutOfOrder);
+        assert_eq!(m.total_dropped(), 3);
+        // The series itself only holds the accepted points.
+        assert_eq!(m.len(rid(1)), 1);
+    }
+
+    #[test]
+    fn gaps_are_recorded_per_series_and_bounded() {
+        let mut m = Memory::new(MemoryConfig { retain: 3 });
+        assert_eq!(m.gap_count(rid(1)), 0);
+        for i in 0..5 {
+            m.record_gap(rid(1), i as f64 * 10.0);
+        }
+        assert_eq!(m.gap_count(rid(1)), 3, "gap ring respects retention");
+        assert_eq!(m.gaps(rid(1)), vec![20.0, 30.0, 40.0]);
+        assert_eq!(m.gap_count(rid(2)), 0);
+        assert!(m.gaps(rid(2)).is_empty());
+        // Gaps don't affect the measurement series.
+        assert!(m.is_empty(rid(1)));
     }
 }

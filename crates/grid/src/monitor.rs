@@ -1,9 +1,22 @@
 //! `GridMonitor`: the whole weather service over a fleet of hosts.
+//!
+//! Beyond the fault-free lockstep loop, the monitor threads a
+//! [`FaultPlan`] through the measurement path: hosts suffer sensor
+//! dropouts, failed probes (retried with backoff under a per-slot
+//! deadline), outages with reboots, and delayed deliveries — and every
+//! slot still resolves to either a stored reading or an explicit gap in
+//! the [`Memory`] and [`ForecastService`]. Because each host's fault
+//! stream is a pure function of the plan seed and the host name, and
+//! commits happen slot-major in registration order, runs are
+//! bit-identical at any `--threads` setting.
 
-use crate::memory::{Memory, MemoryConfig};
+use crate::memory::{Memory, MemoryConfig, StoreOutcome};
 use crate::registry::{Metric, Registry, ResourceId};
 use crate::service::{ForecastAnswer, ForecastService};
-use nws_sensors::{HybridSensor, LoadAvgSensor, VmstatSensor, MEASUREMENT_PERIOD, PROBE_PERIOD};
+use nws_faults::{FaultPlan, FaultStats, HostFaults, SlotFaults};
+use nws_sensors::{
+    HybridSensor, LoadAvgSensor, ProbeOutcome, VmstatSensor, MEASUREMENT_PERIOD, PROBE_PERIOD,
+};
 use nws_sim::{Host, HostProfile, Seconds};
 
 /// Grid monitor configuration.
@@ -17,6 +30,10 @@ pub struct GridMonitorConfig {
     pub memory: MemoryConfig,
     /// Two-sided coverage of forecast intervals.
     pub interval_coverage: f64,
+    /// Forecasts staler than this (seconds since the last absorbed
+    /// measurement) mark their host *degraded*: still reported, but
+    /// excluded from [`GridSnapshot::best_host`] placement decisions.
+    pub staleness_bound: Seconds,
 }
 
 impl Default for GridMonitorConfig {
@@ -26,8 +43,19 @@ impl Default for GridMonitorConfig {
             probe_period: PROBE_PERIOD,
             memory: MemoryConfig::default(),
             interval_coverage: 0.9,
+            staleness_bound: 120.0,
         }
     }
+}
+
+/// A measurement held back by a delivery fault, due to arrive later.
+#[derive(Debug, Clone, Copy)]
+struct PendingDelivery {
+    /// Slot at whose commit this measurement finally arrives.
+    due: u64,
+    id: ResourceId,
+    t: Seconds,
+    value: f64,
 }
 
 struct MonitoredHost {
@@ -36,30 +64,190 @@ struct MonitoredHost {
     vmstat_sensor: VmstatSensor,
     hybrid_sensor: HybridSensor,
     ids: [ResourceId; 4], // load, vmstat, hybrid, load1 (registry order)
+    /// This host's deterministic fault stream.
+    faults: HostFaults,
+    /// Measurements delayed in flight, drained at commit time.
+    pending: Vec<PendingDelivery>,
+    /// What the fault layer did to this host and how it was absorbed.
+    stats: FaultStats,
+}
+
+/// Everything one host produced for one slot: the measurement time, one
+/// optional reading per series (`None` = the reading was lost), and the
+/// faults that shaped it. Produced thread-side, committed sequentially.
+struct SlotRecord {
+    t: Seconds,
+    /// load, vmstat, hybrid, load1 — `None` marks an explicit gap.
+    values: [Option<f64>; 4],
+    faults: SlotFaults,
+    /// Probe-cycle outcome (probe slots only).
+    probe: Option<ProbeOutcome>,
+    /// The hybrid served this slot via the cross-sensor fallback.
+    cross_fallback: bool,
 }
 
 /// Advances one host to the given slot's measurement time and takes all
-/// four readings. Touches only this host's state, so batches of slots can
-/// run on different hosts concurrently.
+/// four readings, consulting the host's fault stream first. Touches only
+/// this host's state, so batches of slots can run on different hosts
+/// concurrently. With an inert fault stream every branch below reduces to
+/// the fault-free measurement path, bit for bit.
 fn measure_host(
     mh: &mut MonitoredHost,
     slot: u64,
     probe_every: u64,
     period: Seconds,
-) -> (Seconds, [f64; 4]) {
+) -> SlotRecord {
     let probe_slot = slot.is_multiple_of(probe_every);
     let target = (slot + 1) as f64 * period;
+    let f = mh.faults.slot(slot, probe_slot);
+    if f.outage && !f.reboot {
+        // Powered off: the simulator does not advance; the slot is a gap
+        // on every series at its nominal timestamp.
+        return SlotRecord {
+            t: target,
+            values: [None; 4],
+            faults: f,
+            probe: None,
+            cross_fallback: false,
+        };
+    }
+    if f.reboot {
+        // The host came back up at the start of this slot with a fresh
+        // kernel; stateful sensors must not difference across the boot.
+        // (An overrunning probe can leave the clock past the nominal boot
+        // time — boot "now" in that case rather than in the past.)
+        mh.host
+            .power_cycle_until((target - period).max(mh.host.now()));
+        mh.vmstat_sensor.reset();
+        mh.hybrid_sensor.reset();
+    }
     mh.host.advance_to(target);
     let t = mh.host.now();
-    let load_avail = mh.load_sensor.measure(&mh.host);
-    let vm_avail = mh.vmstat_sensor.measure(&mh.host);
-    let hybrid_avail = if probe_slot {
-        mh.hybrid_sensor.measure_with_probe(&mut mh.host)
+    let load_avail = if f.drop_load {
+        None
     } else {
-        mh.hybrid_sensor.measure(&mh.host)
+        Some(mh.load_sensor.measure(&mh.host))
+    };
+    let vm_avail = if f.drop_vmstat {
+        None
+    } else {
+        Some(mh.vmstat_sensor.measure(&mh.host))
+    };
+    let (hybrid_avail, probe, cross_fallback) = if probe_slot {
+        // The probe is an independent active measurement; it must finish
+        // (including retries and backoff) before the next slot's time.
+        let deadline = target + period;
+        let (v, outcome) = mh.hybrid_sensor.measure_with_probe_retries(
+            &mut mh.host,
+            f.failed_probe_attempts,
+            deadline,
+        );
+        (Some(v), Some(outcome), false)
+    } else {
+        match mh
+            .hybrid_sensor
+            .measure_degraded(&mh.host, f.drop_load, f.drop_vmstat)
+        {
+            Some((v, cross)) => (Some(v), None, cross),
+            None => (None, None, false),
+        }
     };
     let load1 = mh.host.load_average().one_minute();
-    (t, [load_avail, vm_avail, hybrid_avail, load1])
+    SlotRecord {
+        t,
+        values: [load_avail, vm_avail, hybrid_avail, Some(load1)],
+        faults: f,
+        probe,
+        cross_fallback,
+    }
+}
+
+/// Commits one host's slot to the memory and forecast service: drains
+/// late deliveries that are now due, then stores this slot's readings or
+/// records explicit gaps. Always called slot-major in host-registration
+/// order — from `step()` and `run_steps()` alike — so the shared state
+/// evolves identically at any thread count.
+fn commit_slot(
+    memory: &mut Memory,
+    service: &mut ForecastService,
+    mh: &mut MonitoredHost,
+    slot: u64,
+    rec: &SlotRecord,
+) {
+    mh.stats.slots += 1;
+    // Late deliveries land before the current slot's readings; whether
+    // the memory still accepts them depends on what arrived in between.
+    let mut i = 0;
+    while i < mh.pending.len() {
+        if mh.pending[i].due > slot {
+            i += 1;
+            continue;
+        }
+        let p = mh.pending.remove(i);
+        match memory.append(p.id, p.t, p.value) {
+            StoreOutcome::Stored => {
+                service.observe(p.id, p.t, p.value);
+                mh.stats.late_delivered += 1;
+            }
+            _ => mh.stats.late_dropped += 1,
+        }
+    }
+    let f = &rec.faults;
+    if f.reboot {
+        mh.stats.reboots += 1;
+    }
+    if f.outage && !f.reboot {
+        mh.stats.outage_slots += 1;
+        for id in mh.ids {
+            memory.record_gap(id, rec.t);
+            service.note_gap(id, rec.t);
+            mh.stats.gaps += 1;
+        }
+        return;
+    }
+    if let Some(p) = rec.probe {
+        mh.stats.probe_attempts_failed += u64::from(p.failed_attempts);
+        if !p.succeeded {
+            mh.stats.probes_abandoned += 1;
+        }
+    }
+    if rec.cross_fallback {
+        mh.stats.fallback_cross += 1;
+    }
+    if f.delay_slots > 0 {
+        // The readings exist but are in flight: the slot resolves to a
+        // gap *now*, and the values arrive at their due slot.
+        mh.stats.delayed += 1;
+        for (id, v) in mh.ids.iter().zip(rec.values) {
+            memory.record_gap(*id, rec.t);
+            service.note_gap(*id, rec.t);
+            mh.stats.gaps += 1;
+            if let Some(value) = v {
+                mh.pending.push(PendingDelivery {
+                    due: slot + f.delay_slots,
+                    id: *id,
+                    t: rec.t,
+                    value,
+                });
+            }
+        }
+        return;
+    }
+    for (id, v) in mh.ids.iter().zip(rec.values) {
+        match v {
+            Some(value) => {
+                if memory.append(*id, rec.t, value).is_stored() {
+                    service.observe(*id, rec.t, value);
+                    mh.stats.delivered += 1;
+                }
+            }
+            None => {
+                memory.record_gap(*id, rec.t);
+                service.note_gap(*id, rec.t);
+                mh.stats.gaps += 1;
+            }
+        }
+    }
 }
 
 /// One host's row in a grid snapshot.
@@ -69,8 +257,12 @@ pub struct HostReport {
     pub host: String,
     /// Latest hybrid availability measurement.
     pub latest_hybrid: Option<f64>,
-    /// Standing hybrid availability forecast.
+    /// Standing hybrid availability forecast (with staleness relative to
+    /// the snapshot time).
     pub forecast: Option<ForecastAnswer>,
+    /// The forecast is missing or staler than the configured bound:
+    /// the host is excluded from placement decisions.
+    pub degraded: bool,
 }
 
 /// A point-in-time view of the whole grid.
@@ -83,17 +275,26 @@ pub struct GridSnapshot {
 }
 
 impl GridSnapshot {
-    /// The host with the highest forecast availability, if any forecast is
-    /// live — where a scheduler would send the next task.
+    /// The non-degraded host with the highest finite forecast
+    /// availability, if any — where a scheduler would send the next task.
+    /// Hosts whose forecasts are stale (degraded) or non-finite are
+    /// skipped rather than trusted or panicked over.
     pub fn best_host(&self) -> Option<&HostReport> {
         self.hosts
             .iter()
-            .filter(|h| h.forecast.is_some())
-            .max_by(|a, b| {
-                let fa = a.forecast.as_ref().expect("filtered").forecast.value;
-                let fb = b.forecast.as_ref().expect("filtered").forecast.value;
-                fa.partial_cmp(&fb).expect("forecasts are finite")
+            .filter(|h| !h.degraded)
+            .filter_map(|h| {
+                let f = h.forecast.as_ref()?.forecast.value;
+                f.is_finite().then_some((h, f))
             })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(h, _)| h)
+    }
+
+    /// Hosts currently excluded from placement (no forecast, or one
+    /// staler than the bound).
+    pub fn degraded_hosts(&self) -> Vec<&HostReport> {
+        self.hosts.iter().filter(|h| h.degraded).collect()
     }
 }
 
@@ -120,14 +321,27 @@ pub struct GridMonitor {
     memory: Memory,
     service: ForecastService,
     hosts: Vec<MonitoredHost>,
+    plan: FaultPlan,
     /// Measurement slots taken so far.
     slots: u64,
 }
 
 impl GridMonitor {
     /// Creates a monitor over the given host profiles, all seeded from
-    /// `base_seed`.
+    /// `base_seed`, with no fault injection.
     pub fn new(profiles: &[HostProfile], base_seed: u64, config: GridMonitorConfig) -> Self {
+        Self::with_faults(profiles, base_seed, config, FaultPlan::none())
+    }
+
+    /// Creates a monitor whose measurement path is subjected to the given
+    /// fault plan. [`FaultPlan::none()`] reproduces the fault-free
+    /// monitor bit for bit.
+    pub fn with_faults(
+        profiles: &[HostProfile],
+        base_seed: u64,
+        config: GridMonitorConfig,
+        plan: FaultPlan,
+    ) -> Self {
         let mut registry = Registry::new();
         let hosts = profiles
             .iter()
@@ -144,12 +358,16 @@ impl GridMonitor {
                     registry.register(p.name(), Metric::CpuAvailabilityHybrid),
                     registry.register(p.name(), Metric::LoadAverage),
                 ];
+                let faults = plan.host_faults(p.name());
                 MonitoredHost {
                     host,
                     load_sensor: LoadAvgSensor::new(),
                     vmstat_sensor: VmstatSensor::new(),
                     hybrid_sensor: HybridSensor::default(),
                     ids,
+                    faults,
+                    pending: Vec::new(),
+                    stats: FaultStats::default(),
                 }
             })
             .collect();
@@ -159,6 +377,7 @@ impl GridMonitor {
             memory: Memory::new(config.memory),
             service: ForecastService::new(config.interval_coverage),
             hosts,
+            plan,
             slots: 0,
         }
     }
@@ -183,6 +402,20 @@ impl GridMonitor {
         &self.service
     }
 
+    /// The fault plan this monitor runs under.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Aggregate fault/survival statistics across the fleet.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for mh in &self.hosts {
+            total.merge(&mh.stats);
+        }
+        total
+    }
+
     /// Measurement slots taken so far.
     pub fn slots(&self) -> u64 {
         self.slots
@@ -195,17 +428,14 @@ impl GridMonitor {
     }
 
     /// Advances every host by one measurement period and publishes one
-    /// measurement per registered series.
+    /// measurement (or explicit gap) per registered series.
     pub fn step(&mut self) {
         let probe_every = self.probe_every();
         let period = self.config.measurement_period;
+        let slot = self.slots;
         for mh in &mut self.hosts {
-            let (t, values) = measure_host(mh, self.slots, probe_every, period);
-            for (id, value) in mh.ids.iter().zip(values) {
-                if self.memory.store(*id, t, value) {
-                    self.service.observe(*id, value);
-                }
-            }
+            let rec = measure_host(mh, slot, probe_every, period);
+            commit_slot(&mut self.memory, &mut self.service, mh, slot, &rec);
         }
         self.slots += 1;
     }
@@ -214,11 +444,12 @@ impl GridMonitor {
     ///
     /// With more than one worker thread available, the fleet is advanced
     /// host-by-host in parallel: each host simulates all `n` slots on its
-    /// own thread (host simulators and sensors share no state), and the
-    /// buffered measurements are then committed to the memory and forecast
-    /// service slot-major in host-registration order — exactly the order a
-    /// sequential [`GridMonitor::step`] loop uses, so memory contents and
-    /// forecast state are bit-identical at any thread count.
+    /// own thread (host simulators, sensors, and fault streams share no
+    /// state), and the buffered slot records are then committed to the
+    /// memory and forecast service slot-major in host-registration order
+    /// — exactly the order a sequential [`GridMonitor::step`] loop uses,
+    /// so memory contents, gap records, and forecast state are
+    /// bit-identical at any thread count.
     pub fn run_steps(&mut self, n: u64) {
         if n == 0 {
             return;
@@ -241,31 +472,37 @@ impl GridMonitor {
             (mh, batch)
         });
         for i in 0..n as usize {
-            for (mh, batch) in &advanced {
-                let (t, values) = batch[i];
-                for (id, value) in mh.ids.iter().zip(values) {
-                    if self.memory.store(*id, t, value) {
-                        self.service.observe(*id, value);
-                    }
-                }
+            for (mh, batch) in advanced.iter_mut() {
+                commit_slot(
+                    &mut self.memory,
+                    &mut self.service,
+                    mh,
+                    start_slot + i as u64,
+                    &batch[i],
+                );
             }
         }
         self.hosts = advanced.drain(..).map(|(mh, _)| mh).collect();
         self.slots += n;
     }
 
-    /// A snapshot of every host's latest hybrid measurement and forecast.
+    /// A snapshot of every host's latest hybrid measurement and forecast,
+    /// with staleness judged against the snapshot time.
     pub fn snapshot(&self) -> GridSnapshot {
         let time = self.slots as f64 * self.config.measurement_period;
+        let bound = self.config.staleness_bound;
         let hosts = self
             .hosts
             .iter()
             .map(|mh| {
                 let hybrid_id = mh.ids[2];
+                let forecast = self.service.forecast_at(hybrid_id, time);
+                let degraded = forecast.as_ref().is_none_or(|a| a.staleness > bound);
                 HostReport {
                     host: mh.host.name().to_string(),
                     latest_hybrid: self.memory.latest(hybrid_id).map(|p| p.value),
-                    forecast: self.service.forecast(hybrid_id),
+                    forecast,
+                    degraded,
                 }
             })
             .collect();
@@ -279,6 +516,7 @@ impl std::fmt::Debug for GridMonitor {
             .field("hosts", &self.hosts.len())
             .field("slots", &self.slots)
             .field("resources", &self.registry.len())
+            .field("faults", &!self.plan.is_none())
             .finish()
     }
 }
@@ -286,6 +524,7 @@ impl std::fmt::Debug for GridMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nws_faults::FaultRates;
 
     #[test]
     fn registers_four_series_per_host() {
@@ -314,6 +553,7 @@ mod tests {
         let answer = gm.forecasts().forecast(id).expect("forecaster live");
         assert!((0.0..=1.0).contains(&answer.forecast.value));
         assert_eq!(answer.observations, 30);
+        assert_eq!(answer.confidence, 1.0);
     }
 
     #[test]
@@ -326,6 +566,7 @@ mod tests {
         for h in &snap.hosts {
             assert!(h.latest_hybrid.is_some(), "{} has no measurement", h.host);
             assert!(h.forecast.is_some(), "{} has no forecast", h.host);
+            assert!(!h.degraded, "{} degraded on a clean run", h.host);
         }
         let best = snap.best_host().expect("forecasts live");
         assert!(!best.host.is_empty());
@@ -394,5 +635,177 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn best_host_skips_non_finite_forecasts() {
+        let mut gm = GridMonitor::ucsd(3);
+        gm.run_steps(6);
+        let mut snap = gm.snapshot();
+        // Corrupt one host's forecast: best_host must skip it, not panic.
+        snap.hosts[0].forecast.as_mut().unwrap().forecast.value = f64::NAN;
+        let best = snap.best_host().expect("five finite forecasts remain");
+        assert_ne!(best.host, snap.hosts[0].host);
+        // All degraded: no best host, still no panic.
+        for h in &mut snap.hosts {
+            h.degraded = true;
+        }
+        assert!(snap.best_host().is_none());
+    }
+
+    #[test]
+    fn none_plan_matches_fault_free_monitor_bit_for_bit() {
+        let dump = |gm: &GridMonitor| {
+            let mut all = Vec::new();
+            for mh in &gm.hosts {
+                for id in mh.ids {
+                    let pts: Vec<(f64, f64)> = gm
+                        .memory
+                        .extract(id, usize::MAX)
+                        .iter()
+                        .map(|p| (p.time, p.value))
+                        .collect();
+                    all.push((pts, gm.service.forecast(id).map(|a| a.forecast.value)));
+                }
+            }
+            all
+        };
+        let mut plain = GridMonitor::ucsd(21);
+        plain.run_steps(36);
+        let mut none = GridMonitor::with_faults(
+            &HostProfile::all(),
+            21,
+            GridMonitorConfig::default(),
+            FaultPlan::none(),
+        );
+        none.run_steps(36);
+        assert_eq!(dump(&plain), dump(&none));
+        assert_eq!(none.fault_stats().gaps, 0);
+        assert_eq!(none.fault_stats().delivered, 36 * 6 * 4);
+    }
+
+    #[test]
+    fn faulted_run_is_bit_identical_across_thread_counts() {
+        // The tentpole determinism guarantee: same seed + same FaultPlan
+        // => identical series, gap records, and stats at any --threads.
+        let run = |threads: Option<usize>| {
+            nws_runtime::set_threads(threads);
+            let mut gm = GridMonitor::with_faults(
+                &HostProfile::all(),
+                77,
+                GridMonitorConfig::default(),
+                FaultPlan::seeded(5, FaultRates::uniform(0.15)),
+            );
+            gm.run_steps(90);
+            nws_runtime::set_threads(None);
+            let mut series = Vec::new();
+            for mh in &gm.hosts {
+                for id in mh.ids {
+                    let pts: Vec<(f64, f64)> = gm
+                        .memory
+                        .extract(id, usize::MAX)
+                        .iter()
+                        .map(|p| (p.time, p.value))
+                        .collect();
+                    series.push((pts, gm.memory.gaps(id), gm.memory.dropped(id)));
+                }
+            }
+            (series, gm.fault_stats())
+        };
+        let (s1, st1) = run(Some(1));
+        let (s4, st4) = run(Some(4));
+        assert_eq!(s1, s4);
+        assert_eq!(st1, st4);
+        assert!(st1.gaps > 0, "0.15 intensity must produce gaps");
+    }
+
+    #[test]
+    fn every_slot_resolves_to_reading_or_gap_under_heavy_faults() {
+        let mut gm = GridMonitor::with_faults(
+            &HostProfile::all(),
+            13,
+            GridMonitorConfig::default(),
+            FaultPlan::seeded(99, FaultRates::uniform(0.4)),
+        );
+        gm.run_steps(120);
+        let stats = gm.fault_stats();
+        assert_eq!(stats.slots, 120 * 6);
+        // Per host-slot, each of the 4 series resolves on time to either
+        // a stored reading or an explicit gap (late arrivals resolve
+        // *their* slot's gap retroactively, not the current one).
+        assert_eq!(
+            stats.delivered + stats.gaps,
+            stats.slots * 4,
+            "every series-slot must resolve on time or as a gap"
+        );
+        assert!(stats.reboots > 0, "outages at 0.4 intensity reboot");
+        assert!(stats.probe_attempts_failed > 0);
+        assert!(stats.delayed > 0);
+        for mh in &gm.hosts {
+            for id in mh.ids {
+                assert!(
+                    gm.memory.len(id) + gm.memory.gap_count(id) > 0,
+                    "series must not be empty"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outage_degrades_host_and_best_host_excludes_it() {
+        // A plan with outages long enough to blow the staleness bound.
+        let rates = FaultRates {
+            outage: 0.08,
+            outage_slots: (20, 30), // 200–300 s >> 120 s bound
+            ..FaultRates::none()
+        };
+        let mut gm = GridMonitor::with_faults(
+            &HostProfile::all(),
+            31,
+            GridMonitorConfig::default(),
+            FaultPlan::seeded(8, rates),
+        );
+        // Step until some host is mid-outage at snapshot time.
+        let mut saw_degraded = false;
+        for _ in 0..240 {
+            gm.step();
+            let snap = gm.snapshot();
+            if snap.hosts.iter().any(|h| h.degraded) {
+                saw_degraded = true;
+                for h in &snap.degraded_hosts() {
+                    let f = h.forecast.as_ref().expect("forecast survives outage");
+                    assert!(f.staleness > 120.0, "staleness = {}", f.staleness);
+                }
+                if let Some(best) = snap.best_host() {
+                    assert!(!best.degraded);
+                }
+                break;
+            }
+        }
+        assert!(saw_degraded, "8%/slot outage rate over 40 min");
+        assert!(gm.fault_stats().outage_slots > 0);
+    }
+
+    #[test]
+    fn delayed_deliveries_arrive_late_or_drop_deterministically() {
+        let rates = FaultRates {
+            delay: 0.3,
+            delay_slots: (1, 4),
+            ..FaultRates::none()
+        };
+        let mut gm = GridMonitor::with_faults(
+            &[HostProfile::Gremlin],
+            17,
+            GridMonitorConfig::default(),
+            FaultPlan::seeded(2, rates),
+        );
+        gm.run_steps(200);
+        let st = gm.fault_stats();
+        assert!(st.delayed > 0, "30% delay rate over 200 slots");
+        assert!(st.gaps >= st.delayed * 4, "delayed slots gap all series");
+        // A delayed reading only survives if nothing newer was stored
+        // first; with on-time neighbors almost always present, most drop.
+        assert!(st.late_delivered + st.late_dropped > 0);
+        assert!(gm.memory.total_dropped() >= st.late_dropped);
     }
 }

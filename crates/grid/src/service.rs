@@ -2,7 +2,13 @@
 
 use crate::registry::ResourceId;
 use nws_forecast::{Forecast, IntervalTracker, NwsForecaster, PredictionInterval};
+use nws_timeseries::Seconds;
 use std::collections::BTreeMap;
+
+/// EWMA gain for the per-resource gap intensity that drives confidence
+/// degradation: each observation decays it toward 0, each gap pushes it
+/// toward 1.
+const GAP_EWMA_GAIN: f64 = 0.15;
 
 /// A forecast answer, NWS-extract style: the point forecast, the predictor
 /// that issued it, and a calibrated prediction interval.
@@ -15,13 +21,40 @@ pub struct ForecastAnswer {
     pub interval: Option<PredictionInterval>,
     /// Number of measurements the forecaster has consumed.
     pub observations: u64,
+    /// Seconds since the forecaster last absorbed a real measurement
+    /// (0 when queried via [`ForecastService::forecast`], which has no
+    /// notion of "now").
+    pub staleness: Seconds,
+    /// Confidence in `[0, 1]`: 1 on an uninterrupted measurement stream,
+    /// degrading toward 0 as recent slots resolve to gaps instead of
+    /// readings.
+    pub confidence: f64,
+}
+
+/// Per-resource forecasting state.
+#[derive(Debug)]
+struct ResourceState {
+    nws: NwsForecaster,
+    intervals: IntervalTracker,
+    /// Time of the last real measurement absorbed.
+    last_obs: Option<Seconds>,
+    /// EWMA of the recent gap rate (0 = clean stream, →1 = all gaps).
+    gap_ewma: f64,
+    /// Total gaps noted for this resource.
+    gaps: u64,
+}
+
+impl ResourceState {
+    fn confidence(&self) -> f64 {
+        (1.0 - self.gap_ewma).clamp(0.0, 1.0)
+    }
 }
 
 /// Per-resource forecasters, updated as measurements arrive.
 #[derive(Debug)]
 pub struct ForecastService {
     coverage: f64,
-    state: BTreeMap<ResourceId, (NwsForecaster, IntervalTracker)>,
+    state: BTreeMap<ResourceId, ResourceState>,
 }
 
 impl ForecastService {
@@ -34,28 +67,70 @@ impl ForecastService {
         }
     }
 
-    /// Feeds one measurement for a resource (scores the standing forecast
-    /// first, as the paper's Eq. 5 protocol does).
-    pub fn observe(&mut self, id: ResourceId, value: f64) {
+    fn entry(&mut self, id: ResourceId) -> &mut ResourceState {
         let coverage = self.coverage;
-        let (nws, intervals) = self
-            .state
-            .entry(id)
-            .or_insert_with(|| (NwsForecaster::nws_default(), IntervalTracker::new(coverage)));
-        if let Some(f) = nws.forecast() {
-            intervals.record(f.value, value);
-        }
-        nws.update(value);
+        self.state.entry(id).or_insert_with(|| ResourceState {
+            nws: NwsForecaster::nws_default(),
+            intervals: IntervalTracker::new(coverage),
+            last_obs: None,
+            gap_ewma: 0.0,
+            gaps: 0,
+        })
     }
 
-    /// The standing forecast for a resource.
+    /// Feeds one measurement for a resource (scores the standing forecast
+    /// first, as the paper's Eq. 5 protocol does). `time` is the
+    /// measurement's timestamp, used to answer staleness queries.
+    pub fn observe(&mut self, id: ResourceId, time: Seconds, value: f64) {
+        let st = self.entry(id);
+        if let Some(f) = st.nws.forecast() {
+            st.intervals.record(f.value, value);
+        }
+        st.nws.update(value);
+        st.last_obs = Some(time);
+        st.gap_ewma *= 1.0 - GAP_EWMA_GAIN;
+    }
+
+    /// Notes that the slot at `time` resolved to a gap for this resource:
+    /// the panel ages out stale windows, the confidence degrades, and no
+    /// observation is counted.
+    pub fn note_gap(&mut self, id: ResourceId, _time: Seconds) {
+        let st = self.entry(id);
+        st.nws.note_gap();
+        st.gap_ewma += GAP_EWMA_GAIN * (1.0 - st.gap_ewma);
+        st.gaps += 1;
+    }
+
+    /// Gaps noted for a resource so far.
+    pub fn gap_count(&self, id: ResourceId) -> u64 {
+        self.state.get(&id).map_or(0, |st| st.gaps)
+    }
+
+    /// The standing forecast for a resource (staleness reported as 0 —
+    /// use [`ForecastService::forecast_at`] when "now" is known).
     pub fn forecast(&self, id: ResourceId) -> Option<ForecastAnswer> {
-        let (nws, intervals) = self.state.get(&id)?;
-        let forecast = nws.forecast()?;
-        let interval = intervals.interval(forecast.value);
+        self.answer(id, None)
+    }
+
+    /// The standing forecast for a resource together with how stale it is
+    /// at time `now` (seconds since the last absorbed measurement).
+    pub fn forecast_at(&self, id: ResourceId, now: Seconds) -> Option<ForecastAnswer> {
+        self.answer(id, Some(now))
+    }
+
+    fn answer(&self, id: ResourceId, now: Option<Seconds>) -> Option<ForecastAnswer> {
+        let st = self.state.get(&id)?;
+        let forecast = st.nws.forecast()?;
+        let interval = st.intervals.interval(forecast.value);
+        let staleness = match (now, st.last_obs) {
+            (Some(now), Some(last)) => (now - last).max(0.0),
+            _ => 0.0,
+        };
         Some(ForecastAnswer {
-            observations: nws.observations(),
+            observations: st.nws.observations(),
             interval,
+            staleness,
+            confidence: st.confidence(),
             forecast,
         })
     }
@@ -79,19 +154,21 @@ mod tests {
     fn forecast_appears_after_first_observation() {
         let mut svc = ForecastService::new(0.9);
         assert!(svc.forecast(rid(1)).is_none());
-        svc.observe(rid(1), 0.7);
+        svc.observe(rid(1), 10.0, 0.7);
         let a = svc.forecast(rid(1)).expect("live");
         assert_eq!(a.forecast.value, 0.7);
         assert_eq!(a.observations, 1);
+        assert_eq!(a.confidence, 1.0);
     }
 
     #[test]
     fn intervals_calibrate_over_time() {
         let mut svc = ForecastService::new(0.8);
         let mut rng = nws_stats::Rng::new(3);
-        for _ in 0..500 {
+        for i in 0..500 {
             svc.observe(
                 rid(1),
+                i as f64 * 10.0,
                 (0.6 + 0.1 * rng.next_standard_normal()).clamp(0.0, 1.0),
             );
         }
@@ -109,14 +186,58 @@ mod tests {
     #[test]
     fn resources_are_isolated() {
         let mut svc = ForecastService::new(0.9);
-        for _ in 0..20 {
-            svc.observe(rid(1), 0.9);
-            svc.observe(rid(2), 0.1);
+        for i in 0..20 {
+            let t = i as f64 * 10.0;
+            svc.observe(rid(1), t, 0.9);
+            svc.observe(rid(2), t, 0.1);
         }
         let a = svc.forecast(rid(1)).expect("live");
         let b = svc.forecast(rid(2)).expect("live");
         assert!((a.forecast.value - 0.9).abs() < 1e-6);
         assert!((b.forecast.value - 0.1).abs() < 1e-6);
         assert_eq!(svc.resource_ids(), vec![rid(1), rid(2)]);
+    }
+
+    #[test]
+    fn staleness_measures_time_since_last_observation() {
+        let mut svc = ForecastService::new(0.9);
+        svc.observe(rid(1), 100.0, 0.5);
+        let fresh = svc.forecast_at(rid(1), 100.0).expect("live");
+        assert_eq!(fresh.staleness, 0.0);
+        let stale = svc.forecast_at(rid(1), 400.0).expect("live");
+        assert_eq!(stale.staleness, 300.0);
+        // The now-less query reports zero staleness by convention.
+        assert_eq!(svc.forecast(rid(1)).unwrap().staleness, 0.0);
+    }
+
+    #[test]
+    fn confidence_degrades_on_gaps_and_recovers() {
+        let mut svc = ForecastService::new(0.9);
+        for i in 0..30 {
+            svc.observe(rid(1), i as f64 * 10.0, 0.6);
+        }
+        assert_eq!(svc.forecast(rid(1)).unwrap().confidence, 1.0);
+        for i in 30..40 {
+            svc.note_gap(rid(1), i as f64 * 10.0);
+        }
+        let degraded = svc.forecast(rid(1)).expect("level members survive");
+        assert!(degraded.confidence < 0.5, "c = {}", degraded.confidence);
+        assert_eq!(svc.gap_count(rid(1)), 10);
+        // Clean measurements rebuild confidence.
+        for i in 40..80 {
+            svc.observe(rid(1), i as f64 * 10.0, 0.6);
+        }
+        let recovered = svc.forecast(rid(1)).unwrap();
+        assert!(recovered.confidence > 0.9, "c = {}", recovered.confidence);
+    }
+
+    #[test]
+    fn gaps_do_not_count_as_observations() {
+        let mut svc = ForecastService::new(0.9);
+        svc.observe(rid(1), 0.0, 0.5);
+        svc.note_gap(rid(1), 10.0);
+        svc.note_gap(rid(1), 20.0);
+        let a = svc.forecast(rid(1)).expect("live");
+        assert_eq!(a.observations, 1);
     }
 }

@@ -11,6 +11,7 @@ use crate::memory::{Memory, MemoryConfig};
 use crate::monitor::{GridMonitor, GridMonitorConfig};
 use crate::registry::{Metric, Registry, ResourceId};
 use crate::service::{ForecastAnswer, ForecastService};
+use nws_faults::FaultPlan;
 use nws_net::{LinkConfig, LinkMonitor, LinkMonitorConfig};
 use nws_sim::HostProfile;
 
@@ -57,6 +58,21 @@ impl WeatherService {
         base_seed: u64,
         config: WeatherServiceConfig,
     ) -> Self {
+        Self::with_faults(profiles, links, base_seed, config, FaultPlan::none())
+    }
+
+    /// Builds the service with fault injection on both halves: the CPU
+    /// monitor runs under the plan directly, and network probe cycles
+    /// are dropped at the plan's sensor-dropout rate.
+    /// [`FaultPlan::none()`] reproduces the fault-free service bit for
+    /// bit.
+    pub fn with_faults(
+        profiles: &[HostProfile],
+        links: Vec<(String, LinkConfig)>,
+        base_seed: u64,
+        config: WeatherServiceConfig,
+        plan: FaultPlan,
+    ) -> Self {
         let mut net_registry = Registry::new();
         let link_ids = links
             .iter()
@@ -69,9 +85,13 @@ impl WeatherService {
                 )
             })
             .collect();
+        let mut net = LinkMonitor::new(links, base_seed ^ 0x4E45_54FE, config.links);
+        if !plan.is_none() {
+            net.inject_faults(base_seed ^ 0x4E45_54FA, plan.rates().sensor_dropout);
+        }
         Self {
-            cpu: GridMonitor::new(profiles, base_seed, config.grid),
-            net: LinkMonitor::new(links, base_seed ^ 0x4E45_54FE, config.links),
+            cpu: GridMonitor::with_faults(profiles, base_seed, config.grid, plan),
+            net,
             net_registry,
             net_memory: Memory::new(config.net_memory),
             net_forecasts: ForecastService::new(config.grid.interval_coverage),
@@ -130,17 +150,26 @@ impl WeatherService {
     }
 
     fn publish_net_cycle(&mut self) {
+        let now = self.net_cycles as f64 * self.config.links.probe_period;
         for (bw_id, lat_id, name, capacity) in &self.link_ids {
             let (bw, lat) = self.net.series(name).expect("registered link");
-            if let Some(p) = bw.last() {
-                if self.net_memory.store(*bw_id, p.time, p.value) {
+            // A dropped probe cycle leaves the series' last point stale;
+            // the memory rejects the duplicate and the slot is recorded
+            // as an explicit gap instead.
+            match (bw.last(), lat.last()) {
+                (Some(p), Some(q)) if self.net_memory.store(*bw_id, p.time, p.value) => {
                     // Forecast the capacity-normalized series.
-                    self.net_forecasts.observe(*bw_id, p.value / capacity);
+                    self.net_forecasts
+                        .observe(*bw_id, p.time, p.value / capacity);
+                    if self.net_memory.store(*lat_id, q.time, q.value) {
+                        self.net_forecasts.observe(*lat_id, q.time, q.value);
+                    }
                 }
-            }
-            if let Some(p) = lat.last() {
-                if self.net_memory.store(*lat_id, p.time, p.value) {
-                    self.net_forecasts.observe(*lat_id, p.value);
+                _ => {
+                    for id in [bw_id, lat_id] {
+                        self.net_memory.record_gap(*id, now);
+                        self.net_forecasts.note_gap(*id, now);
+                    }
                 }
             }
         }
@@ -199,5 +228,61 @@ mod tests {
     fn unknown_link_has_no_forecast() {
         let ws = WeatherService::ucsd(7);
         assert!(ws.bandwidth_forecast("nonesuch").is_none());
+    }
+
+    #[test]
+    fn none_plan_matches_fault_free_service_bit_for_bit() {
+        let run = |faulted: bool| {
+            let mut ws = if faulted {
+                WeatherService::with_faults(
+                    &HostProfile::all(),
+                    vec![("ucsd->utk".to_string(), LinkConfig::wan_10mbit())],
+                    3,
+                    WeatherServiceConfig::default(),
+                    nws_faults::FaultPlan::none(),
+                )
+            } else {
+                WeatherService::new(
+                    &HostProfile::all(),
+                    vec![("ucsd->utk".to_string(), LinkConfig::wan_10mbit())],
+                    3,
+                    WeatherServiceConfig::default(),
+                )
+            };
+            ws.advance(600.0);
+            let fc = ws.bandwidth_forecast("ucsd->utk").map(|a| a.forecast.value);
+            let snap = ws.cpu().snapshot();
+            (
+                fc,
+                snap.hosts
+                    .iter()
+                    .map(|h| h.latest_hybrid)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn faulted_service_records_net_gaps_and_survives() {
+        let mut ws = WeatherService::with_faults(
+            &HostProfile::all(),
+            vec![("ucsd->utk".to_string(), LinkConfig::wan_10mbit())],
+            11,
+            WeatherServiceConfig::default(),
+            nws_faults::FaultPlan::seeded(6, nws_faults::FaultRates::uniform(0.25)),
+        );
+        ws.advance(7200.0); // two hours: 60 net cycles, 720 CPU slots
+        let bw_id = ws
+            .net_registry()
+            .lookup("ucsd->utk", Metric::NetworkBandwidth)
+            .expect("registered");
+        assert!(
+            ws.net_memory().gap_count(bw_id) > 0,
+            "25% probe drops over 60 cycles"
+        );
+        assert!(ws.net_memory().len(bw_id) > 0, "some cycles survive");
+        assert!(ws.bandwidth_forecast("ucsd->utk").is_some());
+        assert!(ws.cpu().fault_stats().gaps > 0);
     }
 }

@@ -4,6 +4,7 @@ use crate::link::{Link, LinkConfig};
 use crate::sensors::{BandwidthSensor, LatencySensor};
 use crate::Seconds;
 use nws_forecast::{evaluate_one_step, NwsForecaster};
+use nws_stats::Rng;
 use nws_timeseries::Series;
 
 /// Monitor schedule.
@@ -57,6 +58,10 @@ pub struct LinkReport {
 pub struct LinkMonitor {
     config: LinkMonitorConfig,
     links: Vec<MonitoredLink>,
+    /// Probe-drop fault injection: seeded RNG + per-cycle drop rate.
+    faults: Option<(Rng, f64)>,
+    /// Probe cycles lost to injected drops.
+    dropped: u64,
 }
 
 impl LinkMonitor {
@@ -85,7 +90,34 @@ impl LinkMonitor {
                 }
             })
             .collect();
-        Self { config, links }
+        Self {
+            config,
+            links,
+            faults: None,
+            dropped: 0,
+        }
+    }
+
+    /// Turns on deterministic probe-drop fault injection: each probe
+    /// cycle on each link is independently lost with probability
+    /// `drop_rate`. A dropped cycle records no samples — the forecaster
+    /// is told about the gap and link time still advances. A zero rate
+    /// leaves the monitor bit-identical to the fault-free one.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `drop_rate` is in `[0, 1)`.
+    pub fn inject_faults(&mut self, seed: u64, drop_rate: f64) {
+        assert!(
+            (0.0..1.0).contains(&drop_rate),
+            "drop rate must be in [0, 1): {drop_rate}"
+        );
+        self.faults = (drop_rate > 0.0).then(|| (Rng::new(seed), drop_rate));
+    }
+
+    /// Probe cycles lost to injected drops so far.
+    pub fn dropped_probes(&self) -> u64 {
+        self.dropped
     }
 
     /// A small demonstration grid: two WAN paths and one LAN path.
@@ -115,6 +147,17 @@ impl LinkMonitor {
     pub fn run_probes(&mut self, probes: usize) {
         for _ in 0..probes {
             for ml in &mut self.links {
+                if let Some((rng, rate)) = &mut self.faults {
+                    if rng.chance(*rate) {
+                        // The probe never completes: no samples this
+                        // cycle, the forecaster ages out its windows, and
+                        // the link's clock (and traffic) move on.
+                        ml.forecaster.note_gap();
+                        ml.link.advance(self.config.probe_period);
+                        self.dropped += 1;
+                        continue;
+                    }
+                }
                 // Latency first (non-intrusive), then the transfer probe,
                 // then idle background until the next cycle.
                 let rtt = ml.latency_sensor.measure(&ml.link);
@@ -238,5 +281,47 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn injected_drops_lose_cycles_but_time_still_advances() {
+        let mut m = LinkMonitor::demo_grid(13);
+        m.inject_faults(0xD20B, 0.3);
+        m.run_probes(60);
+        let dropped = m.dropped_probes();
+        assert!(dropped > 0, "30% drops over 180 link-cycles");
+        let (bw, lat) = m.series("ucsd->utk").expect("registered");
+        assert!(bw.len() < 60, "dropped cycles record no samples");
+        assert_eq!(bw.len(), lat.len());
+        // Samples keep strictly increasing times on the probe grid even
+        // across dropped cycles (the link's clock advanced regardless).
+        let times = bw.times();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Forecasts survive a gappy stream.
+        assert!(m.report().iter().all(|r| r.forecast.is_some()));
+    }
+
+    #[test]
+    fn zero_drop_rate_is_bit_identical_to_fault_free() {
+        let run = |inject: bool| {
+            let mut m = LinkMonitor::demo_grid(4);
+            if inject {
+                m.inject_faults(7, 0.0);
+            }
+            m.run_probes(20);
+            m.report()
+                .iter()
+                .map(|r| (r.mean_bandwidth, r.mean_latency, r.forecast))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate")]
+    fn inject_faults_rejects_bad_rate() {
+        LinkMonitor::demo_grid(1).inject_faults(1, 1.0);
     }
 }

@@ -59,6 +59,12 @@ pub struct HybridConfig {
     /// `probe_duration` seconds of *CPU*; under contention its wall time
     /// stretches up to this cap).
     pub probe_max_wall: f64,
+    /// How many times a failed probe attempt is retried before the cycle
+    /// is abandoned and the sensor falls back to its passive reading.
+    pub probe_retries: u32,
+    /// Wall-clock pause between probe retries (seconds, on the simulator's
+    /// 100 ms tick grid).
+    pub probe_backoff: f64,
 }
 
 impl Default for HybridConfig {
@@ -68,8 +74,20 @@ impl Default for HybridConfig {
             apply_bias: true,
             bias_gain: 0.3,
             probe_max_wall: 8.0,
+            probe_retries: 2,
+            probe_backoff: 0.5,
         }
     }
+}
+
+/// What happened to one probe cycle run under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Probe attempts that failed (each consumed wall-clock time).
+    pub failed_attempts: u32,
+    /// Whether a probe ultimately ran. When `false` the returned value is
+    /// the passive fallback.
+    pub succeeded: bool,
 }
 
 /// The NWS hybrid CPU availability sensor.
@@ -137,12 +155,58 @@ impl HybridSensor {
         self.last_probe_value
     }
 
+    /// Forgets all learned state, as after a host reboot: the vmstat
+    /// differencing, the method choice, and the probe bias all describe
+    /// the pre-reboot workload. The next probe re-anchors the bias.
+    pub fn reset(&mut self) {
+        self.vmstat.reset();
+        self.chosen = Method::default();
+        self.bias = 0.0;
+        self.probes_run = 0;
+        self.last_probe_value = None;
+    }
+
     /// Takes one *passive* measurement (no probe): reads both methods,
     /// reports the chosen one plus bias.
     pub fn measure(&mut self, host: &Host) -> f64 {
         let l = self.load.measure(host);
         let v = self.vmstat.measure(host);
         self.combine(l, v)
+    }
+
+    /// Takes one passive measurement while zero or more passive sources
+    /// are dropped by fault injection.
+    ///
+    /// Returns `None` when both sources are lost — the slot is an
+    /// explicit gap. When only the *chosen* method's source is lost, the
+    /// surviving sensor's raw value is substituted without bias (the
+    /// cross-sensor fallback; the second tuple element is `true`). A
+    /// dropped sensor is genuinely not read, so its internal state (the
+    /// vmstat differencing interval) spans the outage naturally.
+    pub fn measure_degraded(
+        &mut self,
+        host: &Host,
+        drop_load: bool,
+        drop_vmstat: bool,
+    ) -> Option<(f64, bool)> {
+        match (drop_load, drop_vmstat) {
+            (true, true) => None,
+            (false, false) => Some((self.measure(host), false)),
+            (true, false) => {
+                let v = self.vmstat.measure(host);
+                match self.chosen {
+                    Method::Vmstat => Some((self.apply_bias_to(v), false)),
+                    Method::LoadAverage => Some((v.clamp(0.0, 1.0), true)),
+                }
+            }
+            (false, true) => {
+                let l = self.load.measure(host);
+                match self.chosen {
+                    Method::LoadAverage => Some((self.apply_bias_to(l), false)),
+                    Method::Vmstat => Some((l.clamp(0.0, 1.0), true)),
+                }
+            }
+        }
     }
 
     /// Runs the probe (advancing the simulation by the probe duration!),
@@ -177,16 +241,79 @@ impl HybridSensor {
         self.combine(l, v)
     }
 
-    fn combine(&self, load_avail: f64, vmstat_avail: f64) -> f64 {
-        let raw = match self.chosen {
-            Method::LoadAverage => load_avail,
-            Method::Vmstat => vmstat_avail,
-        };
+    /// Runs one probe cycle under fault injection: the first
+    /// `failing_attempts` probe attempts fail (each consuming
+    /// `probe_duration` of wall-clock, followed by `probe_backoff` before
+    /// the retry), bounded by the retry budget and by `deadline`
+    /// (absolute simulation time). When the cycle is abandoned — retries
+    /// exhausted or no room left before the deadline — the sensor falls
+    /// back to its passive measurement.
+    ///
+    /// With `failing_attempts == 0` this is exactly
+    /// [`HybridSensor::measure_with_probe`]: no extra time passes and no
+    /// extra state changes.
+    pub fn measure_with_probe_retries(
+        &mut self,
+        host: &mut Host,
+        failing_attempts: u32,
+        deadline: f64,
+    ) -> (f64, ProbeOutcome) {
+        let mut failed = 0u32;
+        loop {
+            if host.now() + self.config.probe_duration > deadline + 1e-9 {
+                // No room for another attempt before the slot deadline.
+                let value = self.measure(host);
+                return (
+                    value,
+                    ProbeOutcome {
+                        failed_attempts: failed,
+                        succeeded: false,
+                    },
+                );
+            }
+            if failed >= failing_attempts {
+                let value = self.measure_with_probe(host);
+                return (
+                    value,
+                    ProbeOutcome {
+                        failed_attempts: failed,
+                        succeeded: true,
+                    },
+                );
+            }
+            // This attempt fails: the probe process hangs/dies for its
+            // nominal duration before the failure is detected.
+            host.advance(self.config.probe_duration);
+            failed += 1;
+            if failed > self.config.probe_retries {
+                // Retry budget exhausted — abandon the cycle.
+                let value = self.measure(host);
+                return (
+                    value,
+                    ProbeOutcome {
+                        failed_attempts: failed,
+                        succeeded: false,
+                    },
+                );
+            }
+            host.advance(self.config.probe_backoff);
+        }
+    }
+
+    fn apply_bias_to(&self, raw: f64) -> f64 {
         if self.config.apply_bias {
             (raw + self.bias).clamp(0.0, 1.0)
         } else {
             raw.clamp(0.0, 1.0)
         }
+    }
+
+    fn combine(&self, load_avail: f64, vmstat_avail: f64) -> f64 {
+        let raw = match self.chosen {
+            Method::LoadAverage => load_avail,
+            Method::Vmstat => vmstat_avail,
+        };
+        self.apply_bias_to(raw)
     }
 }
 
@@ -302,5 +429,124 @@ mod tests {
             probe_duration: 0.0,
             ..HybridConfig::default()
         });
+    }
+
+    #[test]
+    fn zero_failing_attempts_is_exactly_measure_with_probe() {
+        let make = |seed| {
+            let mut h = settled_host_with_soaker(seed);
+            let mut s = HybridSensor::default();
+            s.measure(&h);
+            h.advance(10.0);
+            (h, s)
+        };
+        let (mut h1, mut s1) = make(7);
+        let (mut h2, mut s2) = make(7);
+        let a = s1.measure_with_probe(&mut h1);
+        let deadline = h2.now() + 10.0;
+        let (b, outcome) = s2.measure_with_probe_retries(&mut h2, 0, deadline);
+        assert_eq!(a, b);
+        assert_eq!(h1.now(), h2.now());
+        assert_eq!(s1.bias(), s2.bias());
+        assert!(outcome.succeeded);
+        assert_eq!(outcome.failed_attempts, 0);
+    }
+
+    #[test]
+    fn failed_attempts_consume_time_then_retry_succeeds() {
+        let mut h = settled_host_with_soaker(8);
+        let mut s = HybridSensor::default();
+        s.measure(&h);
+        h.advance(10.0);
+        let t0 = h.now();
+        let (_, outcome) = s.measure_with_probe_retries(&mut h, 1, t0 + 30.0);
+        assert!(outcome.succeeded);
+        assert_eq!(outcome.failed_attempts, 1);
+        assert_eq!(s.probes_run(), 1);
+        // One failed attempt (1.5 s) + backoff (0.5 s) + the real probe.
+        assert!(
+            h.now() - t0 >= 1.5 + 0.5 + 1.5 - 1e-9,
+            "t = {}",
+            h.now() - t0
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_abandon_and_fall_back_to_passive() {
+        let mut h = settled_host_with_soaker(9);
+        let mut s = HybridSensor::default();
+        s.measure(&h);
+        h.advance(10.0);
+        let deadline = h.now() + 60.0;
+        let (value, outcome) = s.measure_with_probe_retries(&mut h, 10, deadline);
+        assert!(!outcome.succeeded);
+        // Budget: initial attempt + probe_retries retries, all failed.
+        assert_eq!(
+            outcome.failed_attempts,
+            1 + HybridConfig::default().probe_retries
+        );
+        assert_eq!(s.probes_run(), 0, "no probe ever ran");
+        assert!((0.0..=1.0).contains(&value));
+    }
+
+    #[test]
+    fn deadline_abandons_before_starting_an_attempt() {
+        let mut h = settled_host_with_soaker(10);
+        let mut s = HybridSensor::default();
+        s.measure(&h);
+        h.advance(10.0);
+        let t0 = h.now();
+        // Deadline too tight for even one probe attempt.
+        let (_, outcome) = s.measure_with_probe_retries(&mut h, 0, t0 + 1.0);
+        assert!(!outcome.succeeded);
+        assert_eq!(outcome.failed_attempts, 0);
+        assert_eq!(h.now(), t0, "abandoning must not advance time");
+    }
+
+    #[test]
+    fn degraded_measure_gap_and_cross_fallback() {
+        let mut h = settled_host_with_soaker(11);
+        let mut s = HybridSensor::default();
+        s.measure(&h);
+        h.advance(10.0);
+        // Both sources lost: explicit gap.
+        assert!(s.measure_degraded(&h, true, true).is_none());
+        // Chosen defaults to load-average; losing vmstat keeps the biased
+        // chosen-method path.
+        let (v, crossed) = s.measure_degraded(&h, false, true).expect("load survives");
+        assert!(!crossed);
+        assert!((0.0..=1.0).contains(&v));
+        // Losing the chosen source crosses to the survivor, biasless.
+        h.advance(10.0);
+        let (v2, crossed2) = s
+            .measure_degraded(&h, true, false)
+            .expect("vmstat survives");
+        assert!(crossed2);
+        assert!((0.0..=1.0).contains(&v2));
+        // Nothing dropped behaves exactly like measure().
+        let mut s2 = s.clone();
+        h.advance(10.0);
+        let a = s.measure(&h);
+        let b = s2.measure_degraded(&h, false, false).unwrap();
+        assert_eq!((a, false), b);
+    }
+
+    #[test]
+    fn reset_forgets_bias_and_method() {
+        let mut h = settled_host_with_soaker(12);
+        let mut s = HybridSensor::default();
+        s.measure(&h);
+        h.advance(10.0);
+        let _ = s.measure_with_probe(&mut h);
+        assert!(s.bias().abs() > 0.0);
+        s.reset();
+        assert_eq!(s.bias(), 0.0);
+        assert_eq!(s.probes_run(), 0);
+        assert_eq!(s.chosen_method(), Method::default());
+        assert!(s.last_probe_value().is_none());
+        // The next probe re-anchors the bias outright (first-probe rule).
+        h.advance(10.0);
+        let _ = s.measure_with_probe(&mut h);
+        assert_eq!(s.probes_run(), 1);
     }
 }

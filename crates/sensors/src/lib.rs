@@ -77,7 +77,7 @@ impl AvailabilitySensor for HybridSensor {
     }
 }
 
-pub use hybrid::{HybridConfig, HybridSensor, Method};
+pub use hybrid::{HybridConfig, HybridSensor, Method, ProbeOutcome};
 pub use loadavg_sensor::{availability_from_load, LoadAvgSensor};
 pub use test_process::TestProcess;
 pub use vmstat_sensor::{availability_from_vmstat, VmstatReading, VmstatSensor};

@@ -91,6 +91,17 @@ impl VmstatSensor {
         "vmstat"
     }
 
+    /// Forgets all differencing and smoothing state, as after a host
+    /// reboot: the kernel's cumulative counters restarted from zero, so
+    /// differencing across the boot would report nonsense (negative
+    /// intervals).
+    pub fn reset(&mut self) {
+        self.prev = None;
+        self.smoothed_rp = 0.0;
+        self.smoothed = None;
+        self.last_reading = None;
+    }
+
     /// The most recent interval reading, if a measurement has been taken.
     pub fn last_reading(&self) -> Option<VmstatReading> {
         self.last_reading

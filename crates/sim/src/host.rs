@@ -190,6 +190,30 @@ impl Host {
         stats.occupancy()
     }
 
+    /// Power-cycles the host: the kernel reboots (processes lost,
+    /// counters zeroed), the clock jumps to absolute time `t` (the dark
+    /// span of the outage — nothing runs, nothing is accounted), and
+    /// every workload is told to forget its dead processes so it
+    /// re-establishes itself on subsequent ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past or not on the tick grid.
+    pub fn power_cycle_until(&mut self, t: Seconds) {
+        let dt = t - self.now();
+        assert!(dt >= 0.0, "cannot reboot into the past");
+        let ticks = (dt / TICK).round();
+        assert!(
+            (dt - ticks * TICK).abs() < 1e-6,
+            "reboot target {t}s is not on the {TICK}s tick grid"
+        );
+        self.kernel.reboot();
+        self.kernel.skip_ticks(ticks as u64);
+        for w in &mut self.workloads {
+            w.on_reboot();
+        }
+    }
+
     /// Spawns an ad-hoc process (passthrough to the kernel).
     pub fn spawn(&mut self, spec: ProcessSpec) -> Pid {
         self.kernel.spawn(spec)
@@ -272,5 +296,45 @@ mod tests {
         let t0 = h.now();
         let _ = h.run_occupancy_process("p", 10.0);
         assert!((h.now() - t0 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_cycle_clears_processes_and_jumps_clock() {
+        let mut h = Host::new("x", 1);
+        h.kernel_mut().spawn(ProcessSpec::cpu_bound("victim"));
+        h.advance(120.0);
+        assert_eq!(h.kernel().process_count(), 1);
+        h.power_cycle_until(300.0);
+        assert_eq!(h.now(), 300.0);
+        assert_eq!(h.kernel().process_count(), 0);
+        // Fresh-boot counters: no accounting, empty load averages.
+        assert_eq!(h.accounting().total(), 0.0);
+        assert_eq!(h.load_average().one_minute(), 0.0);
+        // The clock stays monotonic and keeps advancing normally.
+        h.advance(60.0);
+        assert_eq!(h.now(), 360.0);
+        assert!((h.accounting().total() - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workloads_reestablish_after_power_cycle() {
+        let mut h = Host::new("kongo", 3);
+        h.add_workload(Box::new(LongRunningHog::new("res", 0.0, 0.0)));
+        h.advance(300.0);
+        assert_eq!(h.kernel().process_count(), 1);
+        h.power_cycle_until(600.0);
+        assert_eq!(h.kernel().process_count(), 0);
+        // The hog restarts on the next ticks and owns the machine again.
+        h.advance(60.0);
+        assert_eq!(h.kernel().process_count(), 1);
+        assert!(h.accounting().user > 55.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn power_cycle_rejects_past_target() {
+        let mut h = Host::new("x", 1);
+        h.advance(100.0);
+        h.power_cycle_until(50.0);
     }
 }

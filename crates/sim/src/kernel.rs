@@ -386,6 +386,27 @@ impl Kernel {
             self.tick();
         }
     }
+
+    /// Reboots the kernel: every process is lost, accounting counters and
+    /// load averages restart from zero, interrupt sources are quiesced.
+    ///
+    /// The clock (`tick_count`) and the pid counter survive — simulation
+    /// time is monotonic across the whole grid, and pids are never reused
+    /// so stale [`Pid`]s held by workloads simply read as dead.
+    pub fn reboot(&mut self) {
+        self.procs.clear();
+        self.completed.clear();
+        self.loadavg = LoadAverage::new();
+        self.accounting = Accounting::default();
+        self.interrupt_prob = 0.0;
+    }
+
+    /// Jumps the clock forward by `n` ticks without running the scheduler
+    /// or accumulating accounting — the host is powered off and nothing
+    /// happens. Used to model the dark span of an outage.
+    pub fn skip_ticks(&mut self, n: u64) {
+        self.tick_count += n;
+    }
 }
 
 #[cfg(test)]

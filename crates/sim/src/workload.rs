@@ -38,6 +38,12 @@ pub trait Workload: std::fmt::Debug + Send {
     /// Called once per tick, before the kernel dispatches. The workload may
     /// spawn, kill, or (un)block its processes.
     fn on_tick(&mut self, kernel: &mut Kernel);
+
+    /// Called after the host's kernel reboots: every process the workload
+    /// spawned is gone, so it must drop its stale [`Pid`]s and
+    /// re-establish itself on subsequent ticks. The default is a no-op
+    /// for stateless sources.
+    fn on_reboot(&mut self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -306,6 +312,13 @@ impl Workload for InteractiveSessions {
             }
         }
     }
+
+    fn on_reboot(&mut self) {
+        // All session processes died with the kernel; users log back in
+        // through the ordinary arrival process (no re-priming — a freshly
+        // booted host genuinely starts empty).
+        self.sessions.clear();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -421,6 +434,11 @@ impl Workload for BatchArrivals {
             });
         }
     }
+
+    fn on_reboot(&mut self) {
+        // In-flight jobs are lost; new arrivals repopulate the queue.
+        self.jobs.clear();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -490,6 +508,13 @@ impl Workload for NiceSoaker {
             }
         }
     }
+
+    fn on_reboot(&mut self) {
+        // The soaker respawns (sleeping) on the next tick and resumes its
+        // duty cycle from the off state.
+        self.pid = None;
+        self.on = false;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -538,6 +563,11 @@ impl Workload for LongRunningHog {
                 ),
             );
         }
+    }
+
+    fn on_reboot(&mut self) {
+        // The hog is restarted (cron / user re-launch) on the next tick.
+        self.pid = None;
     }
 }
 
@@ -589,6 +619,12 @@ impl Workload for GatewayInterrupts {
             kernel.set_interrupt_probability(p);
             self.next_redraw = kernel.now() + self.redraw_every;
         }
+    }
+
+    fn on_reboot(&mut self) {
+        // The reboot quiesced the kernel's interrupt probability; force a
+        // redraw on the next tick so gateway duty resumes immediately.
+        self.next_redraw = 0.0;
     }
 }
 
@@ -680,6 +716,13 @@ impl Workload for FgnLoad {
             }
             self.next_update = now + self.interval;
         }
+    }
+
+    fn on_reboot(&mut self) {
+        // The dummy pool respawns on the next tick; the fGn trace keeps
+        // its cursor (the level schedule is wall-clock, not per-boot).
+        self.pool.clear();
+        self.next_update = 0.0;
     }
 }
 

@@ -24,8 +24,12 @@
 //!   sensors, and forecasting over their series.
 //! - [`runtime`] — deterministic parallel execution (`parallel_map`,
 //!   thread-count resolution) used by the experiment drivers.
+//! - [`faults`] — deterministic, seeded fault injection (sensor
+//!   dropouts, probe failures, host outages, delayed delivery) threaded
+//!   through the grid measurement path.
 
 pub use nws_core as core;
+pub use nws_faults as faults;
 pub use nws_forecast as forecast;
 pub use nws_grid as grid;
 pub use nws_net as net;

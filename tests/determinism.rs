@@ -112,6 +112,48 @@ fn parallel_datasets_are_bit_identical_to_sequential() {
 }
 
 #[test]
+fn faulted_grid_replays_bit_identically_across_thread_counts() {
+    // The fault-injection layer must not break the thread-count
+    // guarantee: the same seed and the same FaultPlan produce identical
+    // measurement series, gap records, and fault statistics whether the
+    // fleet runs on one worker or four.
+    use nws::faults::{FaultPlan, FaultRates};
+    use nws::grid::{GridMonitor, GridMonitorConfig, Metric};
+
+    let run = |threads: usize| {
+        nws::runtime::set_threads(Some(threads));
+        let mut gm = GridMonitor::with_faults(
+            &HostProfile::all(),
+            4242,
+            GridMonitorConfig::default(),
+            FaultPlan::seeded(17, FaultRates::uniform(0.12)),
+        );
+        gm.run_steps(120);
+        nws::runtime::set_threads(None);
+        let mut out = Vec::new();
+        for p in HostProfile::all() {
+            let id = gm
+                .registry()
+                .lookup(p.name(), Metric::CpuAvailabilityHybrid)
+                .expect("registered");
+            let pts: Vec<(f64, f64)> = gm
+                .memory()
+                .extract(id, usize::MAX)
+                .iter()
+                .map(|q| (q.time, q.value))
+                .collect();
+            out.push((pts, gm.memory().gaps(id), gm.memory().dropped(id)));
+        }
+        (out, gm.fault_stats())
+    };
+    let (series1, stats1) = run(1);
+    let (series4, stats4) = run(4);
+    assert_eq!(series1, series4);
+    assert_eq!(stats1, stats4);
+    assert!(stats1.gaps > 0, "nonzero intensity must produce gaps");
+}
+
+#[test]
 fn scheduling_experiment_replays_exactly() {
     let a = run_scheduling_experiment(&SchedConfig::quick());
     let b = run_scheduling_experiment(&SchedConfig::quick());
