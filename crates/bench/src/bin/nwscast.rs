@@ -154,7 +154,7 @@ fn main() {
 
     // Per-method leaderboard.
     let mut leaderboard = nws.error_summary();
-    leaderboard.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite MAE"));
+    leaderboard.sort_by(|a, b| a.1.total_cmp(&b.1));
     println!("\nbest fixed predictors:");
     for (name, mae) in leaderboard.iter().take(args.top) {
         println!("  {:<20} MAE {:.4}", name, mae);

@@ -109,6 +109,7 @@ fn parse_args() -> Args {
         "loadstats",
         "faults",
         "perf",
+        "serve",
         "all",
     ];
     for exp in &experiments {
@@ -133,7 +134,7 @@ fn usage(msg: &str) -> ! {
         "usage: repro [--quick] [--smoke] [--seed N] [--threads N] <experiment>...\n\
          experiments: table1 table2 table3 table4 table5 table6\n\
          \x20            fig1 fig2 fig3 fig4 ablation sweep robustness\n\
-         \x20            sched datasched net loadstats faults perf all"
+         \x20            sched datasched net loadstats faults perf serve all"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -363,6 +364,13 @@ fn main() {
     if !run_all && args.experiments.contains("perf") {
         run_perf(&cfg, args.quick, &mut stages);
     }
+    // `serve` spins up real sockets and load-generator threads, so like
+    // `perf` it only runs when asked for by name.
+    if !run_all && args.experiments.contains("serve") {
+        timed(&mut stages, "serve", || {
+            run_serve(&cfg, args.quick, args.smoke)
+        });
+    }
 
     write_bench_artifact(&stages, args.quick);
     eprintln!(
@@ -405,6 +413,201 @@ fn run_perf(cfg: &ExperimentConfig, quick: bool, stages: &mut Vec<(String, f64)>
             println!("  {name:<18} {ms:>10.1} ms");
         }
     }
+}
+
+/// The `serve` experiment: spins up the forecast-serving subsystem on a
+/// warmed simulated grid, first proving the TCP path answers byte-for-byte
+/// identically to the in-memory transport, then driving a seeded
+/// closed-loop load phase and reporting throughput, latency percentiles,
+/// and query-cache effectiveness to `BENCH_serve.json`.
+fn run_serve(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
+    use nws_server::{
+        ClientConfig, GridState, InMemoryTransport, NwsClient, NwsServer, ServerConfig, Transport,
+    };
+    use nws_wire::{Request, Response};
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    let (warm_steps, rounds, clients, reqs_per_client) = if smoke {
+        (60u64, 3usize, 2usize, 50usize)
+    } else if quick {
+        (180, 6, 4, 250)
+    } else {
+        (360, 10, 6, 1000)
+    };
+
+    println!(
+        "\nserve: forecast-serving subsystem ({clients} clients x {rounds} rounds x \
+         {reqs_per_client} requests, grid warmed {warm_steps} slots)"
+    );
+
+    // --- Phase 1: the TCP path must be byte-identical to the in-memory
+    // transport. Two identically-seeded grids, one behind each transport,
+    // answer the same request sequence; every response payload is
+    // compared byte for byte (Stats counters included, so the sequence
+    // runs strictly in order on both sides).
+    let mut grid_a = nws_grid::GridMonitor::ucsd(cfg.seed);
+    grid_a.run_steps(warm_steps);
+    let mut grid_b = nws_grid::GridMonitor::ucsd(cfg.seed);
+    grid_b.run_steps(warm_steps);
+    let hosts: Vec<String> = grid_a
+        .snapshot()
+        .hosts
+        .iter()
+        .map(|h| h.host.clone())
+        .collect();
+
+    let mut server = NwsServer::spawn(
+        GridState::new(grid_a),
+        ServerConfig {
+            max_connections: clients + 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let mut mem = InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid_b))));
+    let mut tcp = NwsClient::connect(server.addr(), ClientConfig::default()).expect("connect");
+
+    let mut sequence: Vec<Request> = vec![Request::Snapshot, Request::BestHost];
+    for h in &hosts {
+        sequence.push(Request::Forecast { host: h.clone() });
+        sequence.push(Request::SeriesTail {
+            host: h.clone(),
+            n: 32,
+        });
+    }
+    sequence.push(Request::Batch(
+        hosts
+            .iter()
+            .map(|h| Request::Forecast { host: h.clone() })
+            .collect(),
+    ));
+    sequence.push(Request::Stats);
+
+    let mut compared = 0usize;
+    for pass in 0..2 {
+        for req in &sequence {
+            let (_, tcp_bytes) = tcp.call_raw(req).expect("tcp call");
+            let (_, mem_bytes) = mem.call_raw(req).expect("in-memory call");
+            assert_eq!(
+                tcp_bytes, mem_bytes,
+                "TCP and in-memory responses diverged on {req:?} (pass {pass})"
+            );
+            compared += 1;
+        }
+        // Advance both grids one sensor tick between passes so the
+        // comparison also covers the invalidate-and-recompute path.
+        server.state().lock().expect("state").tick(1);
+        mem.state().lock().expect("state").tick(1);
+    }
+    println!("  verified: {compared} responses byte-identical across TCP and in-memory");
+
+    // --- Phase 2: seeded closed-loop load. Each client thread replays a
+    // deterministic LCG-driven request mix; the grid ticks one sensor
+    // slot between rounds so the cache sees realistic invalidation.
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut total_requests = 0usize;
+    let load_t0 = Instant::now();
+    for round in 0..rounds {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let addr = server.addr();
+            let hosts = hosts.clone();
+            let mut lcg: u64 = cfg
+                .seed
+                .wrapping_add(0x5E17_0001)
+                .wrapping_mul(round as u64 + 1)
+                .wrapping_add(c as u64);
+            handles.push(std::thread::spawn(move || {
+                let mut client =
+                    NwsClient::connect(addr, ClientConfig::default()).expect("connect");
+                let mut lat = Vec::with_capacity(reqs_per_client);
+                for _ in 0..reqs_per_client {
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let roll = (lcg >> 33) % 100;
+                    let host = hosts[(lcg >> 17) as usize % hosts.len()].clone();
+                    let req = if roll < 70 {
+                        Request::Forecast { host }
+                    } else if roll < 85 {
+                        Request::Snapshot
+                    } else if roll < 95 {
+                        Request::BestHost
+                    } else {
+                        Request::SeriesTail { host, n: 16 }
+                    };
+                    let t0 = Instant::now();
+                    match client.call(&req).expect("load request") {
+                        Response::Error(e) => panic!("server error under load: {}", e.message),
+                        _ => lat.push(t0.elapsed().as_secs_f64() * 1e3),
+                    }
+                }
+                lat
+            }));
+        }
+        for h in handles {
+            let lat = h.join().expect("client thread");
+            total_requests += lat.len();
+            latencies_ms.extend(lat);
+        }
+        server.state().lock().expect("state").tick(1);
+    }
+    let elapsed_s = load_t0.elapsed().as_secs_f64();
+
+    let stats = tcp.stats().expect("final stats");
+    server.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+        latencies_ms[idx]
+    };
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let max_ms = latencies_ms.last().copied().unwrap_or(0.0);
+    let throughput = total_requests as f64 / elapsed_s.max(1e-9);
+    let lookups = stats.cache_hits + stats.cache_misses;
+    let hit_rate = if lookups > 0 {
+        stats.cache_hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    assert!(hit_rate > 0.0, "query cache never hit under repeated load");
+
+    println!("  load: {total_requests} requests in {elapsed_s:.3} s = {throughput:.0} req/s");
+    println!("  latency ms: p50 {p50:.3}  p95 {p95:.3}  p99 {p99:.3}  max {max_ms:.3}");
+    println!(
+        "  cache: {} hits / {} misses / {} invalidations (hit rate {:.1}%)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.invalidations,
+        hit_rate * 100.0
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads\": {},", nws_runtime::threads());
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"warm_steps\": {warm_steps},");
+    let _ = writeln!(json, "  \"verified_responses\": {compared},");
+    let _ = writeln!(json, "  \"requests\": {total_requests},");
+    let _ = writeln!(json, "  \"elapsed_s\": {elapsed_s:.6},");
+    let _ = writeln!(json, "  \"throughput_rps\": {throughput:.3},");
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{ \"p50\": {p50:.4}, \"p95\": {p95:.4}, \"p99\": {p99:.4}, \"max\": {max_ms:.4} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"invalidations\": {}, \"hit_rate\": {:.4} }}",
+        stats.cache_hits, stats.cache_misses, stats.invalidations, hit_rate
+    );
+    json.push_str("}\n");
+    write_artifact("BENCH_serve.json", &json);
+    eprintln!("wrote BENCH_serve.json");
 }
 
 fn run_loadstats(cfg: &ExperimentConfig) {
@@ -771,7 +974,7 @@ fn run_ablations(cfg: &ExperimentConfig) {
     println!("\nAblation 1: dynamic predictor selection vs fixed predictors (thing1, load avg)");
     let ab = forecaster_ablation(cfg, HostProfile::Thing1);
     let mut fixed = ab.fixed.clone();
-    fixed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite MAE"));
+    fixed.sort_by(|a, b| a.1.total_cmp(&b.1));
     let mut csv = String::from("method,mae\n");
     let _ = writeln!(csv, "nws-dynamic,{}", ab.dynamic);
     println!("  {:<22} {}", "nws-dynamic", pct(ab.dynamic));

@@ -67,8 +67,7 @@ impl P2Quantile {
         if self.warmup.len() < 5 {
             self.warmup.push(x);
             if self.warmup.len() == 5 {
-                self.warmup
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite inputs"));
+                self.warmup.sort_by(|a, b| a.total_cmp(b));
                 for (h, w) in self.heights.iter_mut().zip(&self.warmup) {
                     *h = *w;
                 }
@@ -139,7 +138,7 @@ impl P2Quantile {
                 return None;
             }
             let mut v = self.warmup.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("finite inputs"));
+            v.sort_by(|a, b| a.total_cmp(b));
             let idx = ((v.len() - 1) as f64 * self.q).round() as usize;
             return Some(v[idx]);
         }
@@ -249,7 +248,7 @@ mod tests {
             est.observe(x);
             all.push(x);
         }
-        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        all.sort_by(|a, b| a.total_cmp(b));
         let exact = all[(all.len() as f64 * 0.9) as usize];
         let approx = est.estimate().expect("warm");
         assert!(

@@ -118,7 +118,7 @@ impl NaiveSlidingMedian {
             return None;
         }
         let mut v = self.window.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let n = v.len();
         Some(if n % 2 == 1 {
             v[n / 2]

@@ -54,6 +54,11 @@ struct SeriesMeta {
     /// Timestamps of slots that resolved to no measurement at all,
     /// bounded like the measurement ring.
     gaps: VecDeque<Seconds>,
+    /// Bumped on every accepted append, recorded gap, or reload —
+    /// anything that changes what an extract of this series returns.
+    /// Serving-layer caches compare revisions to decide whether a
+    /// cached answer is still current.
+    revision: u64,
 }
 
 /// The measurement store.
@@ -62,6 +67,9 @@ pub struct Memory {
     config: MemoryConfig,
     store: BTreeMap<ResourceId, VecDeque<TimePoint>>,
     meta: BTreeMap<ResourceId, SeriesMeta>,
+    /// Bumped whenever any series changes; lets whole-memory views
+    /// (snapshots) validate a cached answer with one comparison.
+    global_revision: u64,
 }
 
 impl Memory {
@@ -76,6 +84,7 @@ impl Memory {
             config,
             store: BTreeMap::new(),
             meta: BTreeMap::new(),
+            global_revision: 0,
         }
     }
 
@@ -107,6 +116,8 @@ impl Memory {
             buf.pop_front();
         }
         buf.push_back(TimePoint::new(time, value));
+        self.meta.entry(id).or_default().revision += 1;
+        self.global_revision += 1;
         StoreOutcome::Stored
     }
 
@@ -119,6 +130,20 @@ impl Memory {
             meta.gaps.pop_front();
         }
         meta.gaps.push_back(time);
+        meta.revision += 1;
+        self.global_revision += 1;
+    }
+
+    /// Change counter for one series: any append, gap, or reload bumps
+    /// it. Equal revisions guarantee an identical extract, so a serving
+    /// cache can answer without touching the ring.
+    pub fn revision(&self, id: ResourceId) -> u64 {
+        self.meta.get(&id).map_or(0, |m| m.revision)
+    }
+
+    /// Change counter over the whole memory (any series).
+    pub fn global_revision(&self) -> u64 {
+        self.global_revision
     }
 
     /// Number of out-of-order deliveries dropped from a series.
@@ -200,6 +225,8 @@ impl Memory {
         }
         let n = buf.len();
         self.store.insert(id, buf);
+        self.meta.entry(id).or_default().revision += 1;
+        self.global_revision += 1;
         Ok(n)
     }
 
@@ -342,6 +369,26 @@ mod tests {
         assert_eq!(m.total_dropped(), 3);
         // The series itself only holds the accepted points.
         assert_eq!(m.len(rid(1)), 1);
+    }
+
+    #[test]
+    fn revisions_track_every_visible_change() {
+        let mut m = Memory::new(MemoryConfig::default());
+        assert_eq!(m.revision(rid(1)), 0);
+        assert_eq!(m.global_revision(), 0);
+        m.store(rid(1), 10.0, 0.5);
+        assert_eq!(m.revision(rid(1)), 1);
+        // Rejected deliveries change nothing an extract would see.
+        m.store(rid(1), 10.0, 0.6);
+        m.store(rid(1), 5.0, f64::NAN);
+        assert_eq!(m.revision(rid(1)), 1);
+        m.record_gap(rid(1), 20.0);
+        assert_eq!(m.revision(rid(1)), 2);
+        // Other series bump the global counter but not this one.
+        m.store(rid(2), 1.0, 0.1);
+        assert_eq!(m.revision(rid(1)), 2);
+        assert_eq!(m.revision(rid(2)), 1);
+        assert_eq!(m.global_revision(), 3);
     }
 
     #[test]

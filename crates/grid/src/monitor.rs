@@ -421,6 +421,23 @@ impl GridMonitor {
         self.slots
     }
 
+    /// Current simulation time in seconds (slots × measurement period);
+    /// the "now" a serving layer judges staleness against.
+    pub fn now(&self) -> Seconds {
+        self.slots as f64 * self.config.measurement_period
+    }
+
+    /// Change counter over the whole monitor: any stored measurement or
+    /// recorded gap bumps it, as does the passage of a measurement slot
+    /// itself (so snapshot staleness never serves stale). A serving
+    /// cache that captured this value can keep answering until it
+    /// moves.
+    pub fn revision(&self) -> u64 {
+        self.slots
+            .wrapping_add(self.memory.global_revision())
+            .wrapping_add(self.service.global_revision())
+    }
+
     fn probe_every(&self) -> u64 {
         (self.config.probe_period / self.config.measurement_period)
             .round()

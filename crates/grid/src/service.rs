@@ -42,6 +42,11 @@ struct ResourceState {
     gap_ewma: f64,
     /// Total gaps noted for this resource.
     gaps: u64,
+    /// Bumped on every observation or gap — anything that can change
+    /// the answer [`ForecastService::forecast`] returns. The serving
+    /// layer's per-resource forecast cache is valid exactly while this
+    /// counter holds still.
+    revision: u64,
 }
 
 impl ResourceState {
@@ -55,6 +60,8 @@ impl ResourceState {
 pub struct ForecastService {
     coverage: f64,
     state: BTreeMap<ResourceId, ResourceState>,
+    /// Bumped on any resource's observation or gap.
+    global_revision: u64,
 }
 
 impl ForecastService {
@@ -64,6 +71,7 @@ impl ForecastService {
         Self {
             coverage,
             state: BTreeMap::new(),
+            global_revision: 0,
         }
     }
 
@@ -75,6 +83,7 @@ impl ForecastService {
             last_obs: None,
             gap_ewma: 0.0,
             gaps: 0,
+            revision: 0,
         })
     }
 
@@ -89,6 +98,8 @@ impl ForecastService {
         st.nws.update(value);
         st.last_obs = Some(time);
         st.gap_ewma *= 1.0 - GAP_EWMA_GAIN;
+        st.revision += 1;
+        self.global_revision += 1;
     }
 
     /// Notes that the slot at `time` resolved to a gap for this resource:
@@ -99,6 +110,21 @@ impl ForecastService {
         st.nws.note_gap();
         st.gap_ewma += GAP_EWMA_GAIN * (1.0 - st.gap_ewma);
         st.gaps += 1;
+        st.revision += 1;
+        self.global_revision += 1;
+    }
+
+    /// Change counter for one resource's forecaster: equal revisions
+    /// guarantee [`ForecastService::forecast`] returns an identical
+    /// answer, which is what lets a serving cache short-circuit
+    /// repeated queries between measurement ticks.
+    pub fn revision(&self, id: ResourceId) -> u64 {
+        self.state.get(&id).map_or(0, |st| st.revision)
+    }
+
+    /// Change counter across all resources (any observation or gap).
+    pub fn global_revision(&self) -> u64 {
+        self.global_revision
     }
 
     /// Gaps noted for a resource so far.
@@ -229,6 +255,19 @@ mod tests {
         }
         let recovered = svc.forecast(rid(1)).unwrap();
         assert!(recovered.confidence > 0.9, "c = {}", recovered.confidence);
+    }
+
+    #[test]
+    fn revisions_move_with_observations_and_gaps() {
+        let mut svc = ForecastService::new(0.9);
+        assert_eq!(svc.revision(rid(1)), 0);
+        svc.observe(rid(1), 0.0, 0.5);
+        assert_eq!(svc.revision(rid(1)), 1);
+        svc.note_gap(rid(1), 10.0);
+        assert_eq!(svc.revision(rid(1)), 2);
+        svc.observe(rid(2), 0.0, 0.5);
+        assert_eq!(svc.revision(rid(1)), 2, "resources are isolated");
+        assert_eq!(svc.global_revision(), 3);
     }
 
     #[test]

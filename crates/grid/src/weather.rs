@@ -175,6 +175,17 @@ impl WeatherService {
         }
     }
 
+    /// Change counter over both halves of the weather service: CPU
+    /// measurements, network probe cycles, and recorded gaps all bump
+    /// it. The serving layer invalidates cached answers when this
+    /// moves, so repeated queries between sensor ticks are cache hits.
+    pub fn revision(&self) -> u64 {
+        self.cpu
+            .revision()
+            .wrapping_add(self.net_memory.global_revision())
+            .wrapping_add(self.net_forecasts.global_revision())
+    }
+
     /// The standing bandwidth forecast for a link, in bytes/second.
     pub fn bandwidth_forecast(&self, link: &str) -> Option<ForecastAnswer> {
         let (bw_id, _, _, capacity) = self.link_ids.iter().find(|(_, _, name, _)| name == link)?;
@@ -222,6 +233,17 @@ mod tests {
             .expect("registered");
         let latest = ws.net_memory().latest(id).expect("stored");
         assert!(latest.value > 0.0 && latest.value < 1.0);
+    }
+
+    #[test]
+    fn revision_advances_with_both_halves() {
+        let mut ws = WeatherService::ucsd(9);
+        let r0 = ws.revision();
+        ws.advance(120.0); // 12 CPU slots, 1 net probe cycle
+        let r1 = ws.revision();
+        assert_ne!(r0, r1, "measurements must invalidate cached answers");
+        // No time passed: no change, a cache may keep serving.
+        assert_eq!(ws.revision(), r1);
     }
 
     #[test]

@@ -196,17 +196,12 @@ fn place(policy: DataPolicy, tasks: &[DataTask], estimates: &[(f64, f64)]) -> Ve
                 }
             };
             let mut order: Vec<usize> = (0..tasks.len()).collect();
-            order.sort_by(|&a, &b| {
-                tasks[b]
-                    .cpu_seconds
-                    .partial_cmp(&tasks[a].cpu_seconds)
-                    .expect("finite work")
-            });
+            order.sort_by(|&a, &b| tasks[b].cpu_seconds.total_cmp(&tasks[a].cpu_seconds));
             let mut finish = vec![0.0f64; n_sites];
             for &t in &order {
                 let (best, best_finish) = (0..n_sites)
                     .map(|s| (s, finish[s] + cost(&tasks[t], s)))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("at least one site");
                 finish[best] = best_finish;
                 assignment[t] = best;

@@ -89,14 +89,14 @@ pub fn place(policy: Policy, tasks: &[f64], availabilities: &[f64], rng: &mut Rn
         Policy::NwsForecast | Policy::NwsLoadForecast | Policy::LoadAverage => {
             // Greedy LPT under the expansion-factor model.
             let mut order: Vec<usize> = (0..tasks.len()).collect();
-            order.sort_by(|&a, &b| tasks[b].partial_cmp(&tasks[a]).expect("finite work"));
+            order.sort_by(|&a, &b| tasks[b].total_cmp(&tasks[a]));
             let mut host_finish = vec![0.0f64; n_hosts];
             for &task in &order {
                 let (best, _) = host_finish
                     .iter()
                     .enumerate()
                     .map(|(h, &f)| (h, f + predicted_runtime(tasks[task], availabilities[h])))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("at least one host");
                 host_finish[best] += predicted_runtime(tasks[task], availabilities[best]);
                 assignment[task] = best;

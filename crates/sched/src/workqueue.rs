@@ -68,7 +68,7 @@ pub fn run_workqueue(cfg: &SchedConfig, bag: &TaskBag, order: QueueOrder) -> Wor
     // The queue, longest-first or FIFO.
     let mut queue: Vec<f64> = bag.works.clone();
     if order == QueueOrder::LongestFirst {
-        queue.sort_by(|a, b| a.partial_cmp(b).expect("finite work")); // pop() takes the back
+        queue.sort_by(|a, b| a.total_cmp(b)); // pop() takes the back
     } else {
         queue.reverse(); // pop() then yields submission order
     }

@@ -1,0 +1,197 @@
+//! The typed TCP client, with retry-and-reconnect.
+//!
+//! A forecast query is idempotent, so a failed exchange — the server
+//! idled out the connection, the process restarted, a write hit a dead
+//! socket — is safely retried on a fresh connection. The client
+//! remembers the address, tears down the stream on any wire-level
+//! failure, and redials up to [`ClientConfig::retries`] times before
+//! giving up. Typed server errors ([`ServeError::Remote`]) are *not*
+//! retried: the exchange worked, the answer just wasn't the happy path.
+
+use crate::transport::{ServeError, Transport};
+use nws_wire::{read_response, write_request, Request, Response, WireError};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Tunables for [`NwsClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Socket read/write deadline per exchange.
+    pub io_timeout: Duration,
+    /// Reconnect-and-resend attempts after a failed exchange.
+    pub retries: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            io_timeout: Duration::from_secs(5),
+            retries: 2,
+        }
+    }
+}
+
+/// A connected forecast client.
+pub struct NwsClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    /// Exchanges that needed at least one reconnect.
+    reconnects: u64,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl NwsClient {
+    /// Dials the server and verifies the connection can be set up.
+    pub fn connect(addr: SocketAddr, config: ClientConfig) -> Result<Self, ServeError> {
+        let mut client = Self {
+            addr,
+            config,
+            conn: None,
+            reconnects: 0,
+        };
+        client.conn = Some(client.dial()?);
+        Ok(client)
+    }
+
+    /// Reconnect-and-resend cycles performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn dial(&self) -> Result<Conn, ServeError> {
+        let stream =
+            TcpStream::connect(self.addr).map_err(|e| ServeError::Wire(WireError::Io(e)))?;
+        stream
+            .set_read_timeout(Some(self.config.io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.config.io_timeout)))
+            .map_err(|e| ServeError::Wire(WireError::Io(e)))?;
+        let reader_stream = stream
+            .try_clone()
+            .map_err(|e| ServeError::Wire(WireError::Io(e)))?;
+        Ok(Conn {
+            reader: BufReader::new(reader_stream),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One request/response exchange on the current connection.
+    fn exchange(conn: &mut Conn, req: &Request) -> Result<(Response, Vec<u8>), ServeError> {
+        write_request(&mut conn.writer, req)?;
+        conn.writer.flush().map_err(WireError::from)?;
+        Ok(read_response(&mut conn.reader)?)
+    }
+}
+
+impl Transport for NwsClient {
+    fn call_raw(&mut self, req: &Request) -> Result<(Response, Vec<u8>), ServeError> {
+        let mut attempts_left = self.config.retries + 1;
+        loop {
+            attempts_left -= 1;
+            if self.conn.is_none() {
+                match self.dial() {
+                    Ok(c) => self.conn = Some(c),
+                    Err(_) if attempts_left > 0 => {
+                        self.reconnects += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let conn = self.conn.as_mut().expect("connection just ensured");
+            match Self::exchange(conn, req) {
+                Ok(ok) => return Ok(ok),
+                // Transport-level failure: the connection is suspect.
+                // Drop it and retry on a fresh one if budget remains.
+                Err(ServeError::Wire(_)) if attempts_left > 0 => {
+                    self.conn = None;
+                    self.reconnects += 1;
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::GridState;
+    use crate::tcp::{NwsServer, ServerConfig};
+    use nws_grid::{GridMonitor, GridMonitorConfig};
+    use nws_sim::HostProfile;
+
+    fn warm_server(config: ServerConfig) -> NwsServer {
+        let mut grid = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Thing2],
+            31,
+            GridMonitorConfig::default(),
+        );
+        grid.run_steps(40);
+        NwsServer::spawn(GridState::new(grid), config).expect("bind localhost")
+    }
+
+    #[test]
+    fn reconnects_after_the_server_idles_out_the_connection() {
+        // A tiny read deadline makes the server hang up on any pause.
+        let server = warm_server(ServerConfig {
+            read_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        });
+        let mut client =
+            NwsClient::connect(server.addr(), ClientConfig::default()).expect("connect");
+        let first = client.forecast("thing1").expect("first call");
+        // Outlive the server's read deadline; the old stream is dead.
+        std::thread::sleep(Duration::from_millis(200));
+        let second = client.forecast("thing1").expect("retried call");
+        assert_eq!(first, second, "idempotent query, cached answer");
+        assert!(client.reconnects() >= 1, "the retry path must have fired");
+    }
+
+    #[test]
+    fn typed_errors_are_not_retried() {
+        let server = warm_server(ServerConfig::default());
+        let mut client =
+            NwsClient::connect(server.addr(), ClientConfig::default()).expect("connect");
+        match client.forecast("nonesuch") {
+            Err(ServeError::Remote(e)) => {
+                assert_eq!(e.code, nws_wire::ErrorCode::UnknownHost);
+            }
+            other => panic!("wrong result: {other:?}"),
+        }
+        assert_eq!(client.reconnects(), 0);
+    }
+
+    #[test]
+    fn connect_to_a_dead_port_fails_cleanly() {
+        let addr = {
+            let server = warm_server(ServerConfig::default());
+            server.addr()
+            // Server dropped (and shut down) here.
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        match NwsClient::connect(
+            addr,
+            ClientConfig {
+                retries: 0,
+                ..ClientConfig::default()
+            },
+        ) {
+            Err(ServeError::Wire(_)) => {}
+            Ok(mut c) => {
+                // The OS may still complete the handshake from a stale
+                // backlog; the first actual exchange must then fail.
+                assert!(c.stats().is_err());
+            }
+            Err(e) => panic!("unexpected error variant: {e}"),
+        }
+    }
+}

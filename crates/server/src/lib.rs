@@ -1,0 +1,33 @@
+//! The forecast-serving subsystem: the NWS query path, reproduced.
+//!
+//! The paper's measurements exist to be *served* — the real Network
+//! Weather Service runs sensors, memories, and forecasters as separate
+//! processes that clients query over the network. This crate puts that
+//! query path in front of the reproduction's [`GridMonitor`]:
+//!
+//! - [`GridState`] — the server-side state: a grid monitor plus a
+//!   [`QueryCache`] of per-resource forecast answers, invalidated by the
+//!   revision counters the grid's memory and forecast service bump on
+//!   every measurement append. Repeated queries between 10-second
+//!   sensor ticks are O(1) cache hits.
+//! - [`NwsServer`] — a threaded `std::net::TcpListener` server speaking
+//!   the [`nws_wire`] protocol, with per-connection read/write deadlines
+//!   and an in-flight connection bound derived from [`nws_runtime`].
+//! - [`NwsClient`] — a typed client with retry-and-reconnect.
+//! - [`Transport`] / [`InMemoryTransport`] — the same codec and
+//!   dispatch path without sockets, so tests and the determinism suite
+//!   can compare answers bit for bit against the TCP path.
+//!
+//! [`GridMonitor`]: nws_grid::GridMonitor
+
+mod cache;
+mod client;
+mod state;
+mod tcp;
+mod transport;
+
+pub use cache::QueryCache;
+pub use client::{ClientConfig, NwsClient};
+pub use state::GridState;
+pub use tcp::{NwsServer, ServerConfig};
+pub use transport::{InMemoryTransport, ServeError, Transport};

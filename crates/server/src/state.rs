@@ -1,0 +1,333 @@
+//! Server-side state and request dispatch.
+//!
+//! [`GridState`] owns the grid monitor and the [`QueryCache`] and turns
+//! each decoded [`Request`] into a [`Response`]. Dispatch is pure with
+//! respect to the grid's seed and the request sequence: the same
+//! requests against the same grid state produce byte-identical
+//! responses on every transport and at every thread count (the grid's
+//! parallel advance is itself bit-deterministic).
+
+use crate::cache::QueryCache;
+use nws_grid::{GridMonitor, Metric};
+use nws_wire::{
+    ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,
+    SnapshotReply, StatsReply, MAX_BATCH, MAX_POINTS,
+};
+
+/// The state a forecast server fronts: the grid, the cache, and the
+/// request accounting.
+pub struct GridState {
+    grid: GridMonitor,
+    cache: QueryCache,
+    requests: u64,
+    hosts: u32,
+}
+
+fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error(ErrorReply {
+        code,
+        message: message.into(),
+    })
+}
+
+impl GridState {
+    /// Wraps a grid monitor for serving.
+    pub fn new(grid: GridMonitor) -> Self {
+        let hosts = grid.snapshot().hosts.len() as u32;
+        Self {
+            grid,
+            cache: QueryCache::new(),
+            requests: 0,
+            hosts,
+        }
+    }
+
+    /// The grid being served.
+    pub fn grid(&self) -> &GridMonitor {
+        &self.grid
+    }
+
+    /// Advances the simulated grid by `steps` measurement slots. Every
+    /// slot bumps the revision counters, so cached answers computed
+    /// before the tick stop validating — the measurement-append
+    /// invalidation the cache is built around.
+    pub fn tick(&mut self, steps: u64) {
+        self.grid.run_steps(steps);
+    }
+
+    /// The cache (for tests and reporting).
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Answers one request. Batches are answered element-wise in
+    /// order; everything else is a single reply.
+    pub fn dispatch(&mut self, req: &Request) -> Response {
+        match req {
+            Request::Batch(items) => {
+                if items.len() > MAX_BATCH {
+                    // Decode already bounds this; guard anyway for
+                    // requests constructed in-process.
+                    return error(ErrorCode::BadRequest, "batch too large");
+                }
+                Response::Batch(items.iter().map(|r| self.dispatch_one(r)).collect())
+            }
+            other => self.dispatch_one(other),
+        }
+    }
+
+    fn dispatch_one(&mut self, req: &Request) -> Response {
+        self.requests += 1;
+        match req {
+            Request::Forecast { host } => self.forecast(host),
+            Request::Snapshot => Response::Snapshot(self.snapshot_reply()),
+            Request::BestHost => self.best_host(),
+            Request::SeriesTail { host, n } => self.series_tail(host, *n),
+            Request::Stats => Response::Stats(self.stats_reply()),
+            Request::Batch(_) => error(ErrorCode::BadRequest, "batches cannot nest"),
+        }
+    }
+
+    fn forecast(&mut self, host: &str) -> Response {
+        let Some(id) = self
+            .grid
+            .registry()
+            .lookup(host, Metric::CpuAvailabilityHybrid)
+        else {
+            return error(ErrorCode::UnknownHost, format!("no such host: {host}"));
+        };
+        let revision = self.grid.forecasts().revision(id);
+        if let Some(reply) = self.cache.forecast(id, revision) {
+            return Response::Forecast(reply);
+        }
+        let now = self.grid.now();
+        let Some(answer) = self.grid.forecasts().forecast_at(id, now) else {
+            return error(
+                ErrorCode::ColdForecast,
+                format!("{host} has no measurements yet"),
+            );
+        };
+        let reply = ForecastReply {
+            host: host.to_string(),
+            value: answer.forecast.value,
+            method: answer.forecast.method.clone(),
+            interval: answer.interval.as_ref().map(|iv| (iv.lo, iv.hi)),
+            observations: answer.observations,
+            staleness: answer.staleness,
+            confidence: answer.confidence,
+        };
+        self.cache.store_forecast(id, revision, reply.clone());
+        Response::Forecast(reply)
+    }
+
+    fn snapshot_reply(&mut self) -> SnapshotReply {
+        let revision = self.grid.revision();
+        if let Some(reply) = self.cache.snapshot(revision) {
+            return reply;
+        }
+        let snap = self.grid.snapshot();
+        let reply = SnapshotReply {
+            time: snap.time,
+            hosts: snap
+                .hosts
+                .iter()
+                .map(|h| HostRow {
+                    host: h.host.clone(),
+                    latest: h.latest_hybrid,
+                    forecast: h.forecast.as_ref().map(|a| a.forecast.value),
+                    degraded: h.degraded,
+                })
+                .collect(),
+        };
+        self.cache.store_snapshot(revision, reply.clone());
+        reply
+    }
+
+    fn best_host(&mut self) -> Response {
+        // Same placement rule as `GridSnapshot::best_host`, computed
+        // over the (cached) snapshot rows: non-degraded hosts with a
+        // finite forecast, highest availability wins.
+        let snap = self.snapshot_reply();
+        let best = snap
+            .hosts
+            .into_iter()
+            .filter(|h| !h.degraded)
+            .filter(|h| h.forecast.is_some_and(f64::is_finite))
+            .max_by(|a, b| {
+                let fa = a.forecast.expect("filtered");
+                let fb = b.forecast.expect("filtered");
+                fa.total_cmp(&fb)
+            });
+        Response::BestHost(best)
+    }
+
+    fn series_tail(&mut self, host: &str, n: u32) -> Response {
+        let Some(id) = self
+            .grid
+            .registry()
+            .lookup(host, Metric::CpuAvailabilityHybrid)
+        else {
+            return error(ErrorCode::UnknownHost, format!("no such host: {host}"));
+        };
+        let n = (n as usize).min(MAX_POINTS);
+        let points = self
+            .grid
+            .memory()
+            .extract(id, n)
+            .iter()
+            .map(|p| SeriesPoint {
+                time: p.time,
+                value: p.value,
+            })
+            .collect();
+        Response::SeriesTail(SeriesTailReply {
+            host: host.to_string(),
+            points,
+        })
+    }
+
+    fn stats_reply(&self) -> StatsReply {
+        StatsReply {
+            requests: self.requests,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            invalidations: self.cache.invalidations(),
+            slots: self.grid.slots(),
+            hosts: self.hosts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nws_sim::HostProfile;
+
+    fn warm_state() -> GridState {
+        let mut grid = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Gremlin],
+            7,
+            nws_grid::GridMonitorConfig::default(),
+        );
+        grid.run_steps(30);
+        GridState::new(grid)
+    }
+
+    #[test]
+    fn forecast_is_served_and_cached_between_ticks() {
+        let mut st = warm_state();
+        let req = Request::Forecast {
+            host: "thing1".into(),
+        };
+        let a = st.dispatch(&req);
+        let b = st.dispatch(&req);
+        assert_eq!(a, b, "same tick, same answer");
+        assert_eq!(st.cache().hits(), 1);
+        assert_eq!(st.cache().misses(), 1);
+        match a {
+            Response::Forecast(r) => {
+                assert!((0.0..=1.0).contains(&r.value));
+                assert_eq!(r.observations, 30);
+                assert!(!r.method.is_empty());
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tick_invalidates_and_answers_move() {
+        let mut st = warm_state();
+        let req = Request::Forecast {
+            host: "gremlin".into(),
+        };
+        let before = st.dispatch(&req);
+        st.tick(1);
+        let after = st.dispatch(&req);
+        assert_eq!(st.cache().invalidations(), 1);
+        match (before, after) {
+            (Response::Forecast(b), Response::Forecast(a)) => {
+                assert_eq!(a.observations, b.observations + 1);
+            }
+            other => panic!("wrong replies: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_and_cold_hosts_get_typed_errors() {
+        let mut st = warm_state();
+        match st.dispatch(&Request::Forecast {
+            host: "zardoz".into(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownHost),
+            other => panic!("wrong reply: {other:?}"),
+        }
+        let cold = GridMonitor::new(
+            &[HostProfile::Kongo],
+            3,
+            nws_grid::GridMonitorConfig::default(),
+        );
+        let mut st = GridState::new(cold);
+        match st.dispatch(&Request::Forecast {
+            host: "kongo".into(),
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::ColdForecast),
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_best_host_and_series_tail_agree_with_the_grid() {
+        let mut st = warm_state();
+        let snap = match st.dispatch(&Request::Snapshot) {
+            Response::Snapshot(s) => s,
+            other => panic!("wrong reply: {other:?}"),
+        };
+        assert_eq!(snap.hosts.len(), 2);
+        assert!(snap.hosts.iter().all(|h| !h.degraded));
+        let grid_best = st.grid().snapshot().best_host().expect("warm").host.clone();
+        match st.dispatch(&Request::BestHost) {
+            Response::BestHost(Some(row)) => assert_eq!(row.host, grid_best),
+            other => panic!("wrong reply: {other:?}"),
+        }
+        match st.dispatch(&Request::SeriesTail {
+            host: "thing1".into(),
+            n: 5,
+        }) {
+            Response::SeriesTail(t) => {
+                assert_eq!(t.points.len(), 5);
+                assert!(t.points.windows(2).all(|w| w[0].time < w[1].time));
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_answers_in_order_and_counts_each_item() {
+        let mut st = warm_state();
+        let resp = st.dispatch(&Request::Batch(vec![
+            Request::Forecast {
+                host: "thing1".into(),
+            },
+            Request::Forecast {
+                host: "thing1".into(),
+            },
+            Request::Stats,
+        ]));
+        match resp {
+            Response::Batch(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0], items[1], "second item hits the cache");
+                match &items[2] {
+                    Response::Stats(s) => {
+                        assert_eq!(s.requests, 3);
+                        assert_eq!(s.cache_hits, 1);
+                        assert_eq!(s.hosts, 2);
+                        assert_eq!(s.slots, 30);
+                    }
+                    other => panic!("wrong reply: {other:?}"),
+                }
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The TCP server: a threaded `std::net` listener speaking the wire
+//! protocol in front of shared [`GridState`].
+//!
+//! One thread per live connection, bounded by
+//! [`ServerConfig::max_connections`] (derived from the deterministic
+//! runtime's thread count by default), with per-connection read/write
+//! deadlines so a stalled peer cannot pin a handler thread forever.
+
+use crate::state::GridState;
+use nws_wire::{read_request, write_response, ErrorCode, ErrorReply, Response, WireError};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for [`NwsServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// How long a connection may sit idle between requests before the
+    /// server hangs up.
+    pub read_timeout: Duration,
+    /// How long a single response write may take.
+    pub write_timeout: Duration,
+    /// Connections served concurrently; excess connections are
+    /// answered and closed immediately.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            // Bound in-flight work by the runtime's configured
+            // parallelism (never below two, so one slow client can't
+            // starve the server in single-threaded runs).
+            max_connections: nws_runtime::threads().max(2),
+        }
+    }
+}
+
+/// A running forecast server bound to a local port.
+pub struct NwsServer {
+    addr: SocketAddr,
+    state: Arc<Mutex<GridState>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NwsServer {
+    /// Spawns the accept loop on an OS-assigned localhost port.
+    pub fn spawn(state: GridState, config: ServerConfig) -> std::io::Result<Self> {
+        Self::spawn_shared(Arc::new(Mutex::new(state)), config)
+    }
+
+    /// Spawns the accept loop over state shared with the caller (so a
+    /// driver can keep ticking the grid while the server runs).
+    pub fn spawn_shared(
+        state: Arc<Mutex<GridState>>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        // Poll the shutdown flag between accepts instead of blocking
+        // forever in accept(2).
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(listener, state, shutdown, config))
+        };
+        Ok(Self {
+            addr,
+            state,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state, for ticking the grid or reading cache stats
+    /// while the server runs.
+    pub fn state(&self) -> &Arc<Mutex<GridState>> {
+        &self.state
+    }
+
+    /// Stops accepting and joins the accept thread. Handler threads
+    /// for already-open connections drain on their own deadlines.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NwsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<Mutex<GridState>>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if active.load(Ordering::SeqCst) >= config.max_connections {
+                    // Over the in-flight bound: refuse politely.
+                    refuse(stream, config);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let state = Arc::clone(&state);
+                let active = Arc::clone(&active);
+                std::thread::spawn(move || {
+                    handle_conn(stream, state, config);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Answers one over-capacity connection with a typed error, then closes.
+fn refuse(stream: TcpStream, config: ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut w = BufWriter::new(stream);
+    let resp = Response::Error(ErrorReply {
+        code: ErrorCode::BadRequest,
+        message: "server at connection capacity".to_string(),
+    });
+    if write_response(&mut w, &resp).is_ok() {
+        let _ = w.flush();
+    }
+}
+
+/// Serves one connection: read a request frame, dispatch, write the
+/// response frame, repeat until the peer hangs up, idles past the read
+/// deadline, or sends a malformed frame.
+fn handle_conn(stream: TcpStream, state: Arc<Mutex<GridState>>, config: ServerConfig) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(WireError::Truncated) | Err(WireError::Io(_)) => {
+                // Peer hung up or idled out; nothing more to say.
+                return;
+            }
+            Err(e) => {
+                // Protocol violation: answer with a typed error frame,
+                // then close — the stream can no longer be trusted to
+                // be frame-aligned.
+                let resp = Response::Error(ErrorReply {
+                    code: ErrorCode::BadRequest,
+                    message: format!("malformed request: {e}"),
+                });
+                if write_response(&mut writer, &resp).is_ok() {
+                    let _ = writer.flush();
+                }
+                return;
+            }
+        };
+        let resp = state.lock().expect("server state poisoned").dispatch(&req);
+        if write_response(&mut writer, &resp).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+    use crate::{ClientConfig, NwsClient};
+    use nws_grid::{GridMonitor, GridMonitorConfig};
+    use nws_sim::HostProfile;
+    use nws_wire::Request;
+
+    fn warm_server(config: ServerConfig) -> NwsServer {
+        let mut grid = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Gremlin],
+            21,
+            GridMonitorConfig::default(),
+        );
+        grid.run_steps(50);
+        NwsServer::spawn(GridState::new(grid), config).expect("bind localhost")
+    }
+
+    #[test]
+    fn serves_typed_queries_over_tcp() {
+        let server = warm_server(ServerConfig::default());
+        let mut client =
+            NwsClient::connect(server.addr(), ClientConfig::default()).expect("connect");
+        let fc = client.forecast("thing1").expect("forecast");
+        assert!((0.0..=1.0).contains(&fc.value));
+        let snap = client.snapshot().expect("snapshot");
+        assert_eq!(snap.hosts.len(), 2);
+        let stats = client.stats().expect("stats");
+        assert!(stats.requests >= 2);
+    }
+
+    #[test]
+    fn malformed_frames_get_an_error_frame_not_a_hang() {
+        use std::io::{Read, Write};
+        let server = warm_server(ServerConfig::default());
+        let mut raw = TcpStream::connect(server.addr()).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Valid header, garbage payload: tag 0xFF is no known request.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&nws_wire::MAGIC.to_be_bytes());
+        frame.push(nws_wire::VERSION);
+        frame.push(0); // request kind
+        frame.extend_from_slice(&1u32.to_le_bytes());
+        frame.push(0xFF);
+        raw.write_all(&frame).unwrap();
+        let mut reply = Vec::new();
+        raw.read_to_end(&mut reply)
+            .expect("server answers then closes");
+        let (resp, _) = nws_wire::read_response(&mut reply.as_slice()).expect("error frame");
+        match resp {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_cap_refuses_politely() {
+        let server = warm_server(ServerConfig {
+            max_connections: 0, // everything is over capacity
+            ..ServerConfig::default()
+        });
+        let mut client = NwsClient::connect(
+            server.addr(),
+            ClientConfig {
+                retries: 0,
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect");
+        match client.call(&Request::Stats) {
+            Ok(Response::Error(e)) => {
+                assert_eq!(e.code, ErrorCode::BadRequest);
+                assert!(e.message.contains("capacity"));
+            }
+            other => panic!("wrong result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let mut server = warm_server(ServerConfig::default());
+        let addr = server.addr();
+        server.shutdown();
+        // The accept loop is gone; a fresh connection gets no answer.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(stream) => {
+                // Connection may still be accepted by the OS backlog,
+                // but no handler will ever answer; a read must fail or
+                // return EOF rather than data.
+                use std::io::Read;
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(300)))
+                    .unwrap();
+                let mut buf = [0u8; 1];
+                let mut s = stream;
+                assert!(matches!(s.read(&mut buf), Ok(0) | Err(_)));
+            }
+        }
+    }
+}

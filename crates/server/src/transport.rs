@@ -1,0 +1,214 @@
+//! Transport abstraction: the same request/response exchange over TCP
+//! or entirely in memory.
+//!
+//! [`InMemoryTransport`] routes every call through the *exact* frame
+//! codec the TCP path uses — encode, frame, decode, dispatch, encode,
+//! frame, decode — just with a `Vec<u8>` standing in for the socket.
+//! That makes "TCP and in-memory answers are byte-identical" a testable
+//! property rather than a hope.
+
+use crate::state::GridState;
+use nws_wire::{
+    read_request, read_response, write_request, write_response, ErrorReply, ForecastReply, HostRow,
+    Request, Response, SeriesTailReply, SnapshotReply, StatsReply, WireError,
+};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Everything that can go wrong talking to a forecast server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Encoding, decoding, or I/O failed.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Remote(ErrorReply),
+    /// The server answered with the wrong response variant.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Remote(e) => write!(f, "server error {:?}: {}", e.code, e.message),
+            ServeError::Unexpected(what) => write!(f, "unexpected response variant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+/// A way to exchange one request for one response with a forecast
+/// server. Implemented by [`NwsClient`](crate::NwsClient) (TCP) and
+/// [`InMemoryTransport`] (no sockets).
+pub trait Transport {
+    /// Sends one request and returns the decoded response together
+    /// with the raw response payload bytes, for byte-level comparisons
+    /// across transports.
+    fn call_raw(&mut self, req: &Request) -> Result<(Response, Vec<u8>), ServeError>;
+
+    /// Sends one request and returns the decoded response.
+    fn call(&mut self, req: &Request) -> Result<Response, ServeError> {
+        self.call_raw(req).map(|(resp, _)| resp)
+    }
+
+    /// Typed forecast query.
+    fn forecast(&mut self, host: &str) -> Result<ForecastReply, ServeError> {
+        match self.call(&Request::Forecast {
+            host: host.to_string(),
+        })? {
+            Response::Forecast(r) => Ok(r),
+            Response::Error(e) => Err(ServeError::Remote(e)),
+            _ => Err(ServeError::Unexpected("forecast")),
+        }
+    }
+
+    /// Typed whole-grid snapshot query.
+    fn snapshot(&mut self) -> Result<SnapshotReply, ServeError> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshot(r) => Ok(r),
+            Response::Error(e) => Err(ServeError::Remote(e)),
+            _ => Err(ServeError::Unexpected("snapshot")),
+        }
+    }
+
+    /// Typed best-host query.
+    fn best_host(&mut self) -> Result<Option<HostRow>, ServeError> {
+        match self.call(&Request::BestHost)? {
+            Response::BestHost(r) => Ok(r),
+            Response::Error(e) => Err(ServeError::Remote(e)),
+            _ => Err(ServeError::Unexpected("best host")),
+        }
+    }
+
+    /// Typed series-tail query.
+    fn series_tail(&mut self, host: &str, n: u32) -> Result<SeriesTailReply, ServeError> {
+        match self.call(&Request::SeriesTail {
+            host: host.to_string(),
+            n,
+        })? {
+            Response::SeriesTail(r) => Ok(r),
+            Response::Error(e) => Err(ServeError::Remote(e)),
+            _ => Err(ServeError::Unexpected("series tail")),
+        }
+    }
+
+    /// Typed server-statistics query.
+    fn stats(&mut self) -> Result<StatsReply, ServeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(r) => Ok(r),
+            Response::Error(e) => Err(ServeError::Remote(e)),
+            _ => Err(ServeError::Unexpected("stats")),
+        }
+    }
+}
+
+/// The socket-free transport: frames requests into a buffer, decodes
+/// them back, dispatches against shared [`GridState`], and frames the
+/// response the same way the TCP server does.
+pub struct InMemoryTransport {
+    state: Arc<Mutex<GridState>>,
+}
+
+impl InMemoryTransport {
+    /// Wraps shared server state.
+    pub fn new(state: Arc<Mutex<GridState>>) -> Self {
+        Self { state }
+    }
+
+    /// The shared state (for advancing the grid mid-test).
+    pub fn state(&self) -> &Arc<Mutex<GridState>> {
+        &self.state
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn call_raw(&mut self, req: &Request) -> Result<(Response, Vec<u8>), ServeError> {
+        // Client side: frame the request into the "wire".
+        let mut wire = Vec::new();
+        write_request(&mut wire, req)?;
+        // Server side: decode, dispatch, frame the response.
+        let decoded = read_request(&mut wire.as_slice())?;
+        let resp = self
+            .state
+            .lock()
+            .expect("server state poisoned")
+            .dispatch(&decoded);
+        let mut back = Vec::new();
+        write_response(&mut back, &resp)?;
+        // Client side again: decode the response.
+        Ok(read_response(&mut back.as_slice())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nws_grid::{GridMonitor, GridMonitorConfig};
+    use nws_sim::HostProfile;
+
+    fn warm_transport() -> InMemoryTransport {
+        let mut grid = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Thing2],
+            11,
+            GridMonitorConfig::default(),
+        );
+        grid.run_steps(40);
+        InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid))))
+    }
+
+    #[test]
+    fn typed_helpers_round_trip_through_the_codec() {
+        let mut t = warm_transport();
+        let fc = t.forecast("thing1").expect("warm host");
+        assert!((0.0..=1.0).contains(&fc.value));
+        let snap = t.snapshot().expect("snapshot");
+        assert_eq!(snap.hosts.len(), 2);
+        let best = t.best_host().expect("ok").expect("warm grid has a best");
+        assert!(snap.hosts.iter().any(|h| h.host == best.host));
+        let tail = t.series_tail("thing2", 8).expect("tail");
+        assert_eq!(tail.points.len(), 8);
+        let stats = t.stats().expect("stats");
+        assert_eq!(stats.requests, 5);
+        assert!(stats.cache_hits + stats.cache_misses > 0);
+    }
+
+    #[test]
+    fn remote_errors_surface_as_serve_errors() {
+        let mut t = warm_transport();
+        match t.forecast("nonesuch") {
+            Err(ServeError::Remote(e)) => {
+                assert_eq!(e.code, nws_wire::ErrorCode::UnknownHost)
+            }
+            other => panic!("wrong result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_payloads_are_deterministic_for_a_fixed_state() {
+        let mut a = warm_transport();
+        let mut b = warm_transport();
+        for req in [
+            Request::Forecast {
+                host: "thing1".into(),
+            },
+            Request::Snapshot,
+            Request::BestHost,
+            Request::SeriesTail {
+                host: "thing2".into(),
+                n: 16,
+            },
+            Request::Stats,
+        ] {
+            let (_, pa) = a.call_raw(&req).expect("a");
+            let (_, pb) = b.call_raw(&req).expect("b");
+            assert_eq!(pa, pb, "payload bytes differ for {req:?}");
+        }
+    }
+}

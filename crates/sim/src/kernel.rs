@@ -337,9 +337,9 @@ impl Kernel {
             // Starved first (longest wait first), then smallest priority,
             // round-robin tiebreak via least-recently-run.
             sb.cmp(&sa).then_with(|| {
-                (pa.priority(), pa.last_run_tick)
-                    .partial_cmp(&(pb.priority(), pb.last_run_tick))
-                    .expect("priorities are finite")
+                pa.priority()
+                    .total_cmp(&pb.priority())
+                    .then(pa.last_run_tick.cmp(&pb.last_run_tick))
             })
         });
         dispatch.truncate(cpus_free);

@@ -293,7 +293,7 @@ mod tests {
         let (max_idx, _) = pg
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
             .unwrap();
         // Frequencies start at j=1, so index 7 is λ_8.
         assert_eq!(max_idx, 7);

@@ -37,7 +37,7 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
         max = max.max(v);
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("summary inputs are finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let median = if n % 2 == 1 {
         sorted[n / 2]
     } else {
@@ -90,6 +90,14 @@ mod tests {
         assert_eq!(s.median, 3.5);
         assert_eq!(s.min, 3.5);
         assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        // total_cmp sorts NaN to the end instead of panicking mid-sort.
+        let s = summarize(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.median, 3.0);
     }
 
     #[test]

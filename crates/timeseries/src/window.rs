@@ -175,7 +175,7 @@ impl SlidingWindow {
             return None;
         }
         let mut v = self.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("window values are finite"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let n = v.len();
         Some(if n % 2 == 1 {
             v[n / 2]
@@ -192,7 +192,7 @@ impl SlidingWindow {
             return None;
         }
         let mut v = self.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("window values are finite"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let k = (alpha * v.len() as f64).floor() as usize;
         let kept = &v[k..v.len() - k];
         if kept.is_empty() {

@@ -1,0 +1,215 @@
+//! Frame layer: the versioned 8-byte header and length-prefixed payload
+//! that carry encoded messages over a byte stream.
+//!
+//! ```text
+//! offset  0        2         3      4         8
+//!         magic:u16 version:u8 kind:u8 len:u32le payload[len]
+//! ```
+//!
+//! The magic is written big-endian so a hex dump starts with the ASCII
+//! bytes `NW`. [`read_frame`] refuses frames whose declared payload
+//! exceeds [`MAX_FRAME`](crate::MAX_FRAME) *before* reading the payload,
+//! so a hostile peer cannot force an unbounded allocation.
+
+use crate::message::{Request, Response};
+use crate::{WireError, MAGIC, MAX_FRAME, VERSION};
+use std::io::{Read, Write};
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A client-to-server [`Request`].
+    Request,
+    /// A server-to-client [`Response`].
+    Response,
+}
+
+impl FrameKind {
+    fn tag(self) -> u8 {
+        match self {
+            FrameKind::Request => 0,
+            FrameKind::Response => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(FrameKind::Request),
+            1 => Ok(FrameKind::Response),
+            other => Err(WireError::BadKind(other)),
+        }
+    }
+}
+
+fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    debug_assert!(payload.len() <= MAX_FRAME, "payload exceeds MAX_FRAME");
+    let mut header = [0u8; HEADER_LEN];
+    header[..2].copy_from_slice(&MAGIC.to_be_bytes());
+    header[2] = VERSION;
+    header[3] = kind.tag();
+    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, validating magic, version, kind, and the payload
+/// bound before the payload itself is read.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic = u16::from_be_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if header[2] != VERSION {
+        return Err(WireError::BadVersion(header[2]));
+    }
+    let kind = FrameKind::from_tag(header[3])?;
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((kind, payload))
+}
+
+/// Frames and writes one request.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), WireError> {
+    write_frame(w, FrameKind::Request, &req.encode())
+}
+
+/// Frames and writes one response.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireError> {
+    write_frame(w, FrameKind::Response, &resp.encode())
+}
+
+/// Reads one frame and decodes it as a request, rejecting response
+/// frames.
+pub fn read_request(r: &mut impl Read) -> Result<Request, WireError> {
+    match read_frame(r)? {
+        (FrameKind::Request, payload) => Request::decode(&payload),
+        (FrameKind::Response, _) => Err(WireError::BadKind(FrameKind::Response.tag())),
+    }
+}
+
+/// Reads one frame and decodes it as a response, rejecting request
+/// frames. Returns the raw payload too, so callers can compare replies
+/// byte for byte across transports.
+pub fn read_response(r: &mut impl Read) -> Result<(Response, Vec<u8>), WireError> {
+    match read_frame(r)? {
+        (FrameKind::Response, payload) => {
+            let resp = Response::decode(&payload)?;
+            Ok((resp, payload))
+        }
+        (FrameKind::Request, _) => Err(WireError::BadKind(FrameKind::Request.tag())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let req = Request::SeriesTail {
+            host: "gremlin".into(),
+            n: 32,
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        assert_eq!(&buf[..2], b"NW");
+        assert_eq!(read_request(&mut Cursor::new(&buf)).unwrap(), req);
+    }
+
+    #[test]
+    fn response_frames_round_trip_with_payload() {
+        let resp = Response::BestHost(None);
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let (decoded, payload) = read_response(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(decoded, resp);
+        assert_eq!(payload, resp.encode());
+    }
+
+    #[test]
+    fn bad_magic_version_kind_rejected() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Stats).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = 0x00;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad)),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut bad = buf.clone();
+        bad[2] = 9;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad)),
+            Err(WireError::BadVersion(9))
+        ));
+        let mut bad = buf.clone();
+        bad[3] = 7;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&bad)),
+            Err(WireError::BadKind(7))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_payload_read() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Stats).unwrap();
+        buf[4..8].copy_from_slice(&(u32::MAX).to_le_bytes());
+        // Only the header is present; the bound must trip before the
+        // (absent) 4 GiB payload is waited for.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf[..HEADER_LEN])),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::Forecast {
+                host: "kongo".into(),
+            },
+        )
+        .unwrap();
+        for cut in 0..buf.len() {
+            let err = read_frame(&mut Cursor::new(&buf[..cut]));
+            assert!(
+                matches!(err, Err(WireError::Truncated)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::BestHost(None)).unwrap();
+        assert!(matches!(
+            read_request(&mut Cursor::new(&buf)),
+            Err(WireError::BadKind(1))
+        ));
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Stats).unwrap();
+        assert!(matches!(
+            read_response(&mut Cursor::new(&buf)),
+            Err(WireError::BadKind(0))
+        ));
+    }
+}

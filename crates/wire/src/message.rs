@@ -1,0 +1,639 @@
+//! The protocol vocabulary: [`Request`], [`Response`], and the reply
+//! structures they carry, each with a hand-rolled `encode`/`decode` pair.
+
+use crate::codec::{Reader, Writer};
+use crate::WireError;
+
+/// Most requests a single `Batch` may carry.
+pub const MAX_BATCH: usize = 64;
+
+/// Most host rows a snapshot reply may carry.
+pub const MAX_HOSTS: usize = 4096;
+
+/// Most points a series-tail reply may carry (a day of 10-second
+/// measurements is 8 640).
+pub const MAX_POINTS: usize = 65_536;
+
+/// A query a client sends to the forecast server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The standing CPU-availability forecast for one host.
+    Forecast {
+        /// Host name as registered with the grid's name service.
+        host: String,
+    },
+    /// A point-in-time view of every monitored host.
+    Snapshot,
+    /// The host a scheduler should place the next task on.
+    BestHost,
+    /// The most recent `n` hybrid-availability measurements of one host.
+    SeriesTail {
+        /// Host name.
+        host: String,
+        /// Maximum number of points wanted (server caps at
+        /// [`MAX_POINTS`]).
+        n: u32,
+    },
+    /// Server-side counters: requests served, cache behaviour, uptime.
+    Stats,
+    /// Several requests answered in one round trip, in order. Nested
+    /// batches are rejected at decode time.
+    Batch(Vec<Request>),
+}
+
+impl Request {
+    /// Encodes the request payload (header-less; see
+    /// [`crate::write_request`] for framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            Request::Forecast { host } => {
+                w.put_u8(0);
+                w.put_str(host);
+            }
+            Request::Snapshot => w.put_u8(1),
+            Request::BestHost => w.put_u8(2),
+            Request::SeriesTail { host, n } => {
+                w.put_u8(3);
+                w.put_str(host);
+                w.put_u32(*n);
+            }
+            Request::Stats => w.put_u8(4),
+            Request::Batch(items) => {
+                debug_assert!(items.len() <= MAX_BATCH, "batch exceeds protocol bound");
+                w.put_u8(5);
+                w.put_u32(items.len() as u32);
+                for item in items {
+                    debug_assert!(!matches!(item, Request::Batch(_)), "batches cannot nest");
+                    item.encode_into(w);
+                }
+            }
+        }
+    }
+
+    /// Decodes a request payload, consuming it exactly.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = Self::decode_from(&mut r, true)?;
+        r.expect_end()?;
+        Ok(req)
+    }
+
+    fn decode_from(r: &mut Reader<'_>, allow_batch: bool) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(Request::Forecast {
+                host: r.take_str()?,
+            }),
+            1 => Ok(Request::Snapshot),
+            2 => Ok(Request::BestHost),
+            3 => Ok(Request::SeriesTail {
+                host: r.take_str()?,
+                n: r.take_u32()?,
+            }),
+            4 => Ok(Request::Stats),
+            5 => {
+                if !allow_batch {
+                    return Err(WireError::NestedBatch);
+                }
+                let len = r.take_len("batch", MAX_BATCH)?;
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(Self::decode_from(r, false)?);
+                }
+                Ok(Request::Batch(items))
+            }
+            tag => Err(WireError::UnknownTag {
+                what: "request",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Why a request could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The named host is not registered with the grid.
+    UnknownHost,
+    /// The host is registered but its forecaster has absorbed no
+    /// measurements yet.
+    ColdForecast,
+    /// The request was structurally valid but unserviceable (e.g. an
+    /// oversized batch the server refuses to expand).
+    BadRequest,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::UnknownHost => 0,
+            ErrorCode::ColdForecast => 1,
+            ErrorCode::BadRequest => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(ErrorCode::UnknownHost),
+            1 => Ok(ErrorCode::ColdForecast),
+            2 => Ok(ErrorCode::BadRequest),
+            tag => Err(WireError::UnknownTag {
+                what: "error code",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A typed error frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReply {
+    /// Machine-readable cause.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// The standing forecast for one host, NWS-extract style.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastReply {
+    /// Host name.
+    pub host: String,
+    /// Point forecast of CPU availability in `[0, 1]`.
+    pub value: f64,
+    /// Name of the panel predictor that issued it.
+    pub method: String,
+    /// Calibrated prediction interval `(lo, hi)`, absent until enough
+    /// forecast errors have been scored.
+    pub interval: Option<(f64, f64)>,
+    /// Measurements the forecaster has consumed.
+    pub observations: u64,
+    /// Seconds since the forecaster last absorbed a real measurement.
+    pub staleness: f64,
+    /// Confidence in `[0, 1]`, degrading as recent slots resolve to gaps.
+    pub confidence: f64,
+}
+
+impl ForecastReply {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_str(&self.host);
+        w.put_f64(self.value);
+        w.put_str(&self.method);
+        match self.interval {
+            None => w.put_bool(false),
+            Some((lo, hi)) => {
+                w.put_bool(true);
+                w.put_f64(lo);
+                w.put_f64(hi);
+            }
+        }
+        w.put_u64(self.observations);
+        w.put_f64(self.staleness);
+        w.put_f64(self.confidence);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            host: r.take_str()?,
+            value: r.take_f64()?,
+            method: r.take_str()?,
+            interval: if r.take_bool()? {
+                Some((r.take_f64()?, r.take_f64()?))
+            } else {
+                None
+            },
+            observations: r.take_u64()?,
+            staleness: r.take_f64()?,
+            confidence: r.take_f64()?,
+        })
+    }
+}
+
+/// One host's row in a snapshot reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostRow {
+    /// Host name.
+    pub host: String,
+    /// Latest hybrid availability measurement, if any.
+    pub latest: Option<f64>,
+    /// Standing forecast value, if the forecaster is warm.
+    pub forecast: Option<f64>,
+    /// The host is excluded from placement decisions (stale or missing
+    /// forecast).
+    pub degraded: bool,
+}
+
+impl HostRow {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_str(&self.host);
+        w.put_opt_f64(self.latest);
+        w.put_opt_f64(self.forecast);
+        w.put_bool(self.degraded);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            host: r.take_str()?,
+            latest: r.take_opt_f64()?,
+            forecast: r.take_opt_f64()?,
+            degraded: r.take_bool()?,
+        })
+    }
+}
+
+/// A point-in-time view of the whole grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotReply {
+    /// Simulation time of the snapshot, in seconds.
+    pub time: f64,
+    /// One row per host, in registration order.
+    pub hosts: Vec<HostRow>,
+}
+
+/// One timestamped measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Measurement time in seconds.
+    pub time: f64,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// The tail of one host's hybrid-availability series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesTailReply {
+    /// Host name.
+    pub host: String,
+    /// Up to `n` most recent measurements, oldest first.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// Server-side counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Requests dispatched (batch items counted individually).
+    pub requests: u64,
+    /// Answers served from the forecast/snapshot cache.
+    pub cache_hits: u64,
+    /// Answers computed afresh.
+    pub cache_misses: u64,
+    /// Cache entries discarded because new measurements arrived.
+    pub invalidations: u64,
+    /// Measurement slots the grid behind the server has taken.
+    pub slots: u64,
+    /// Monitored hosts.
+    pub hosts: u32,
+}
+
+/// A reply the forecast server sends back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Forecast`].
+    Forecast(ForecastReply),
+    /// Answer to [`Request::Snapshot`].
+    Snapshot(SnapshotReply),
+    /// Answer to [`Request::BestHost`]: `None` when every host is
+    /// degraded.
+    BestHost(Option<HostRow>),
+    /// Answer to [`Request::SeriesTail`].
+    SeriesTail(SeriesTailReply),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Answers to a [`Request::Batch`], in request order.
+    Batch(Vec<Response>),
+    /// The request could not be answered.
+    Error(ErrorReply),
+}
+
+impl Response {
+    /// Encodes the response payload (header-less; see
+    /// [`crate::write_response`] for framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        match self {
+            Response::Forecast(reply) => {
+                w.put_u8(0);
+                reply.encode_into(w);
+            }
+            Response::Snapshot(reply) => {
+                w.put_u8(1);
+                w.put_f64(reply.time);
+                w.put_u32(reply.hosts.len() as u32);
+                for row in &reply.hosts {
+                    row.encode_into(w);
+                }
+            }
+            Response::BestHost(row) => {
+                w.put_u8(2);
+                match row {
+                    None => w.put_bool(false),
+                    Some(row) => {
+                        w.put_bool(true);
+                        row.encode_into(w);
+                    }
+                }
+            }
+            Response::SeriesTail(reply) => {
+                w.put_u8(3);
+                w.put_str(&reply.host);
+                w.put_u32(reply.points.len() as u32);
+                for p in &reply.points {
+                    w.put_f64(p.time);
+                    w.put_f64(p.value);
+                }
+            }
+            Response::Stats(s) => {
+                w.put_u8(4);
+                w.put_u64(s.requests);
+                w.put_u64(s.cache_hits);
+                w.put_u64(s.cache_misses);
+                w.put_u64(s.invalidations);
+                w.put_u64(s.slots);
+                w.put_u32(s.hosts);
+            }
+            Response::Batch(items) => {
+                debug_assert!(items.len() <= MAX_BATCH, "batch exceeds protocol bound");
+                w.put_u8(5);
+                w.put_u32(items.len() as u32);
+                for item in items {
+                    debug_assert!(!matches!(item, Response::Batch(_)), "batches cannot nest");
+                    item.encode_into(w);
+                }
+            }
+            Response::Error(e) => {
+                w.put_u8(6);
+                w.put_u8(e.code.tag());
+                w.put_str(&e.message);
+            }
+        }
+    }
+
+    /// Decodes a response payload, consuming it exactly.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = Self::decode_from(&mut r, true)?;
+        r.expect_end()?;
+        Ok(resp)
+    }
+
+    fn decode_from(r: &mut Reader<'_>, allow_batch: bool) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(Response::Forecast(ForecastReply::decode_from(r)?)),
+            1 => {
+                let time = r.take_f64()?;
+                let len = r.take_len("snapshot hosts", MAX_HOSTS)?;
+                let mut hosts = Vec::with_capacity(len);
+                for _ in 0..len {
+                    hosts.push(HostRow::decode_from(r)?);
+                }
+                Ok(Response::Snapshot(SnapshotReply { time, hosts }))
+            }
+            2 => Ok(Response::BestHost(if r.take_bool()? {
+                Some(HostRow::decode_from(r)?)
+            } else {
+                None
+            })),
+            3 => {
+                let host = r.take_str()?;
+                let len = r.take_len("series tail", MAX_POINTS)?;
+                let mut points = Vec::with_capacity(len);
+                for _ in 0..len {
+                    points.push(SeriesPoint {
+                        time: r.take_f64()?,
+                        value: r.take_f64()?,
+                    });
+                }
+                Ok(Response::SeriesTail(SeriesTailReply { host, points }))
+            }
+            4 => Ok(Response::Stats(StatsReply {
+                requests: r.take_u64()?,
+                cache_hits: r.take_u64()?,
+                cache_misses: r.take_u64()?,
+                invalidations: r.take_u64()?,
+                slots: r.take_u64()?,
+                hosts: r.take_u32()?,
+            })),
+            5 => {
+                if !allow_batch {
+                    return Err(WireError::NestedBatch);
+                }
+                let len = r.take_len("batch", MAX_BATCH)?;
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(Self::decode_from(r, false)?);
+                }
+                Ok(Response::Batch(items))
+            }
+            6 => Ok(Response::Error(ErrorReply {
+                code: ErrorCode::from_tag(r.take_u8()?)?,
+                message: r.take_str()?,
+            })),
+            tag => Err(WireError::UnknownTag {
+                what: "response",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forecast_reply() -> ForecastReply {
+        ForecastReply {
+            host: "thing1".into(),
+            value: 0.73,
+            method: "adaptive-median".into(),
+            interval: Some((0.61, 0.84)),
+            observations: 8640,
+            staleness: 10.0,
+            confidence: 0.97,
+        }
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        let requests = vec![
+            Request::Forecast {
+                host: "kongo".into(),
+            },
+            Request::Snapshot,
+            Request::BestHost,
+            Request::SeriesTail {
+                host: "thing2".into(),
+                n: 64,
+            },
+            Request::Stats,
+            Request::Batch(vec![
+                Request::Snapshot,
+                Request::Forecast {
+                    host: "gremlin".into(),
+                },
+                Request::Stats,
+            ]),
+        ];
+        for req in requests {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        let row = HostRow {
+            host: "conundrum".into(),
+            latest: Some(0.4),
+            forecast: None,
+            degraded: true,
+        };
+        let responses = vec![
+            Response::Forecast(forecast_reply()),
+            Response::Snapshot(SnapshotReply {
+                time: 1200.0,
+                hosts: vec![
+                    row.clone(),
+                    HostRow {
+                        host: "kongo".into(),
+                        latest: None,
+                        forecast: Some(0.9),
+                        degraded: false,
+                    },
+                ],
+            }),
+            Response::BestHost(Some(row)),
+            Response::BestHost(None),
+            Response::SeriesTail(SeriesTailReply {
+                host: "thing1".into(),
+                points: vec![
+                    SeriesPoint {
+                        time: 10.0,
+                        value: 0.5,
+                    },
+                    SeriesPoint {
+                        time: 20.0,
+                        value: 0.625,
+                    },
+                ],
+            }),
+            Response::Stats(StatsReply {
+                requests: 100,
+                cache_hits: 60,
+                cache_misses: 40,
+                invalidations: 12,
+                slots: 360,
+                hosts: 6,
+            }),
+            Response::Batch(vec![
+                Response::BestHost(None),
+                Response::Stats(StatsReply::default()),
+            ]),
+            Response::Error(ErrorReply {
+                code: ErrorCode::UnknownHost,
+                message: "no such host: zardoz".into(),
+            }),
+        ];
+        for resp in responses {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn nested_batches_rejected() {
+        // Hand-build batch-in-batch bytes: outer batch of one, inner tag 5.
+        let mut w = Writer::new();
+        w.put_u8(5);
+        w.put_u32(1);
+        w.put_u8(5);
+        w.put_u32(0);
+        let bytes = w.finish();
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::NestedBatch)
+        ));
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(WireError::NestedBatch)
+        ));
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(5);
+        w.put_u32(MAX_BATCH as u32 + 1);
+        let bytes = w.finish();
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::LengthOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(matches!(
+            Request::decode(&[99]),
+            Err(WireError::UnknownTag {
+                what: "request",
+                tag: 99
+            })
+        ));
+        assert!(matches!(
+            Response::decode(&[77]),
+            Err(WireError::UnknownTag {
+                what: "response",
+                tag: 77
+            })
+        ));
+        assert!(matches!(
+            Response::decode(&[6, 9, 0, 0, 0, 0]),
+            Err(WireError::UnknownTag {
+                what: "error code",
+                tag: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Request::Snapshot.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        assert!(matches!(Request::decode(&[]), Err(WireError::Truncated)));
+        assert!(matches!(Response::decode(&[]), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn nan_and_negative_zero_survive_the_wire_bit_for_bit() {
+        let mut reply = forecast_reply();
+        reply.value = f64::NAN;
+        reply.staleness = -0.0;
+        let resp = Response::Forecast(reply);
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        match decoded {
+            Response::Forecast(r) => {
+                assert!(r.value.is_nan());
+                assert_eq!(r.staleness.to_bits(), (-0.0f64).to_bits());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

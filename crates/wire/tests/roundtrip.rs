@@ -1,0 +1,211 @@
+//! Property tests for the wire protocol: every request/response variant
+//! round-trips bit-exactly, and arbitrary garbage is rejected with a
+//! typed error — never a panic.
+
+use nws_wire::{
+    read_frame, write_request, write_response, ErrorCode, ErrorReply, ForecastReply, HostRow,
+    Request, Response, SeriesPoint, SeriesTailReply, SnapshotReply, StatsReply, MAX_BATCH,
+};
+use proptest::prelude::*;
+
+/// A generated host name: realistic short ASCII, sometimes empty.
+fn host_name() -> impl Strategy<Value = String> {
+    (0u64..u64::MAX, 0usize..12).prop_map(|(seed, len)| {
+        let mut s = String::new();
+        let mut x = seed;
+        for _ in 0..len {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let c = b'a' + ((x >> 33) % 26) as u8;
+            s.push(c as char);
+        }
+        s
+    })
+}
+
+/// Any f64 bit pattern, including NaNs, infinities, and signed zeros.
+fn any_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn leaf_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        host_name().prop_map(|host| Request::Forecast { host }),
+        Just(Request::Snapshot),
+        Just(Request::BestHost),
+        (host_name(), any::<u32>()).prop_map(|(host, n)| Request::SeriesTail { host, n }),
+        Just(Request::Stats),
+    ]
+    .boxed()
+}
+
+fn any_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        leaf_request(),
+        proptest::collection::vec(leaf_request(), 0..MAX_BATCH).prop_map(Request::Batch),
+    ]
+    .boxed()
+}
+
+fn host_row() -> impl Strategy<Value = HostRow> {
+    (
+        host_name(),
+        proptest::option::of(any_f64()),
+        proptest::option::of(any_f64()),
+        any::<bool>(),
+    )
+        .prop_map(|(host, latest, forecast, degraded)| HostRow {
+            host,
+            latest,
+            forecast,
+            degraded,
+        })
+}
+
+fn forecast_reply() -> impl Strategy<Value = ForecastReply> {
+    (
+        host_name(),
+        any_f64(),
+        host_name(),
+        proptest::option::of((any_f64(), any_f64())),
+        (any::<u64>(), any_f64(), any_f64()),
+    )
+        .prop_map(
+            |(host, value, method, interval, (observations, staleness, confidence))| {
+                ForecastReply {
+                    host,
+                    value,
+                    method,
+                    interval,
+                    observations,
+                    staleness,
+                    confidence,
+                }
+            },
+        )
+}
+
+fn leaf_response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        forecast_reply().prop_map(Response::Forecast),
+        (any_f64(), proptest::collection::vec(host_row(), 0..8))
+            .prop_map(|(time, hosts)| Response::Snapshot(SnapshotReply { time, hosts })),
+        proptest::option::of(host_row()).prop_map(Response::BestHost),
+        (
+            host_name(),
+            proptest::collection::vec((any_f64(), any_f64()), 0..32)
+        )
+            .prop_map(|(host, pts)| {
+                Response::SeriesTail(SeriesTailReply {
+                    host,
+                    points: pts
+                        .into_iter()
+                        .map(|(time, value)| SeriesPoint { time, value })
+                        .collect(),
+                })
+            }),
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u32>())
+        )
+            .prop_map(
+                |((requests, cache_hits, cache_misses), (invalidations, slots, hosts))| {
+                    Response::Stats(StatsReply {
+                        requests,
+                        cache_hits,
+                        cache_misses,
+                        invalidations,
+                        slots,
+                        hosts,
+                    })
+                }
+            ),
+        (0u8..3, host_name()).prop_map(|(code, message)| {
+            let code = match code {
+                0 => ErrorCode::UnknownHost,
+                1 => ErrorCode::ColdForecast,
+                _ => ErrorCode::BadRequest,
+            };
+            Response::Error(ErrorReply { code, message })
+        }),
+    ]
+    .boxed()
+}
+
+fn any_response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        leaf_response(),
+        proptest::collection::vec(leaf_response(), 0..8).prop_map(Response::Batch),
+    ]
+    .boxed()
+}
+
+/// Bit-level equality for the f64-bearing message types (NaN-safe), via
+/// the canonical encoding.
+fn same_bytes_request(a: &Request, b: &Request) -> bool {
+    a.encode() == b.encode()
+}
+
+fn same_bytes_response(a: &Response, b: &Response) -> bool {
+    a.encode() == b.encode()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip(req in any_request()) {
+        let decoded = Request::decode(&req.encode()).expect("decode own encoding");
+        prop_assert!(same_bytes_request(&decoded, &req), "{req:?} != {decoded:?}");
+    }
+
+    #[test]
+    fn responses_round_trip(resp in any_response()) {
+        let decoded = Response::decode(&resp.encode()).expect("decode own encoding");
+        prop_assert!(same_bytes_response(&decoded, &resp), "{resp:?} != {decoded:?}");
+    }
+
+    #[test]
+    fn framed_requests_round_trip(req in any_request()) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).expect("write to vec");
+        let decoded = nws_wire::read_request(&mut std::io::Cursor::new(&buf))
+            .expect("read own frame");
+        prop_assert!(same_bytes_request(&decoded, &req));
+    }
+
+    #[test]
+    fn garbage_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Either a clean decode or a typed error; a panic fails the test.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn garbage_frames_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = read_frame(&mut std::io::Cursor::new(&bytes));
+    }
+
+    #[test]
+    fn truncated_valid_frames_are_rejected(resp in any_response(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).expect("write to vec");
+        let cut = ((buf.len() as f64) * frac) as usize;
+        if cut < buf.len() {
+            let r = read_frame(&mut std::io::Cursor::new(&buf[..cut]));
+            prop_assert!(r.is_err(), "cut frame at {cut}/{} must not decode", buf.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(req in any_request(), pos_seed in any::<u64>(), flip in 1u8..=255) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).expect("write to vec");
+        let pos = (pos_seed % buf.len() as u64) as usize;
+        buf[pos] ^= flip;
+        // Corruption may still decode to *some* valid message (e.g. a
+        // flipped f64 bit); it must never panic or over-read.
+        let _ = nws_wire::read_request(&mut std::io::Cursor::new(&buf));
+    }
+}

@@ -27,6 +27,11 @@
 //! - [`faults`] — deterministic, seeded fault injection (sensor
 //!   dropouts, probe failures, host outages, delayed delivery) threaded
 //!   through the grid measurement path.
+//! - [`wire`] — the dependency-free length-prefixed binary protocol the
+//!   forecast-serving subsystem speaks.
+//! - [`server`] — the serving subsystem itself: TCP server, typed
+//!   client with retry-and-reconnect, revision-validated query cache,
+//!   and a socket-free in-memory transport for determinism tests.
 
 pub use nws_core as core;
 pub use nws_faults as faults;
@@ -36,6 +41,8 @@ pub use nws_net as net;
 pub use nws_runtime as runtime;
 pub use nws_sched as sched;
 pub use nws_sensors as sensors;
+pub use nws_server as server;
 pub use nws_sim as sim;
 pub use nws_stats as stats;
 pub use nws_timeseries as timeseries;
+pub use nws_wire as wire;

@@ -1,0 +1,127 @@
+//! The forecast-serving subsystem must inherit the repo's determinism
+//! guarantees: responses are a pure function of the grid seed and the
+//! request sequence — independent of transport (TCP vs in-memory) and
+//! of the runtime thread count the grid was advanced with.
+
+use nws::grid::GridMonitor;
+use nws::server::{
+    ClientConfig, GridState, InMemoryTransport, NwsClient, NwsServer, ServerConfig, Transport,
+};
+use nws::wire::Request;
+use std::sync::{Arc, Mutex};
+
+const SEED: u64 = 424242;
+
+fn fixed_sequence(hosts: &[String]) -> Vec<Request> {
+    let mut seq = vec![Request::Snapshot, Request::BestHost];
+    for h in hosts {
+        seq.push(Request::Forecast { host: h.clone() });
+        seq.push(Request::SeriesTail {
+            host: h.clone(),
+            n: 24,
+        });
+    }
+    seq.push(Request::Batch(
+        hosts
+            .iter()
+            .map(|h| Request::Forecast { host: h.clone() })
+            .collect(),
+    ));
+    seq.push(Request::Stats);
+    seq
+}
+
+/// Warms a six-host grid under the given runtime thread count and wraps
+/// it in the socket-free transport.
+fn warm_transport(threads: usize, steps: u64) -> InMemoryTransport {
+    nws::runtime::set_threads(Some(threads));
+    let mut grid = GridMonitor::ucsd(SEED);
+    grid.run_steps(steps);
+    InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid))))
+}
+
+fn payload_trace(t: &mut InMemoryTransport, seq: &[Request]) -> Vec<Vec<u8>> {
+    let mut trace = Vec::new();
+    for req in seq {
+        let (_, bytes) = t.call_raw(req).expect("dispatch");
+        trace.push(bytes);
+    }
+    trace
+}
+
+#[test]
+fn in_memory_responses_are_bit_identical_across_thread_counts() {
+    let steps = 90;
+    let mut one = warm_transport(1, steps);
+    let mut four = warm_transport(4, steps);
+    let hosts: Vec<String> = one
+        .state()
+        .lock()
+        .expect("state")
+        .grid()
+        .snapshot()
+        .hosts
+        .iter()
+        .map(|h| h.host.clone())
+        .collect();
+    let seq = fixed_sequence(&hosts);
+    // Two passes with a grid tick in between, so the cached *and* the
+    // recomputed paths are both compared.
+    for _ in 0..2 {
+        assert_eq!(
+            payload_trace(&mut one, &seq),
+            payload_trace(&mut four, &seq),
+            "thread count leaked into served bytes"
+        );
+        one.state().lock().expect("state").tick(1);
+        four.state().lock().expect("state").tick(1);
+    }
+    nws::runtime::set_threads(None);
+}
+
+#[test]
+fn tcp_responses_match_the_in_memory_transport_byte_for_byte() {
+    nws::runtime::set_threads(Some(1));
+    let steps = 60;
+    let mut grid_a = GridMonitor::ucsd(SEED);
+    grid_a.run_steps(steps);
+    let mut grid_b = GridMonitor::ucsd(SEED);
+    grid_b.run_steps(steps);
+    let hosts: Vec<String> = grid_a
+        .snapshot()
+        .hosts
+        .iter()
+        .map(|h| h.host.clone())
+        .collect();
+
+    let server =
+        NwsServer::spawn(GridState::new(grid_a), ServerConfig::default()).expect("bind localhost");
+    let mut tcp = NwsClient::connect(server.addr(), ClientConfig::default()).expect("connect");
+    let mut mem = InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid_b))));
+
+    for req in fixed_sequence(&hosts) {
+        let (_, tcp_bytes) = tcp.call_raw(&req).expect("tcp");
+        let (_, mem_bytes) = mem.call_raw(&req).expect("in-memory");
+        assert_eq!(tcp_bytes, mem_bytes, "transports diverged on {req:?}");
+    }
+    nws::runtime::set_threads(None);
+}
+
+#[test]
+fn cache_hits_accumulate_between_ticks_and_reset_on_append() {
+    let mut t = warm_transport(1, 60);
+    let fc1 = t.forecast("thing1").expect("warm");
+    let fc2 = t.forecast("thing1").expect("cached");
+    assert_eq!(fc1, fc2);
+    {
+        let st = t.state().lock().expect("state");
+        assert_eq!(st.cache().hits(), 1);
+        assert_eq!(st.cache().invalidations(), 0);
+    }
+    t.state().lock().expect("state").tick(1);
+    let fc3 = t.forecast("thing1").expect("recomputed");
+    assert_eq!(fc3.observations, fc1.observations + 1);
+    let st = t.state().lock().expect("state");
+    assert_eq!(st.cache().invalidations(), 1);
+    nws::runtime::set_threads(None);
+}
