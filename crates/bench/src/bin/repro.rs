@@ -19,6 +19,7 @@
 //! every run; the `perf` experiment runs a representative timing suite
 //! without printing the tables.
 
+use nws_bench::alloc_counter::{self, AllocSnapshot, CountingAllocator};
 use nws_bench::write_artifact;
 use nws_core::experiments::{
     aggregation_sweep, all_datasets, bias_ablation, fig1_from, fig2_from, fig3_from, fig4_from,
@@ -40,6 +41,11 @@ use nws_sim::HostProfile;
 use nws_timeseries::csv::series_to_csv;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+
+// Counted pass-through to the system allocator, so the perf suite can
+// report allocation counts next to wall-clock timings.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 struct Args {
     quick: bool,
@@ -362,7 +368,7 @@ fn main() {
     // `perf` is a pure timing suite; it is only run when asked for by name
     // (it would double-run stages under `all`).
     if !run_all && args.experiments.contains("perf") {
-        run_perf(&cfg, args.quick, &mut stages);
+        run_perf(&cfg, args.quick, args.smoke, &mut stages);
     }
     // `serve` spins up real sockets and load-generator threads, so like
     // `perf` it only runs when asked for by name.
@@ -382,9 +388,12 @@ fn main() {
 
 /// The `perf` experiment: times representative stages of the pipeline
 /// (dataset collection, grid fleet monitoring, scheduling) without
-/// printing their tables. The timings land in `BENCH_repro.json` like any
-/// other stage's.
-fn run_perf(cfg: &ExperimentConfig, quick: bool, stages: &mut Vec<(String, f64)>) {
+/// printing their tables, then runs the tracked kernel benchmark —
+/// naive-vs-fast ACF and Hurst kernels, columnar-store ingest, the
+/// extract-vs-borrowed read path, driver access patterns, and the serving
+/// hot path — writing `BENCH_perf.json` at the repository root. Stage
+/// timings land in `BENCH_repro.json` like any other stage's.
+fn run_perf(cfg: &ExperimentConfig, quick: bool, smoke: bool, stages: &mut Vec<(String, f64)>) {
     println!(
         "\nperf: timing suite ({} threads over {} hosts)",
         nws_runtime::threads(),
@@ -394,11 +403,11 @@ fn run_perf(cfg: &ExperimentConfig, quick: bool, stages: &mut Vec<(String, f64)>
         let (short, medium, weekly) = all_datasets(cfg);
         std::hint::black_box((short.len(), medium.len(), weekly.len()))
     });
-    timed(stages, "perf_grid_fleet", || {
+    let grid = timed(stages, "perf_grid_fleet", || {
         let mut grid = nws_grid::GridMonitor::ucsd(cfg.seed);
         let steps = if quick { 360 } else { 8640 };
         grid.run_steps(steps);
-        std::hint::black_box(grid.slots())
+        grid
     });
     timed(stages, "perf_sched", || {
         let scfg = if quick {
@@ -408,11 +417,446 @@ fn run_perf(cfg: &ExperimentConfig, quick: bool, stages: &mut Vec<(String, f64)>
         };
         std::hint::black_box(run_scheduling_experiment(&scfg).len())
     });
+    let json = timed(stages, "perf_kernels", || {
+        perf_kernels(cfg, quick, smoke, grid)
+    });
+    // The kernel baseline is tracked in version control, so unlike the
+    // per-run artifacts under `results/` it lands at the repository root.
+    match std::fs::write("BENCH_perf.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_perf.json"),
+        Err(e) => eprintln!("warning: cannot write BENCH_perf.json: {e}"),
+    }
     for (name, ms) in stages.iter() {
         if name.starts_with("perf_") {
             println!("  {name:<18} {ms:>10.1} ms");
         }
     }
+}
+
+/// Deterministic AR(1) series with LCG noise: cheap to generate and
+/// autocorrelated enough that the ACF/Hurst kernels do representative work.
+fn synth_series(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = nws_stats::Rng::new(seed);
+    let mut x = 0.5f64;
+    (0..n)
+        .map(|_| {
+            x = 0.9 * x + 0.1 * rng.next_f64();
+            x
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock milliseconds for `f`.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Wall-clock milliseconds plus allocator counters for one run of `f`.
+fn timed_allocs<T>(f: impl FnOnce() -> T) -> (T, f64, AllocSnapshot) {
+    let t0 = std::time::Instant::now();
+    let (out, delta) = alloc_counter::measure(f);
+    (out, t0.elapsed().as_secs_f64() * 1e3, delta)
+}
+
+/// The tracked kernel benchmark behind `BENCH_perf.json`.
+///
+/// Every section pairs the production path against the retained naive
+/// reference on identical inputs, so the artifact records both the speedup
+/// and the numerical agreement. The schema (key set and nesting) is
+/// identical across tiers — smoke/quick runs only shrink the problem
+/// sizes — which is what lets CI diff a fresh smoke artifact against the
+/// committed full-tier baseline structurally.
+fn perf_kernels(
+    cfg: &ExperimentConfig,
+    quick: bool,
+    smoke: bool,
+    grid: nws_grid::GridMonitor,
+) -> String {
+    use nws_grid::Metric;
+    use nws_server::{GridState, InMemoryTransport, Transport};
+    use nws_stats::{
+        aggregated_variance_hurst, aggregated_variance_hurst_naive, autocovariance_fft,
+        autocovariance_naive, clamped_autocorrelation, hurst_rs, pox_plot, pox_plot_naive,
+    };
+    use nws_wire::{Request, Response};
+    use std::sync::{Arc, Mutex};
+
+    let tier = if smoke {
+        "smoke"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
+    let lag = 360usize;
+    println!("\nperf: tracked kernel benchmark (tier {tier}) -> BENCH_perf.json");
+
+    // --- ACF: O(n*lag) direct sums vs the Wiener-Khinchin FFT path.
+    let acf_sizes: &[usize] = if smoke {
+        &[1024, 4096]
+    } else if quick {
+        &[4096, 16384]
+    } else {
+        &[4096, 16384, 100_000]
+    };
+    let mut acf_entries = Vec::new();
+    for (i, &n) in acf_sizes.iter().enumerate() {
+        let x = synth_series(n, cfg.seed.wrapping_add(i as u64));
+        let l = lag.min(n.saturating_sub(2));
+        let naive_ms = best_ms(3, || autocovariance_naive(&x, l));
+        let fft_ms = best_ms(3, || autocovariance_fft(&x, l));
+        let a = autocovariance_naive(&x, l).expect("non-degenerate series");
+        let b = autocovariance_fft(&x, l).expect("non-degenerate series");
+        let max_abs_diff = a
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0f64, f64::max);
+        let speedup = naive_ms / fft_ms.max(1e-9);
+        println!(
+            "  acf    n={n:<7} lag={l:<4} naive {naive_ms:>9.3} ms  fft {fft_ms:>8.3} ms  \
+             speedup {speedup:>6.2}x  maxdiff {max_abs_diff:.2e}"
+        );
+        acf_entries.push(format!(
+            "    {{ \"n\": {n}, \"lag\": {l}, \"naive_ms\": {naive_ms:.4}, \"fft_ms\": {fft_ms:.4}, \
+             \"speedup\": {speedup:.3}, \"max_abs_diff\": {max_abs_diff:.3e} }}"
+        ));
+    }
+
+    // --- Hurst: per-segment rescans vs the shared prefix-sum pass.
+    let hn = if smoke {
+        8192
+    } else if quick {
+        16384
+    } else {
+        131_072
+    };
+    let hx = synth_series(hn, cfg.seed ^ 0x4852);
+    let pox_naive_ms = best_ms(3, || pox_plot_naive(&hx, 10));
+    let pox_fast_ms = best_ms(3, || pox_plot(&hx, 10));
+    let pox_points = pox_plot(&hx, 10).len();
+    let av_naive_ms = best_ms(3, || aggregated_variance_hurst_naive(&hx));
+    let av_fast_ms = best_ms(3, || aggregated_variance_hurst(&hx));
+    println!(
+        "  pox    n={hn:<7} naive {pox_naive_ms:>9.3} ms  fast {pox_fast_ms:>8.3} ms  \
+         speedup {:>6.2}x  ({pox_points} points)",
+        pox_naive_ms / pox_fast_ms.max(1e-9)
+    );
+    println!(
+        "  aggvar n={hn:<7} naive {av_naive_ms:>9.3} ms  fast {av_fast_ms:>8.3} ms  \
+         speedup {:>6.2}x",
+        av_naive_ms / av_fast_ms.max(1e-9)
+    );
+
+    // --- Ingest: steady-state appends into the columnar ring at the
+    // paper's retention (24 h of 10 s measurements).
+    let appends: usize = if smoke {
+        40_000
+    } else if quick {
+        200_000
+    } else {
+        2_000_000
+    };
+    let retain = 8640usize;
+    let series_count = 4usize;
+    let (_, ingest_ms, ingest_allocs) = timed_allocs(|| {
+        let mut mem = nws_grid::Memory::new(nws_grid::MemoryConfig { retain });
+        for i in 0..appends {
+            let id = nws_grid::ResourceId((i % series_count) as u64);
+            mem.append(id, (i / series_count) as f64 * 10.0, 0.5);
+        }
+        std::hint::black_box(mem.global_revision())
+    });
+    let ns_per_append = ingest_ms * 1e6 / appends as f64;
+    println!(
+        "  ingest {appends} appends x {series_count} series (retain {retain}): \
+         {ingest_ms:.1} ms = {ns_per_append:.1} ns/append, {} allocs",
+        ingest_allocs.calls
+    );
+
+    // --- Read path: the extract() compatibility shim (one Vec<TimePoint>
+    // per access, as the drivers used before the columnar store) vs the
+    // borrowed-slice accessors.
+    let profiles = HostProfile::all();
+    let ids: Vec<nws_grid::ResourceId> = profiles
+        .iter()
+        .map(|p| {
+            grid.registry()
+                .lookup(p.name(), Metric::CpuAvailabilityHybrid)
+                .expect("hybrid series registered")
+        })
+        .collect();
+    let points_per_read = grid.memory().len(ids[0]);
+    let reads = if smoke { 50 } else { 200 };
+    let (extract_sum, extract_ms, extract_allocs) = timed_allocs(|| {
+        let mut acc = 0.0f64;
+        for _ in 0..reads {
+            for &id in &ids {
+                let pts = grid.memory().extract(id, usize::MAX);
+                acc += pts.last().map(|p| p.value).unwrap_or(0.0);
+            }
+        }
+        acc
+    });
+    let (borrowed_sum, borrowed_ms, borrowed_allocs) = timed_allocs(|| {
+        let mut acc = 0.0f64;
+        for _ in 0..reads {
+            for &id in &ids {
+                acc += grid
+                    .memory()
+                    .with_series(id, |_, v| v.last().copied().unwrap_or(0.0));
+            }
+        }
+        acc
+    });
+    assert_eq!(
+        extract_sum.to_bits(),
+        borrowed_sum.to_bits(),
+        "read paths disagree"
+    );
+    let read_alloc_reduction = extract_allocs.calls as f64 / borrowed_allocs.calls.max(1) as f64;
+    println!(
+        "  read   {} series reads of {points_per_read} points: extract {extract_ms:.2} ms / \
+         {} allocs, borrowed {borrowed_ms:.2} ms / {} allocs ({read_alloc_reduction:.0}x fewer)",
+        reads * ids.len(),
+        extract_allocs.calls,
+        borrowed_allocs.calls
+    );
+
+    // --- Driver access patterns: the Fig. 2 / Fig. 3 / Table 4 kernel
+    // pipelines over the warmed grid, measured three ways:
+    //
+    //   naive    extract() copies + naive kernels  (the pre-refactor shape)
+    //   extract  extract() copies + fast kernels   (isolates kernel gains)
+    //   current  borrowed slices  + fast kernels   (the production shape)
+    //
+    // `speedup` compares naive vs current end to end;
+    // `access_alloc_reduction` compares extract vs current under the SAME
+    // kernel, so it counts exactly the allocations the borrowed-slice
+    // store eliminated (the fast kernels' own scratch buffers cancel out).
+    let mut driver_entries = Vec::new();
+    let mut driver_bench = |name: &str,
+                            current: &mut dyn FnMut() -> usize,
+                            extract_fast: &mut dyn FnMut() -> usize,
+                            naive: &mut dyn FnMut() -> usize| {
+        let (cur_out, current_ms, current_allocs) = timed_allocs(&mut *current);
+        let (ext_out, extract_ms, extract_allocs) = timed_allocs(&mut *extract_fast);
+        let (nav_out, naive_ms, naive_allocs) = timed_allocs(&mut *naive);
+        std::hint::black_box((cur_out, ext_out, nav_out));
+        let speedup = naive_ms / current_ms.max(1e-9);
+        let access_allocs_saved = extract_allocs.calls.saturating_sub(current_allocs.calls);
+        let access_bytes_saved = extract_allocs.bytes.saturating_sub(current_allocs.bytes);
+        let access_alloc_reduction =
+            extract_allocs.calls as f64 / current_allocs.calls.max(1) as f64;
+        println!(
+            "  {name:<6} naive {naive_ms:>8.3} ms / {:>4} allocs   current {current_ms:>8.3} ms \
+             / {:>4} allocs   ({speedup:.2}x time; borrowed slices save {access_allocs_saved} \
+             allocs / {access_bytes_saved} B = {access_alloc_reduction:.2}x)",
+            naive_allocs.calls, current_allocs.calls
+        );
+        driver_entries.push(format!(
+            "    {{ \"driver\": \"{name}\", \"n\": {points_per_read}, \
+             \"naive_ms\": {naive_ms:.4}, \"naive_allocs\": {}, \"naive_bytes\": {}, \
+             \"extract_ms\": {extract_ms:.4}, \"extract_allocs\": {}, \"extract_bytes\": {}, \
+             \"current_ms\": {current_ms:.4}, \"current_allocs\": {}, \"current_bytes\": {}, \
+             \"speedup\": {speedup:.3}, \"access_allocs_saved\": {access_allocs_saved}, \
+             \"access_bytes_saved\": {access_bytes_saved}, \
+             \"access_alloc_reduction\": {access_alloc_reduction:.3} }}",
+            naive_allocs.calls,
+            naive_allocs.bytes,
+            extract_allocs.calls,
+            extract_allocs.bytes,
+            current_allocs.calls,
+            current_allocs.bytes
+        ));
+    };
+    let extracted_values = |id: nws_grid::ResourceId| -> Vec<f64> {
+        let pts = grid.memory().extract(id, usize::MAX);
+        pts.iter().map(|p| p.value).collect()
+    };
+    driver_bench(
+        "fig2",
+        &mut || {
+            ids.iter()
+                .map(|&id| {
+                    grid.memory().with_series(id, |_, v| {
+                        clamped_autocorrelation(v, lag)
+                            .map(|r| r.len())
+                            .unwrap_or(0)
+                    })
+                })
+                .sum()
+        },
+        &mut || {
+            ids.iter()
+                .map(|&id| {
+                    let v = extracted_values(id);
+                    clamped_autocorrelation(&v, lag)
+                        .map(|r| r.len())
+                        .unwrap_or(0)
+                })
+                .sum()
+        },
+        &mut || {
+            ids.iter()
+                .map(|&id| {
+                    let v = extracted_values(id);
+                    let l = lag.min(v.len().saturating_sub(2));
+                    autocovariance_naive(&v, l).map(|g| g.len()).unwrap_or(0)
+                })
+                .sum()
+        },
+    );
+    driver_bench(
+        "fig3",
+        &mut || {
+            ids.iter()
+                .map(|&id| grid.memory().with_series(id, |_, v| pox_plot(v, 10).len()))
+                .sum()
+        },
+        &mut || {
+            ids.iter()
+                .map(|&id| pox_plot(&extracted_values(id), 10).len())
+                .sum()
+        },
+        &mut || {
+            ids.iter()
+                .map(|&id| pox_plot_naive(&extracted_values(id), 10).len())
+                .sum()
+        },
+    );
+    driver_bench(
+        "table4",
+        &mut || {
+            ids.iter()
+                .map(|&id| {
+                    grid.memory().with_series(id, |_, v| {
+                        let h = hurst_rs(v, 10).map(|e| e.points.len()).unwrap_or(0);
+                        let a = aggregated_variance_hurst(v)
+                            .map(|e| e.points.len())
+                            .unwrap_or(0);
+                        h + a
+                    })
+                })
+                .sum()
+        },
+        &mut || {
+            ids.iter()
+                .map(|&id| {
+                    let v = extracted_values(id);
+                    let h = hurst_rs(&v, 10).map(|e| e.points.len()).unwrap_or(0);
+                    let a = aggregated_variance_hurst(&v)
+                        .map(|e| e.points.len())
+                        .unwrap_or(0);
+                    h + a
+                })
+                .sum()
+        },
+        &mut || {
+            ids.iter()
+                .map(|&id| {
+                    let v = extracted_values(id);
+                    let h = pox_plot_naive(&v, 10).len();
+                    let a = aggregated_variance_hurst_naive(&v)
+                        .map(|e| e.points.len())
+                        .unwrap_or(0);
+                    h + a
+                })
+                .sum()
+        },
+    );
+
+    // --- Serving hot path: the in-memory transport (full codec, no
+    // sockets) over the warmed grid, with the per-connection scratch
+    // buffers and the revision-keyed query cache in play.
+    let reqs = if smoke {
+        300
+    } else if quick {
+        1_000
+    } else {
+        5_000
+    };
+    let hosts: Vec<String> = profiles.iter().map(|p| p.name().to_string()).collect();
+    let mut transport = InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid))));
+    let (_, serve_ms, serve_allocs) = timed_allocs(|| {
+        let mut ok = 0usize;
+        for i in 0..reqs {
+            let host = hosts[i % hosts.len()].clone();
+            let req = match i % 4 {
+                0 => Request::Snapshot,
+                1 => Request::BestHost,
+                2 => Request::Forecast { host },
+                _ => Request::SeriesTail { host, n: 32 },
+            };
+            match transport.call(&req).expect("in-memory serve") {
+                Response::Error(e) => panic!("serve error: {}", e.message),
+                _ => ok += 1,
+            }
+        }
+        std::hint::black_box(ok)
+    });
+    let us_per_request = serve_ms * 1e3 / reqs as f64;
+    let allocs_per_request = serve_allocs.calls as f64 / reqs as f64;
+    println!(
+        "  serve  {reqs} in-memory requests: {serve_ms:.2} ms = {us_per_request:.2} us/req, \
+         {allocs_per_request:.1} allocs/req"
+    );
+
+    // --- Assemble the artifact (hand-rolled JSON, fixed key set).
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"tier\": \"{tier}\",");
+    let _ = writeln!(json, "  \"threads\": {},", nws_runtime::threads());
+    let _ = writeln!(json, "  \"acf\": [");
+    let _ = writeln!(json, "{}", acf_entries.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"hurst\": {{");
+    let _ = writeln!(
+        json,
+        "    \"pox_plot\": {{ \"n\": {hn}, \"min_d\": 10, \"naive_ms\": {pox_naive_ms:.4}, \
+         \"fast_ms\": {pox_fast_ms:.4}, \"speedup\": {:.3}, \"points\": {pox_points} }},",
+        pox_naive_ms / pox_fast_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "    \"aggregated_variance\": {{ \"n\": {hn}, \"naive_ms\": {av_naive_ms:.4}, \
+         \"fast_ms\": {av_fast_ms:.4}, \"speedup\": {:.3} }}",
+        av_naive_ms / av_fast_ms.max(1e-9)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"ingest\": {{ \"appends\": {appends}, \"series\": {series_count}, \
+         \"retain\": {retain}, \"ms\": {ingest_ms:.4}, \"ns_per_append\": {ns_per_append:.2}, \
+         \"allocs\": {} }},",
+        ingest_allocs.calls
+    );
+    let _ = writeln!(
+        json,
+        "  \"memory_read\": {{ \"reads\": {}, \"points_per_read\": {points_per_read}, \
+         \"extract_ms\": {extract_ms:.4}, \"extract_allocs\": {}, \
+         \"borrowed_ms\": {borrowed_ms:.4}, \"borrowed_allocs\": {}, \
+         \"alloc_reduction\": {read_alloc_reduction:.1} }},",
+        reads * ids.len(),
+        extract_allocs.calls,
+        borrowed_allocs.calls
+    );
+    let _ = writeln!(json, "  \"drivers\": [");
+    let _ = writeln!(json, "{}", driver_entries.join(",\n"));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"serve\": {{ \"requests\": {reqs}, \"ms\": {serve_ms:.4}, \
+         \"us_per_request\": {us_per_request:.3}, \"allocs_per_request\": {allocs_per_request:.2} }}"
+    );
+    json.push_str("}\n");
+    json
 }
 
 /// The `serve` experiment: spins up the forecast-serving subsystem on a
@@ -726,13 +1170,21 @@ fn run_faults(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
                 .registry()
                 .lookup(p.name(), Metric::CpuAvailabilityHybrid)
                 .expect("registered");
-            let pts = gm.memory().extract(id, usize::MAX);
-            let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
+            let (values, map): (Vec<f64>, BTreeMap<u64, f64>) =
+                gm.memory().with_series(id, |times, vals| {
+                    (
+                        vals.to_vec(),
+                        times
+                            .iter()
+                            .zip(vals)
+                            .map(|(t, v)| (t.to_bits(), *v))
+                            .collect(),
+                    )
+                });
             if let Some(r) = evaluate_one_step(&mut NwsForecaster::nws_default(), &values) {
                 mae_sum += r.mae;
                 mae_n += 1;
             }
-            let map: BTreeMap<u64, f64> = pts.iter().map(|p| (p.time.to_bits(), p.value)).collect();
             if let Some(c) = clean.get(i) {
                 for (t, v) in &map {
                     if let Some(cv) = c.get(t) {

@@ -3,6 +3,8 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod alloc_counter;
+
 /// Resolves the `results/` output directory (created on demand).
 ///
 /// Uses `NWS_RESULTS_DIR` when set, else `results/` under the current

@@ -5,7 +5,7 @@ use crate::experiments::dataset::{
     medium_dataset, short_dataset, weekly_load_series, ExperimentConfig,
 };
 use crate::monitor::MonitorOutput;
-use nws_stats::{autocorrelation, hurst_rs, pox_plot, HurstEstimate, PoxPoint};
+use nws_stats::{clamped_autocorrelation, hurst_rs, pox_plot, HurstEstimate, PoxPoint};
 use nws_timeseries::{aggregate_series, Series};
 
 /// A figure built from one series per featured host (thing1 and thing2).
@@ -64,9 +64,9 @@ pub fn fig2_from(outputs: &[MonitorOutput]) -> FigSeries {
     let series = featured(outputs)
         .into_iter()
         .map(|o| {
-            let values = o.series.load.values();
-            let max_lag = 360.min(values.len().saturating_sub(2));
-            let rho = autocorrelation(values, max_lag).unwrap_or_default();
+            // Short smoke-tier series degrade to fewer lags rather than
+            // silently skipping the plot.
+            let rho = clamped_autocorrelation(o.series.load.values(), 360).unwrap_or_default();
             let s = Series::from_values(format!("{}-acf", o.host), 0.0, 1.0, rho)
                 .expect("lags are increasing");
             (o.host.clone(), s)

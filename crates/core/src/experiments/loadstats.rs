@@ -13,7 +13,7 @@ use crate::experiments::dataset::ExperimentConfig;
 use crate::monitor::{Monitor, MonitorConfig};
 use nws_runtime::parallel_map;
 use nws_sim::HostProfile;
-use nws_stats::{aggregated_variance_hurst, autocorrelation, hurst_rs, periodogram_hurst};
+use nws_stats::{aggregated_variance_hurst, clamped_autocorrelation, hurst_rs, periodogram_hurst};
 use nws_timeseries::{summarize, Series};
 
 /// The Dinda–O'Halloran-style summary of one host's load trace.
@@ -59,8 +59,7 @@ pub fn load_statistics(cfg: &ExperimentConfig) -> Vec<LoadStatsRow> {
             .map_values(|avail| (1.0 / avail.max(1e-6) - 1.0).max(0.0));
         let values = load_series.values();
         let summary = summarize(values).expect("non-empty trace");
-        let max_lag = 360.min(values.len().saturating_sub(2));
-        let rho = autocorrelation(values, max_lag).unwrap_or_default();
+        let rho = clamped_autocorrelation(values, 360).unwrap_or_default();
         let at = |lag: usize| rho.get(lag).copied().unwrap_or(f64::NAN);
         LoadStatsRow {
             host: out.host,

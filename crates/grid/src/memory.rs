@@ -5,6 +5,20 @@
 //! *r*". Storage here is an in-process ring buffer per resource; the NWS's
 //! disk persistence is out of scope (the forecasting behaviour depends only
 //! on the retained window).
+//!
+//! # Columnar layout
+//!
+//! Each series is stored structure-of-arrays: one contiguous `times`
+//! column and one contiguous `values` column, plus a `start` cursor
+//! marking the oldest live point (a *compacting ring*: eviction advances
+//! the cursor, and the dead prefix is reclaimed with one `copy_within`
+//! once it grows as large as the retention window, so appends stay
+//! amortized O(1) and the backing storage never exceeds twice the
+//! retention bound). Because the live window is always one contiguous
+//! slice per column, analytics and wire encoding borrow measurements
+//! directly — [`Memory::values`], [`Memory::tail`], [`Memory::with_series`]
+//! — instead of cloning them out; [`Memory::extract`] remains as the
+//! allocating compatibility shim.
 
 use crate::registry::ResourceId;
 use nws_timeseries::csv::{read_series, write_series, CsvError};
@@ -46,7 +60,57 @@ impl StoreOutcome {
     }
 }
 
-/// Per-series bookkeeping beyond the measurement ring itself.
+/// One series' measurements in columnar (SoA) form: parallel `times` and
+/// `values` columns whose live window is `[start..]` of each vector.
+#[derive(Debug, Default)]
+struct ColumnSeries {
+    times: Vec<Seconds>,
+    values: Vec<f64>,
+    /// Index of the oldest live point; everything before it is evicted
+    /// and awaits compaction.
+    start: usize,
+}
+
+impl ColumnSeries {
+    fn len(&self) -> usize {
+        self.times.len() - self.start
+    }
+
+    fn times(&self) -> &[Seconds] {
+        &self.times[self.start..]
+    }
+
+    fn values(&self) -> &[f64] {
+        &self.values[self.start..]
+    }
+
+    fn last_time(&self) -> Option<Seconds> {
+        self.times.last().copied()
+    }
+
+    /// Appends one point, evicting the oldest when the live window is at
+    /// the retention bound. The dead prefix is compacted away once it
+    /// reaches `retain` slots, so the backing vectors stay under twice
+    /// the bound and each point is moved at most once per `retain`
+    /// evictions — amortized O(1).
+    fn push(&mut self, time: Seconds, value: f64, retain: usize) {
+        if self.len() == retain {
+            self.start += 1;
+            if self.start >= retain {
+                let live = self.times.len() - self.start;
+                self.times.copy_within(self.start.., 0);
+                self.times.truncate(live);
+                self.values.copy_within(self.start.., 0);
+                self.values.truncate(live);
+                self.start = 0;
+            }
+        }
+        self.times.push(time);
+        self.values.push(value);
+    }
+}
+
+/// Per-series bookkeeping beyond the measurement columns themselves.
 #[derive(Debug, Clone, Default)]
 struct SeriesMeta {
     /// Out-of-order (or duplicate-time) deliveries dropped.
@@ -65,7 +129,7 @@ struct SeriesMeta {
 #[derive(Debug)]
 pub struct Memory {
     config: MemoryConfig,
-    store: BTreeMap<ResourceId, VecDeque<TimePoint>>,
+    store: BTreeMap<ResourceId, ColumnSeries>,
     meta: BTreeMap<ResourceId, SeriesMeta>,
     /// Bumped whenever any series changes; lets whole-memory views
     /// (snapshots) validate a cached answer with one comparison.
@@ -106,16 +170,13 @@ impl Memory {
             return StoreOutcome::RejectedNonFinite;
         }
         let buf = self.store.entry(id).or_default();
-        if let Some(last) = buf.back() {
-            if time <= last.time {
+        if let Some(last) = buf.last_time() {
+            if time <= last {
                 self.meta.entry(id).or_default().dropped += 1;
                 return StoreOutcome::RejectedOutOfOrder;
             }
         }
-        if buf.len() == self.config.retain {
-            buf.pop_front();
-        }
-        buf.push_back(TimePoint::new(time, value));
+        buf.push(time, value, self.config.retain);
         self.meta.entry(id).or_default().revision += 1;
         self.global_revision += 1;
         StoreOutcome::Stored
@@ -170,7 +231,7 @@ impl Memory {
 
     /// Number of measurements currently held for a series.
     pub fn len(&self, id: ResourceId) -> usize {
-        self.store.get(&id).map_or(0, VecDeque::len)
+        self.store.get(&id).map_or(0, ColumnSeries::len)
     }
 
     /// True when the series holds no measurements (or is unknown).
@@ -180,29 +241,71 @@ impl Memory {
 
     /// The most recent measurement of a series.
     pub fn latest(&self, id: ResourceId) -> Option<TimePoint> {
-        self.store.get(&id).and_then(|b| b.back().copied())
+        self.store.get(&id).and_then(|b| {
+            let (times, values) = (b.times(), b.values());
+            times
+                .last()
+                .map(|&t| TimePoint::new(t, *values.last().expect("columns in lockstep")))
+        })
+    }
+
+    /// The retained measurement values of a series, oldest first, as one
+    /// borrowed contiguous slice — the zero-copy path analytics kernels
+    /// read. Empty for unknown series.
+    pub fn values(&self, id: ResourceId) -> &[f64] {
+        self.store.get(&id).map_or(&[], ColumnSeries::values)
+    }
+
+    /// The retained measurement timestamps of a series, oldest first,
+    /// borrowed. Empty for unknown series.
+    pub fn times(&self, id: ResourceId) -> &[Seconds] {
+        self.store.get(&id).map_or(&[], ColumnSeries::times)
+    }
+
+    /// The most recent `n` measurements as borrowed `(times, values)`
+    /// column slices, oldest first — the zero-copy `extract`.
+    pub fn tail(&self, id: ResourceId, n: usize) -> (&[Seconds], &[f64]) {
+        match self.store.get(&id) {
+            None => (&[], &[]),
+            Some(buf) => {
+                let (times, values) = (buf.times(), buf.values());
+                let skip = times.len().saturating_sub(n);
+                (&times[skip..], &values[skip..])
+            }
+        }
+    }
+
+    /// Runs `f` over the series' borrowed `(times, values)` columns —
+    /// handy when the caller holds the memory behind a lock and wants to
+    /// compute without cloning or fighting the borrow checker. Unknown
+    /// series yield empty slices.
+    pub fn with_series<R>(&self, id: ResourceId, f: impl FnOnce(&[Seconds], &[f64]) -> R) -> R {
+        match self.store.get(&id) {
+            None => f(&[], &[]),
+            Some(buf) => f(buf.times(), buf.values()),
+        }
     }
 
     /// The NWS `extract`: up to `n` most recent measurements, oldest
-    /// first.
+    /// first. Allocates an owned copy; prefer [`Memory::tail`] /
+    /// [`Memory::values`] on hot paths.
     pub fn extract(&self, id: ResourceId, n: usize) -> Vec<TimePoint> {
-        match self.store.get(&id) {
-            None => Vec::new(),
-            Some(buf) => {
-                let skip = buf.len().saturating_sub(n);
-                buf.iter().skip(skip).copied().collect()
-            }
-        }
+        let (times, values) = self.tail(id, n);
+        times
+            .iter()
+            .zip(values)
+            .map(|(&t, &v)| TimePoint::new(t, v))
+            .collect()
     }
 
     /// The full retained history as a [`Series`] (for analysis code).
     pub fn series(&self, id: ResourceId, name: impl Into<String>) -> Series {
         let mut s = Series::with_capacity(name, self.len(id));
-        if let Some(buf) = self.store.get(&id) {
-            for p in buf {
-                s.push(p.time, p.value).expect("ring buffer is ordered");
+        self.with_series(id, |times, values| {
+            for (&t, &v) in times.iter().zip(values) {
+                s.push(t, v).expect("ring buffer is ordered");
             }
-        }
+        });
         s
     }
 
@@ -218,10 +321,16 @@ impl Memory {
     /// `retain` points are kept.
     pub fn load(&mut self, id: ResourceId, path: impl AsRef<Path>) -> Result<usize, CsvError> {
         let series = read_series(path)?;
-        let mut buf = VecDeque::with_capacity(self.config.retain.min(series.len()));
-        let skip = series.len().saturating_sub(self.config.retain);
+        let keep = self.config.retain.min(series.len());
+        let skip = series.len() - keep;
+        let mut buf = ColumnSeries {
+            times: Vec::with_capacity(keep),
+            values: Vec::with_capacity(keep),
+            start: 0,
+        };
         for p in series.iter().skip(skip) {
-            buf.push_back(p);
+            buf.times.push(p.time);
+            buf.values.push(p.value);
         }
         let n = buf.len();
         self.store.insert(id, buf);
@@ -234,7 +343,7 @@ impl Memory {
     pub fn resource_ids(&self) -> Vec<ResourceId> {
         self.store
             .iter()
-            .filter(|(_, b)| !b.is_empty())
+            .filter(|(_, b)| b.len() > 0)
             .map(|(&id, _)| id)
             .collect()
     }
@@ -286,11 +395,65 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_columns_match_extract_across_compactions() {
+        // Push far past the retention bound so the ring compacts several
+        // times; the borrowed view must stay the live window throughout.
+        let mut m = Memory::new(MemoryConfig { retain: 5 });
+        for i in 0..37 {
+            m.store(rid(3), i as f64, (i as f64).sin());
+            let pts = m.extract(rid(3), usize::MAX);
+            let times = m.times(rid(3));
+            let values = m.values(rid(3));
+            assert_eq!(times.len(), pts.len());
+            assert_eq!(values.len(), pts.len());
+            for (j, p) in pts.iter().enumerate() {
+                assert_eq!(times[j], p.time);
+                assert_eq!(values[j], p.value);
+            }
+        }
+        assert_eq!(m.len(rid(3)), 5);
+    }
+
+    #[test]
+    fn tail_returns_most_recent_slices() {
+        let mut m = Memory::new(MemoryConfig { retain: 4 });
+        for i in 0..9 {
+            m.store(rid(1), i as f64, i as f64 / 10.0);
+        }
+        let (times, values) = m.tail(rid(1), 2);
+        assert_eq!(times, &[7.0, 8.0]);
+        assert_eq!(values, &[0.7, 0.8]);
+        // Oversized n returns the whole live window.
+        let (times, values) = m.tail(rid(1), 100);
+        assert_eq!(times.len(), 4);
+        assert_eq!(values[0], 0.5);
+        // Unknown series: empty slices, no allocation, no panic.
+        let (times, values) = m.tail(rid(9), 5);
+        assert!(times.is_empty() && values.is_empty());
+    }
+
+    #[test]
+    fn with_series_borrows_both_columns() {
+        let mut m = Memory::new(MemoryConfig::default());
+        for i in 0..6 {
+            m.store(rid(2), i as f64 * 10.0, 0.1 * i as f64);
+        }
+        let (sum_t, sum_v) = m.with_series(rid(2), |times, values| {
+            (times.iter().sum::<f64>(), values.iter().sum::<f64>())
+        });
+        assert_eq!(sum_t, 150.0);
+        assert!((sum_v - 1.5).abs() < 1e-12);
+        assert_eq!(m.with_series(rid(8), |t, v| t.len() + v.len()), 0);
+    }
+
+    #[test]
     fn unknown_series_is_empty() {
         let m = Memory::new(MemoryConfig::default());
         assert!(m.is_empty(rid(9)));
         assert!(m.extract(rid(9), 5).is_empty());
         assert!(m.latest(rid(9)).is_none());
+        assert!(m.values(rid(9)).is_empty());
+        assert!(m.times(rid(9)).is_empty());
         assert!(m.resource_ids().is_empty());
     }
 
@@ -404,5 +567,20 @@ mod tests {
         assert!(m.gaps(rid(2)).is_empty());
         // Gaps don't affect the measurement series.
         assert!(m.is_empty(rid(1)));
+    }
+
+    #[test]
+    fn backing_storage_stays_bounded_under_long_ingest() {
+        let mut m = Memory::new(MemoryConfig { retain: 8 });
+        for i in 0..10_000 {
+            m.store(rid(1), i as f64, 0.5);
+        }
+        let buf = m.store.get(&rid(1)).expect("present");
+        assert_eq!(buf.len(), 8);
+        assert!(
+            buf.times.len() <= 16 && buf.values.len() <= 16,
+            "dead prefix must be compacted away: {} slots",
+            buf.times.len()
+        );
     }
 }

@@ -625,12 +625,9 @@ mod tests {
             let mut all = Vec::new();
             for mh in &gm.hosts {
                 for id in mh.ids {
-                    let points: Vec<(f64, f64)> = gm
-                        .memory
-                        .extract(id, usize::MAX)
-                        .iter()
-                        .map(|p| (p.time, p.value))
-                        .collect();
+                    let points: Vec<(f64, f64)> = gm.memory.with_series(id, |times, values| {
+                        times.iter().copied().zip(values.iter().copied()).collect()
+                    });
                     let forecast = gm.service.forecast(id).map(|a| a.forecast.value);
                     all.push((points, forecast));
                 }
@@ -676,12 +673,9 @@ mod tests {
             let mut all = Vec::new();
             for mh in &gm.hosts {
                 for id in mh.ids {
-                    let pts: Vec<(f64, f64)> = gm
-                        .memory
-                        .extract(id, usize::MAX)
-                        .iter()
-                        .map(|p| (p.time, p.value))
-                        .collect();
+                    let pts: Vec<(f64, f64)> = gm.memory.with_series(id, |times, values| {
+                        times.iter().copied().zip(values.iter().copied()).collect()
+                    });
                     all.push((pts, gm.service.forecast(id).map(|a| a.forecast.value)));
                 }
             }
@@ -718,12 +712,9 @@ mod tests {
             let mut series = Vec::new();
             for mh in &gm.hosts {
                 for id in mh.ids {
-                    let pts: Vec<(f64, f64)> = gm
-                        .memory
-                        .extract(id, usize::MAX)
-                        .iter()
-                        .map(|p| (p.time, p.value))
-                        .collect();
+                    let pts: Vec<(f64, f64)> = gm.memory.with_series(id, |times, values| {
+                        times.iter().copied().zip(values.iter().copied()).collect()
+                    });
                     series.push((pts, gm.memory.gaps(id), gm.memory.dropped(id)));
                 }
             }

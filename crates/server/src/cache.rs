@@ -68,22 +68,35 @@ impl QueryCache {
 
     /// Looks up the cached snapshot if it is still current.
     pub fn snapshot(&mut self, revision: u64) -> Option<SnapshotReply> {
+        self.snapshot_ref(revision).cloned()
+    }
+
+    /// Borrowing form of [`QueryCache::snapshot`]: validates and counts
+    /// exactly the same way but hands back a reference, so read paths
+    /// that only inspect the rows (best-host selection) never clone the
+    /// whole reply.
+    pub fn snapshot_ref(&mut self, revision: u64) -> Option<&SnapshotReply> {
         match &self.snapshot {
-            Some((rev, reply)) if *rev == revision => {
-                self.hits += 1;
-                Some(reply.clone())
-            }
+            Some((rev, _)) if *rev == revision => self.hits += 1,
             Some(_) => {
                 self.snapshot = None;
                 self.invalidations += 1;
                 self.misses += 1;
-                None
+                return None;
             }
             None => {
                 self.misses += 1;
-                None
+                return None;
             }
         }
+        self.snapshot.as_ref().map(|(_, reply)| reply)
+    }
+
+    /// The stored snapshot, if any, without revision validation or
+    /// hit/miss accounting. For servers that have just probed (or just
+    /// stored) and need the reference back.
+    pub fn stored_snapshot(&self) -> Option<&SnapshotReply> {
+        self.snapshot.as_ref().map(|(_, reply)| reply)
     }
 
     /// Stores a freshly computed snapshot.

@@ -9,7 +9,7 @@
 //! retried: the exchange worked, the answer just wasn't the happy path.
 
 use crate::transport::{ServeError, Transport};
-use nws_wire::{read_response, write_request, Request, Response, WireError};
+use nws_wire::{encode_request_frame, read_response, Request, Response, WireError};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -39,6 +39,9 @@ pub struct NwsClient {
     conn: Option<Conn>,
     /// Exchanges that needed at least one reconnect.
     reconnects: u64,
+    /// Request frames are encoded into this reusable scratch, so a
+    /// steady stream of queries does not allocate per exchange.
+    scratch: Vec<u8>,
 }
 
 struct Conn {
@@ -54,6 +57,7 @@ impl NwsClient {
             config,
             conn: None,
             reconnects: 0,
+            scratch: Vec::new(),
         };
         client.conn = Some(client.dial()?);
         Ok(client)
@@ -80,9 +84,10 @@ impl NwsClient {
         })
     }
 
-    /// One request/response exchange on the current connection.
-    fn exchange(conn: &mut Conn, req: &Request) -> Result<(Response, Vec<u8>), ServeError> {
-        write_request(&mut conn.writer, req)?;
+    /// One request/response exchange on the current connection. The
+    /// request frame arrives pre-encoded in the caller's scratch buffer.
+    fn exchange(conn: &mut Conn, frame: &[u8]) -> Result<(Response, Vec<u8>), ServeError> {
+        conn.writer.write_all(frame).map_err(WireError::from)?;
         conn.writer.flush().map_err(WireError::from)?;
         Ok(read_response(&mut conn.reader)?)
     }
@@ -90,6 +95,7 @@ impl NwsClient {
 
 impl Transport for NwsClient {
     fn call_raw(&mut self, req: &Request) -> Result<(Response, Vec<u8>), ServeError> {
+        encode_request_frame(&mut self.scratch, req);
         let mut attempts_left = self.config.retries + 1;
         loop {
             attempts_left -= 1;
@@ -104,7 +110,7 @@ impl Transport for NwsClient {
                 }
             }
             let conn = self.conn.as_mut().expect("connection just ensured");
-            match Self::exchange(conn, req) {
+            match Self::exchange(conn, &self.scratch) {
                 Ok(ok) => return Ok(ok),
                 // Transport-level failure: the connection is suspect.
                 // Drop it and retry on a fresh one if budget remains.

@@ -120,44 +120,54 @@ impl GridState {
         Response::Forecast(reply)
     }
 
-    fn snapshot_reply(&mut self) -> SnapshotReply {
+    /// The current snapshot reply, by reference: one cache probe (with
+    /// the usual hit/miss accounting), recomputed and stored only when
+    /// the grid revision moved. Callers clone what they actually need —
+    /// the whole reply for a `Snapshot` answer, a single row for
+    /// best-host selection.
+    fn current_snapshot(&mut self) -> &SnapshotReply {
         let revision = self.grid.revision();
-        if let Some(reply) = self.cache.snapshot(revision) {
-            return reply;
+        if self.cache.snapshot_ref(revision).is_none() {
+            let snap = self.grid.snapshot();
+            let reply = SnapshotReply {
+                time: snap.time,
+                hosts: snap
+                    .hosts
+                    .iter()
+                    .map(|h| HostRow {
+                        host: h.host.clone(),
+                        latest: h.latest_hybrid,
+                        forecast: h.forecast.as_ref().map(|a| a.forecast.value),
+                        degraded: h.degraded,
+                    })
+                    .collect(),
+            };
+            self.cache.store_snapshot(revision, reply);
         }
-        let snap = self.grid.snapshot();
-        let reply = SnapshotReply {
-            time: snap.time,
-            hosts: snap
-                .hosts
-                .iter()
-                .map(|h| HostRow {
-                    host: h.host.clone(),
-                    latest: h.latest_hybrid,
-                    forecast: h.forecast.as_ref().map(|a| a.forecast.value),
-                    degraded: h.degraded,
-                })
-                .collect(),
-        };
-        self.cache.store_snapshot(revision, reply.clone());
-        reply
+        self.cache.stored_snapshot().expect("just stored")
+    }
+
+    fn snapshot_reply(&mut self) -> SnapshotReply {
+        self.current_snapshot().clone()
     }
 
     fn best_host(&mut self) -> Response {
         // Same placement rule as `GridSnapshot::best_host`, computed
         // over the (cached) snapshot rows: non-degraded hosts with a
-        // finite forecast, highest availability wins.
-        let snap = self.snapshot_reply();
-        let best = snap
+        // finite forecast, highest availability wins. Only the winning
+        // row is cloned out of the cache.
+        let best = self
+            .current_snapshot()
             .hosts
-            .into_iter()
+            .iter()
             .filter(|h| !h.degraded)
             .filter(|h| h.forecast.is_some_and(f64::is_finite))
             .max_by(|a, b| {
                 let fa = a.forecast.expect("filtered");
                 let fb = b.forecast.expect("filtered");
                 fa.total_cmp(&fb)
-            });
+            })
+            .cloned();
         Response::BestHost(best)
     }
 
@@ -170,15 +180,13 @@ impl GridState {
             return error(ErrorCode::UnknownHost, format!("no such host: {host}"));
         };
         let n = (n as usize).min(MAX_POINTS);
-        let points = self
-            .grid
-            .memory()
-            .extract(id, n)
+        // Borrowed column slices straight out of the ring — the reply's
+        // points are built without an intermediate Vec<TimePoint>.
+        let (times, values) = self.grid.memory().tail(id, n);
+        let points = times
             .iter()
-            .map(|p| SeriesPoint {
-                time: p.time,
-                value: p.value,
-            })
+            .zip(values)
+            .map(|(&time, &value)| SeriesPoint { time, value })
             .collect();
         Response::SeriesTail(SeriesTailReply {
             host: host.to_string(),

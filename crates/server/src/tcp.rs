@@ -7,7 +7,9 @@
 //! deadlines so a stalled peer cannot pin a handler thread forever.
 
 use crate::state::GridState;
-use nws_wire::{read_request, write_response, ErrorCode, ErrorReply, Response, WireError};
+use nws_wire::{
+    encode_response_frame, read_request, write_response, ErrorCode, ErrorReply, Response, WireError,
+};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -168,6 +170,9 @@ fn handle_conn(stream: TcpStream, state: Arc<Mutex<GridState>>, config: ServerCo
     };
     let mut reader = BufReader::new(reader_stream);
     let mut writer = BufWriter::new(stream);
+    // One encode scratch per connection: every reply frame is built in
+    // this buffer, so steady-state serving does not allocate per reply.
+    let mut scratch = Vec::new();
     loop {
         let req = match read_request(&mut reader) {
             Ok(req) => req,
@@ -183,14 +188,16 @@ fn handle_conn(stream: TcpStream, state: Arc<Mutex<GridState>>, config: ServerCo
                     code: ErrorCode::BadRequest,
                     message: format!("malformed request: {e}"),
                 });
-                if write_response(&mut writer, &resp).is_ok() {
+                encode_response_frame(&mut scratch, &resp);
+                if writer.write_all(&scratch).is_ok() {
                     let _ = writer.flush();
                 }
                 return;
             }
         };
         let resp = state.lock().expect("server state poisoned").dispatch(&req);
-        if write_response(&mut writer, &resp).is_err() || writer.flush().is_err() {
+        encode_response_frame(&mut scratch, &resp);
+        if writer.write_all(&scratch).is_err() || writer.flush().is_err() {
             return;
         }
     }

@@ -9,8 +9,9 @@
 
 use crate::state::GridState;
 use nws_wire::{
-    read_request, read_response, write_request, write_response, ErrorReply, ForecastReply, HostRow,
-    Request, Response, SeriesTailReply, SnapshotReply, StatsReply, WireError,
+    encode_request_frame, encode_response_frame, read_request, read_response, ErrorReply,
+    ForecastReply, HostRow, Request, Response, SeriesTailReply, SnapshotReply, StatsReply,
+    WireError,
 };
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -114,12 +115,21 @@ pub trait Transport {
 /// response the same way the TCP server does.
 pub struct InMemoryTransport {
     state: Arc<Mutex<GridState>>,
+    /// Reusable "wire" for the request frame, mirroring the client's
+    /// per-connection encode scratch.
+    wire: Vec<u8>,
+    /// Reusable buffer for the response frame, mirroring the server's.
+    back: Vec<u8>,
 }
 
 impl InMemoryTransport {
     /// Wraps shared server state.
     pub fn new(state: Arc<Mutex<GridState>>) -> Self {
-        Self { state }
+        Self {
+            state,
+            wire: Vec::new(),
+            back: Vec::new(),
+        }
     }
 
     /// The shared state (for advancing the grid mid-test).
@@ -131,19 +141,17 @@ impl InMemoryTransport {
 impl Transport for InMemoryTransport {
     fn call_raw(&mut self, req: &Request) -> Result<(Response, Vec<u8>), ServeError> {
         // Client side: frame the request into the "wire".
-        let mut wire = Vec::new();
-        write_request(&mut wire, req)?;
+        encode_request_frame(&mut self.wire, req);
         // Server side: decode, dispatch, frame the response.
-        let decoded = read_request(&mut wire.as_slice())?;
+        let decoded = read_request(&mut self.wire.as_slice())?;
         let resp = self
             .state
             .lock()
             .expect("server state poisoned")
             .dispatch(&decoded);
-        let mut back = Vec::new();
-        write_response(&mut back, &resp)?;
+        encode_response_frame(&mut self.back, &resp);
         // Client side again: decode the response.
-        Ok(read_response(&mut back.as_slice())?)
+        Ok(read_response(&mut self.back.as_slice())?)
     }
 }
 

@@ -6,13 +6,48 @@
 //! estimator (normalizing by `n` rather than `n − lag`), which is the
 //! conventional choice for ACF plots because it guarantees a positive
 //! semi-definite autocovariance sequence.
+//!
+//! Two evaluation paths compute the same estimator:
+//!
+//! - [`autocovariance_naive`] — the direct O(n·max_lag) sum, kept as the
+//!   reference implementation;
+//! - [`autocovariance_fft`] — the Wiener–Khinchin route (FFT → power
+//!   spectrum → inverse FFT), O(n log n) regardless of the lag count.
+//!
+//! [`autocovariance`] dispatches between them on problem size alone, so a
+//! given input always takes the same path no matter the thread count.
+
+use crate::fft::{fft_real, next_pow2};
+
+/// Below this many lag-sum terms (`n · (max_lag + 1)`) the direct sum wins;
+/// above it the FFT path does. Size-based only, so results never depend on
+/// runtime configuration.
+const FFT_DISPATCH_TERMS: usize = 1 << 17;
 
 /// Sample autocovariance at lags `0..=max_lag` (biased estimator).
 ///
 /// `gamma(k) = (1/n) Σ_{t=1}^{n-k} (x_t − mean)(x_{t+k} − mean)`.
 ///
+/// Dispatches to the direct sum for small problems and the
+/// Wiener–Khinchin FFT path for large ones; the two agree to ~1e-12
+/// (pinned by proptest equivalence suites at 1e-9).
+///
 /// Returns `None` if the series is empty or `max_lag >= n`.
 pub fn autocovariance(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    let n = values.len();
+    if n == 0 || max_lag >= n {
+        return None;
+    }
+    if n.saturating_mul(max_lag + 1) < FFT_DISPATCH_TERMS {
+        autocovariance_naive(values, max_lag)
+    } else {
+        autocovariance_fft(values, max_lag)
+    }
+}
+
+/// Direct-sum autocovariance: the O(n·max_lag) reference implementation
+/// [`autocovariance`] is verified against.
+pub fn autocovariance_naive(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
     let n = values.len();
     if n == 0 || max_lag >= n {
         return None;
@@ -30,6 +65,47 @@ pub fn autocovariance(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
     Some(gamma)
 }
 
+/// Wiener–Khinchin autocovariance: zero-pad the centered series to a
+/// power of two at least `n + max_lag` (so circular correlation never
+/// wraps into the lags we keep), take the power spectrum with a
+/// real-input FFT, and transform back.
+///
+/// The inverse step exploits that the power spectrum is real and even:
+/// its inverse DFT equals `Re(FFT(S)) / L`, so both directions run as
+/// half-length real transforms. Total work is O(n log n) independent of
+/// `max_lag`, versus the direct sum's O(n·max_lag).
+pub fn autocovariance_fft(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    let n = values.len();
+    if n == 0 || max_lag >= n {
+        return None;
+    }
+    let len = next_pow2((n + max_lag).max(2));
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let mut padded = vec![0.0; len];
+    for (slot, &v) in padded.iter_mut().zip(values) {
+        *slot = v - mean;
+    }
+    // Power spectrum S_k = |X_k|² for k = 0..=L/2; S is even, so the
+    // half spectrum determines all of it. The centered input buffer is
+    // dead once the spectrum exists, so it doubles as the power buffer.
+    let spectrum = fft_real(&padded);
+    let mut power = padded;
+    for (k, z) in spectrum.iter().enumerate() {
+        let p = z.norm_sqr();
+        power[k] = p;
+        if k > 0 && k < len / 2 {
+            power[len - k] = p;
+        }
+    }
+    // gamma(k)·n = IDFT(S)[k] = Re(FFT(S))[k] / L — real-even input, so
+    // one more real transform finishes the job. max_lag < L/2 always
+    // holds here (L >= n + max_lag > 2·max_lag), so the half spectrum
+    // covers every lag we need.
+    let correlated = fft_real(&power);
+    let norm = 1.0 / (len as f64 * n as f64);
+    Some(correlated[..=max_lag].iter().map(|z| z.re * norm).collect())
+}
+
 /// Sample autocorrelation at lags `0..=max_lag`.
 ///
 /// `rho(k) = gamma(k) / gamma(0)`, so `rho(0) == 1`. A constant series has
@@ -42,6 +118,17 @@ pub fn autocorrelation(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
         return None;
     }
     Some(gamma.iter().map(|&g| g / g0).collect())
+}
+
+/// Autocorrelation with the lag bound clamped to what the series can
+/// support, so short (smoke-tier) series degrade to fewer lags instead of
+/// yielding nothing.
+///
+/// The clamp keeps `max_lag <= n − 2`: the lag-(n−1) estimate rests on a
+/// single product and only adds noise. Still returns `None` for empty or
+/// constant series, where no autocorrelation is defined at any lag.
+pub fn clamped_autocorrelation(values: &[f64], max_lag: usize) -> Option<Vec<f64>> {
+    autocorrelation(values, max_lag.min(values.len().saturating_sub(2)))
 }
 
 #[cfg(test)]
@@ -99,6 +186,8 @@ mod tests {
         assert!(autocorrelation(&[1.0, 2.0], 2).is_none()); // lag >= n
         assert!(autocorrelation(&[3.0, 3.0, 3.0], 1).is_none()); // constant
         assert!(autocovariance(&[3.0, 3.0], 1).is_some()); // covariance fine
+        assert!(autocovariance_fft(&[], 0).is_none());
+        assert!(autocovariance_fft(&[1.0, 2.0], 2).is_none());
     }
 
     #[test]
@@ -109,5 +198,41 @@ mod tests {
         for &r in &rho {
             assert!(r.abs() <= 1.0 + 1e-12);
         }
+    }
+
+    #[test]
+    fn fft_path_matches_naive_on_fixed_series() {
+        let mut rng = Rng::new(91);
+        for (n, max_lag) in [(1usize, 0usize), (2, 1), (5, 3), (64, 63), (500, 360)] {
+            let v: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+            let naive = autocovariance_naive(&v, max_lag).unwrap();
+            let fast = autocovariance_fft(&v, max_lag).unwrap();
+            assert_eq!(naive.len(), fast.len());
+            for (k, (a, b)) in naive.iter().zip(&fast).enumerate() {
+                assert!((a - b).abs() < 1e-12, "n={n} lag {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_path_handles_constant_series() {
+        // Exactly representable mean → centered series is exactly zero on
+        // both paths, so both report zero covariance everywhere.
+        let v = [3.0; 64];
+        let gamma = autocovariance_fft(&v, 10).unwrap();
+        assert!(gamma.iter().all(|&g| g.abs() < 1e-12));
+        assert!(autocorrelation(&v, 10).is_none());
+    }
+
+    #[test]
+    fn clamped_autocorrelation_degrades_instead_of_vanishing() {
+        let v = [1.0, 3.0, 2.0, 5.0];
+        // Plain call refuses the out-of-range lag bound…
+        assert!(autocorrelation(&v, 360).is_none());
+        // …the clamped call returns what the series supports.
+        let rho = clamped_autocorrelation(&v, 360).unwrap();
+        assert_eq!(rho.len(), 3); // lags 0..=2
+        assert!(clamped_autocorrelation(&[], 360).is_none());
+        assert!(clamped_autocorrelation(&[7.0; 5], 360).is_none()); // constant
     }
 }

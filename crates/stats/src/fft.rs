@@ -153,6 +153,48 @@ pub fn next_pow2(n: usize) -> usize {
     n.max(1).next_power_of_two()
 }
 
+/// Forward FFT of a real series, returning the half spectrum
+/// `X_0 ..= X_{N/2}` (the rest follows from `X_{N-k} = conj(X_k)`).
+///
+/// Packs the `N` reals into `N/2` complex slots, runs one half-length
+/// transform, and unpacks with the standard split-radix identities —
+/// about half the work of a full complex transform, which is what makes
+/// the Wiener–Khinchin autocovariance path ([`crate::acf::autocovariance_fft`])
+/// clearly faster than the direct sum at the paper's scales.
+///
+/// # Panics
+///
+/// Panics unless `input.len()` is a power of two and at least 2.
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let n = input.len();
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "real FFT length must be a power of two >= 2, got {n}"
+    );
+    let m = n / 2;
+    // Interleave: z_j = x_{2j} + i·x_{2j+1}.
+    let mut z: Vec<Complex> = (0..m)
+        .map(|j| Complex::new(input[2 * j], input[2 * j + 1]))
+        .collect();
+    fft_inplace(&mut z);
+    // Unpack: with E_k/O_k the transforms of the even/odd subsequences,
+    //   E_k = (Z_k + conj(Z_{M-k})) / 2
+    //   O_k = (Z_k − conj(Z_{M-k})) / (2i)
+    //   X_k = E_k + e^{-2πik/N} · O_k            for k = 0..=M
+    // (indices mod M, so Z_M means Z_0).
+    let half_i = Complex::new(0.0, -0.5); // 1/(2i)
+    (0..=m)
+        .map(|k| {
+            let zk = z[k % m];
+            let zmk = z[(m - k) % m].conj();
+            let even = (zk + zmk).scale(0.5);
+            let odd = (zk - zmk) * half_i;
+            let w = Complex::from_angle(-std::f64::consts::PI * k as f64 / m as f64);
+            even + w * odd
+        })
+        .collect()
+}
+
 /// Periodogram of a real series at the Fourier frequencies
 /// `λ_j = 2πj/n` for `j = 1..=n/2`.
 ///
@@ -280,6 +322,27 @@ mod tests {
         let mut data = vec![Complex::new(3.0, 4.0)];
         fft_inplace(&mut data);
         assert_close(data[0], Complex::new(3.0, 4.0), 1e-15);
+    }
+
+    #[test]
+    fn real_fft_matches_complex_fft() {
+        let mut rng = crate::rng::Rng::new(37);
+        for len in [2usize, 4, 8, 64, 256] {
+            let x: Vec<f64> = (0..len).map(|_| rng.next_f64() - 0.5).collect();
+            let mut full: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            fft_inplace(&mut full);
+            let half = fft_real(&x);
+            assert_eq!(half.len(), len / 2 + 1);
+            for (k, h) in half.iter().enumerate() {
+                assert_close(*h, full[k], 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn real_fft_rejects_odd_lengths() {
+        fft_real(&[1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -13,10 +13,99 @@
 //! Two further estimators cross-check R/S, as is standard practice:
 //! aggregated variance (`Var(X^(m)) ~ m^{2H−2}`) and the low-frequency
 //! periodogram (`I(λ) ~ λ^{1−2H}`).
+//!
+//! The pox-plot and aggregated-variance sweeps share one O(n)
+//! prefix-sum/prefix-square-sum pass ([`SeriesPrefix`]): every segment's
+//! mean and standard deviation then costs O(1) instead of a fresh O(d)
+//! scan per moment, and the ladder lengths fan out over
+//! [`nws_runtime::parallel_map`] in input order, so results stay
+//! bit-identical at any thread count. [`pox_plot_naive`] keeps the direct
+//! per-segment evaluation as the reference the fast path is verified
+//! against.
 
 use crate::descriptive::population_variance;
 use crate::fft::periodogram;
 use crate::regress::{linear_fit, LinearFit};
+
+/// Prefix sums of a series and of its squares: `sum[k]` holds
+/// `Σ_{i<k} x_i` and `sq[k]` holds `Σ_{i<k} x_i²`, so any segment's first
+/// two moments are two subtractions away.
+struct SeriesPrefix {
+    sum: Vec<f64>,
+    sq: Vec<f64>,
+}
+
+impl SeriesPrefix {
+    fn new(values: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(values.len() + 1);
+        let mut sq = Vec::with_capacity(values.len() + 1);
+        let (mut s, mut q) = (0.0, 0.0);
+        sum.push(0.0);
+        sq.push(0.0);
+        for &x in values {
+            s += x;
+            q += x * x;
+            sum.push(s);
+            sq.push(q);
+        }
+        Self { sum, sq }
+    }
+
+    /// Prefix sums only — for consumers that never need variances
+    /// (the aggregated-variance sweep wants block means alone), saving
+    /// the square-sum pass and its buffer.
+    fn sums_only(values: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(values.len() + 1);
+        let mut s = 0.0;
+        sum.push(0.0);
+        for &x in values {
+            s += x;
+            sum.push(s);
+        }
+        Self {
+            sum,
+            sq: Vec::new(),
+        }
+    }
+
+    /// Mean of `values[start..start + d]`.
+    fn segment_mean(&self, start: usize, d: usize) -> f64 {
+        (self.sum[start + d] - self.sum[start]) / d as f64
+    }
+
+    /// Population variance of `values[start..start + d]` via
+    /// `E[x²] − mean²`. Cancellation can leave a tiny negative where the
+    /// two-pass formula gives a tiny positive; callers treat anything
+    /// non-positive as degenerate, which is also what the reference path
+    /// does for genuinely constant segments.
+    fn segment_var(&self, start: usize, d: usize) -> f64 {
+        let mean = self.segment_mean(start, d);
+        (self.sq[start + d] - self.sq[start]) / d as f64 - mean * mean
+    }
+
+    /// R/S of `values[start..start + d]`: moments in O(1) from the prefix
+    /// arrays, then one fused pass over the cumulative deviations
+    /// `W_k = (sum[start+k] − sum[start]) − k·mean`.
+    fn rs(&self, start: usize, d: usize) -> Option<f64> {
+        if d < 2 {
+            return None;
+        }
+        let var = self.segment_var(start, d);
+        if var <= 0.0 || var.is_nan() {
+            return None;
+        }
+        let mean = self.segment_mean(start, d);
+        let base = self.sum[start];
+        let mut max_w: f64 = 0.0; // the paper's definition includes 0 in both extremes
+        let mut min_w: f64 = 0.0;
+        for k in 1..=d {
+            let w = self.sum[start + k] - base - k as f64 * mean;
+            max_w = max_w.max(w);
+            min_w = min_w.min(w);
+        }
+        Some((max_w - min_w) / var.sqrt())
+    }
+}
 
 /// One pox-plot sample: a segment length and the R/S value of one segment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +183,38 @@ fn segment_ladder(n: usize, min_d: usize) -> Vec<usize> {
 /// `min_d` is the smallest segment length considered (the classical advice
 /// is ≥ 8–10; shorter segments bias R/S upward).
 pub fn pox_plot(values: &[f64], min_d: usize) -> Vec<PoxPoint> {
+    let ladder = segment_ladder(values.len(), min_d.max(2));
+    if ladder.is_empty() {
+        return Vec::new();
+    }
+    let prefix = SeriesPrefix::new(values);
+    let n = values.len();
+    // Each ladder length is an independent sweep over the shared prefix
+    // arrays; parallel_map returns them in ladder order, preserving the
+    // d-major point order of the sequential construction.
+    let per_d = nws_runtime::parallel_map(ladder, |d| {
+        let log10_d = (d as f64).log10();
+        let mut pts = Vec::with_capacity(n / d);
+        for i in 0..n / d {
+            if let Some(rs) = prefix.rs(i * d, d) {
+                if rs > 0.0 {
+                    pts.push(PoxPoint {
+                        log10_d,
+                        log10_rs: rs.log10(),
+                    });
+                }
+            }
+        }
+        pts
+    });
+    per_d.into_iter().flatten().collect()
+}
+
+/// The reference pox-plot construction: every segment re-derives its mean
+/// and deviation with [`rs_statistic`]'s two-pass scans. Kept for the
+/// naive-vs-fast equivalence suites and the tracked benchmark; use
+/// [`pox_plot`] everywhere else.
+pub fn pox_plot_naive(values: &[f64], min_d: usize) -> Vec<PoxPoint> {
     let mut points = Vec::new();
     for d in segment_ladder(values.len(), min_d.max(2)) {
         for segment in values.chunks_exact(d) {
@@ -171,6 +292,38 @@ pub fn hurst_rs(values: &[f64], min_d: usize) -> Option<HurstEstimate> {
 /// `H = 1 + β/2`. Aggregation levels run a log ladder from 2 up to `n/8`
 /// (each level must retain enough blocks for a stable variance).
 pub fn aggregated_variance_hurst(values: &[f64]) -> Option<HurstEstimate> {
+    let n = values.len();
+    if n < 32 {
+        return None;
+    }
+    let prefix = SeriesPrefix::sums_only(values);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for m in segment_ladder(n, 2) {
+        if n / m < 8 {
+            break; // too few blocks for a meaningful variance
+        }
+        // Block means in O(1) each from the shared prefix sums.
+        let means: Vec<f64> = (0..n / m).map(|i| prefix.segment_mean(i * m, m)).collect();
+        if let Some(var) = population_variance(&means) {
+            if var > 0.0 {
+                xs.push((m as f64).log10());
+                ys.push(var.log10());
+            }
+        }
+    }
+    let fit = linear_fit(&xs, &ys)?;
+    Some(HurstEstimate {
+        h: 1.0 + fit.slope / 2.0,
+        fit,
+        points: xs.into_iter().zip(ys).collect(),
+    })
+}
+
+/// The reference aggregated-variance estimator: every block mean is a
+/// fresh O(m) scan. Kept for the naive-vs-fast equivalence suites and the
+/// tracked benchmark; use [`aggregated_variance_hurst`] everywhere else.
+pub fn aggregated_variance_hurst_naive(values: &[f64]) -> Option<HurstEstimate> {
     let n = values.len();
     if n < 32 {
         return None;
@@ -315,6 +468,48 @@ mod tests {
         assert!((min_x - 1.0).abs() < 1e-9); // log10(10)
         assert!(max_x >= 3.0); // up to d = 2048
         assert!(pox.len() > 100);
+    }
+
+    #[test]
+    fn fast_pox_plot_matches_naive() {
+        let x = fgn(0.7, 4096, 71);
+        let fast = pox_plot(&x, 10);
+        let naive = pox_plot_naive(&x, 10);
+        assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(&naive) {
+            assert_eq!(a.log10_d, b.log10_d);
+            assert!(
+                (a.log10_rs - b.log10_rs).abs() < 1e-9,
+                "{} vs {}",
+                a.log10_rs,
+                b.log10_rs
+            );
+        }
+    }
+
+    #[test]
+    fn fast_aggregated_variance_matches_naive() {
+        let x = fgn(0.75, 4096, 73);
+        let fast = aggregated_variance_hurst(&x).unwrap();
+        let naive = aggregated_variance_hurst_naive(&x).unwrap();
+        assert!((fast.h - naive.h).abs() < 1e-9, "{} vs {}", fast.h, naive.h);
+        assert_eq!(fast.points.len(), naive.points.len());
+    }
+
+    #[test]
+    fn pox_plot_thread_count_does_not_change_points() {
+        let x = fgn(0.8, 2048, 75);
+        nws_runtime::set_threads(Some(1));
+        let seq = pox_plot(&x, 10);
+        nws_runtime::set_threads(Some(4));
+        let par = pox_plot(&x, 10);
+        nws_runtime::set_threads(None);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            // Bit-identical, not merely close: same path, same order.
+            assert_eq!(a.log10_d.to_bits(), b.log10_d.to_bits());
+            assert_eq!(a.log10_rs.to_bits(), b.log10_rs.to_bits());
+        }
     }
 
     #[test]

@@ -32,16 +32,19 @@ pub mod hurst;
 pub mod regress;
 pub mod rng;
 
-pub use acf::{autocorrelation, autocovariance};
+pub use acf::{
+    autocorrelation, autocovariance, autocovariance_fft, autocovariance_naive,
+    clamped_autocorrelation,
+};
 pub use descriptive::{
     mean, mean_absolute_error, mean_absolute_pair_error, population_variance, sample_variance,
 };
 pub use dist::{Distribution, Exponential, LogNormal, Normal, Pareto, Uniform};
-pub use fft::{fft_inplace, ifft_inplace, periodogram, Complex};
+pub use fft::{fft_inplace, fft_real, ifft_inplace, next_pow2, periodogram, Complex};
 pub use fgn::{fgn_autocovariance, DaviesHarte, FgnError, Hosking};
 pub use hurst::{
-    aggregated_variance_hurst, hurst_rs, periodogram_hurst, pox_plot, rs_statistic, HurstEstimate,
-    PoxPoint,
+    aggregated_variance_hurst, aggregated_variance_hurst_naive, hurst_rs, periodogram_hurst,
+    pox_plot, pox_plot_naive, rs_statistic, HurstEstimate, PoxPoint,
 };
 pub use regress::{linear_fit, LinearFit};
 pub use rng::Rng;

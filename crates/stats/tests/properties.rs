@@ -1,8 +1,9 @@
 //! Property-based tests for the statistics substrate.
 
 use nws_stats::{
-    autocorrelation, fft_inplace, fgn_autocovariance, ifft_inplace, linear_fit, periodogram,
-    Complex, DaviesHarte, Distribution, Exponential, LogNormal, Pareto, Rng, Uniform,
+    autocorrelation, autocovariance, autocovariance_fft, autocovariance_naive,
+    clamped_autocorrelation, fft_inplace, fgn_autocovariance, ifft_inplace, linear_fit,
+    periodogram, Complex, DaviesHarte, Distribution, Exponential, LogNormal, Pareto, Rng, Uniform,
 };
 use proptest::prelude::*;
 
@@ -107,6 +108,99 @@ proptest! {
             let y = p.sample(&mut rng);
             prop_assert!((4.0..=100.0).contains(&y));
             prop_assert!(l.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn fft_acf_matches_naive_on_random_series(
+        seed in any::<u64>(),
+        n in 1usize..600,
+        lag_frac in 0.0f64..1.3,
+    ) {
+        // Both paths must agree on whether the input is answerable at all
+        // (max_lag may land on either side of n) and, when it is, on every
+        // lag to well under the documented 1e-9 bound.
+        let mut rng = Rng::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+        let max_lag = (n as f64 * lag_frac) as usize;
+        let naive = autocovariance_naive(&x, max_lag);
+        let fft = autocovariance_fft(&x, max_lag);
+        match (naive, fft) {
+            (None, None) => prop_assert!(max_lag >= n),
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.len(), max_lag + 1);
+                prop_assert_eq!(a.len(), b.len());
+                for (k, (p, q)) in a.iter().zip(&b).enumerate() {
+                    prop_assert!((p - q).abs() < 1e-9, "lag {k}: {p} vs {q}");
+                }
+            }
+            (a, b) => prop_assert!(
+                false,
+                "paths disagree on answerability: naive={} fft={}",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+
+    #[test]
+    fn fft_acf_matches_naive_on_constant_and_spiked_series(
+        value in -10.0f64..10.0,
+        n in 2usize..300,
+        spike in proptest::option::of(0usize..300),
+    ) {
+        // Constant series (zero variance) and constant-with-one-spike
+        // series (near-degenerate) are where cancellation differs most
+        // between the direct sum and the FFT round trip.
+        let mut x = vec![value; n];
+        if let Some(i) = spike {
+            x[i % n] += 5.0;
+        }
+        let max_lag = n - 1;
+        let a = autocovariance_naive(&x, max_lag).expect("max_lag < n");
+        let b = autocovariance_fft(&x, max_lag).expect("max_lag < n");
+        for (k, (p, q)) in a.iter().zip(&b).enumerate() {
+            prop_assert!((p - q).abs() < 1e-9, "lag {k}: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn dispatching_acf_always_matches_the_naive_reference(
+        seed in any::<u64>(),
+        n in 1usize..400,
+        max_lag in 0usize..400,
+    ) {
+        // The public entry point may take either path; whichever it takes,
+        // the answer must match the reference.
+        let mut rng = Rng::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let via_dispatch = autocovariance(&x, max_lag);
+        let reference = autocovariance_naive(&x, max_lag);
+        match (via_dispatch, reference) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                for (k, (p, q)) in a.iter().zip(&b).enumerate() {
+                    prop_assert!((p - q).abs() < 1e-9, "lag {k}: {p} vs {q}");
+                }
+            }
+            _ => prop_assert!(false, "dispatch changed answerability"),
+        }
+    }
+
+    #[test]
+    fn clamped_acf_answers_whenever_the_series_varies(
+        seed in any::<u64>(),
+        n in 3usize..200,
+        max_lag in 0usize..1000,
+    ) {
+        let mut rng = Rng::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let rho = clamped_autocorrelation(&x, max_lag).expect("random series varies");
+        prop_assert_eq!(rho.len(), max_lag.min(n - 2) + 1);
+        prop_assert!((rho[0] - 1.0).abs() < 1e-12);
+        // And it never answers more lags than the unclamped call would.
+        if let Some(full) = autocorrelation(&x, max_lag) {
+            prop_assert_eq!(full.len(), rho.len());
         }
     }
 

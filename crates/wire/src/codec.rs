@@ -25,6 +25,13 @@ impl Writer {
         Self::default()
     }
 
+    /// Wraps an existing buffer, appending to whatever it already holds —
+    /// the reusable-scratch path: take a caller's buffer, extend it, hand
+    /// it back via [`Writer::finish`] without any fresh allocation.
+    pub fn with_buf(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
     /// The encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf

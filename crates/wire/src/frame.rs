@@ -44,17 +44,35 @@ impl FrameKind {
     }
 }
 
-fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
-    debug_assert!(payload.len() <= MAX_FRAME, "payload exceeds MAX_FRAME");
-    let mut header = [0u8; HEADER_LEN];
-    header[..2].copy_from_slice(&MAGIC.to_be_bytes());
-    header[2] = VERSION;
-    header[3] = kind.tag();
-    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
-    w.flush()?;
-    Ok(())
+/// Stamps the 8-byte header into `buf[..HEADER_LEN]`, treating the rest
+/// of the buffer as the already-encoded payload.
+fn finish_header(buf: &mut [u8], kind: FrameKind) {
+    let len = buf.len() - HEADER_LEN;
+    debug_assert!(len <= MAX_FRAME, "payload exceeds MAX_FRAME");
+    buf[..2].copy_from_slice(&MAGIC.to_be_bytes());
+    buf[2] = VERSION;
+    buf[3] = kind.tag();
+    buf[4..HEADER_LEN].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Encodes one request as a complete frame (header + payload) into
+/// `buf`, clearing it first. Reusing one buffer across exchanges keeps
+/// the encode path allocation-free once the buffer has warmed up.
+pub fn encode_request_frame(buf: &mut Vec<u8>, req: &Request) {
+    buf.clear();
+    buf.resize(HEADER_LEN, 0);
+    req.encode_to(buf);
+    finish_header(buf, FrameKind::Request);
+}
+
+/// Encodes one response as a complete frame (header + payload) into
+/// `buf`, clearing it first. The per-connection scratch the server
+/// writes every reply through.
+pub fn encode_response_frame(buf: &mut Vec<u8>, resp: &Response) {
+    buf.clear();
+    buf.resize(HEADER_LEN, 0);
+    resp.encode_to(buf);
+    finish_header(buf, FrameKind::Response);
 }
 
 /// Reads one frame, validating magic, version, kind, and the payload
@@ -82,14 +100,26 @@ pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> 
     Ok((kind, payload))
 }
 
-/// Frames and writes one request.
+/// Frames and writes one request. Allocates a fresh frame buffer per
+/// call; loops should hold a scratch `Vec` and use
+/// [`encode_request_frame`] instead.
 pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), WireError> {
-    write_frame(w, FrameKind::Request, &req.encode())
+    let mut buf = Vec::new();
+    encode_request_frame(&mut buf, req);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
 }
 
-/// Frames and writes one response.
+/// Frames and writes one response. Allocates a fresh frame buffer per
+/// call; loops should hold a scratch `Vec` and use
+/// [`encode_response_frame`] instead.
 pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireError> {
-    write_frame(w, FrameKind::Response, &resp.encode())
+    let mut buf = Vec::new();
+    encode_response_frame(&mut buf, resp);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
 }
 
 /// Reads one frame and decodes it as a request, rejecting response
@@ -117,6 +147,7 @@ pub fn read_response(r: &mut impl Read) -> Result<(Response, Vec<u8>), WireError
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::{ErrorCode, ErrorReply};
     use std::io::Cursor;
 
     #[test]
@@ -139,6 +170,27 @@ mod tests {
         let (decoded, payload) = read_response(&mut Cursor::new(&buf)).unwrap();
         assert_eq!(decoded, resp);
         assert_eq!(payload, resp.encode());
+    }
+
+    #[test]
+    fn scratch_encoders_match_streaming_writers_byte_for_byte() {
+        let req = Request::Batch(vec![Request::Snapshot, Request::Stats]);
+        let resp = Response::Error(ErrorReply {
+            code: ErrorCode::BadRequest,
+            message: "nope".into(),
+        });
+        let mut streamed = Vec::new();
+        write_request(&mut streamed, &req).unwrap();
+        // Pre-dirty the scratch: encode must clear leftovers from the
+        // previous (larger) frame before reuse.
+        let mut scratch = vec![0xAA; 512];
+        encode_request_frame(&mut scratch, &req);
+        assert_eq!(scratch, streamed);
+        let mut streamed = Vec::new();
+        write_response(&mut streamed, &resp).unwrap();
+        encode_response_frame(&mut scratch, &resp);
+        assert_eq!(scratch, streamed);
+        assert_eq!(read_response(&mut scratch.as_slice()).unwrap().0, resp);
     }
 
     #[test]

@@ -32,7 +32,8 @@ mod message;
 
 pub use codec::{Reader, Writer, MAX_STRING};
 pub use frame::{
-    read_frame, read_request, read_response, write_request, write_response, FrameKind, HEADER_LEN,
+    encode_request_frame, encode_response_frame, read_frame, read_request, read_response,
+    write_request, write_response, FrameKind, HEADER_LEN,
 };
 pub use message::{
     ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,

@@ -50,6 +50,14 @@ impl Request {
         w.finish()
     }
 
+    /// Appends the encoded payload to `out` — the zero-fresh-allocation
+    /// path for callers reusing one scratch buffer across exchanges.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::with_buf(std::mem::take(out));
+        self.encode_into(&mut w);
+        *out = w.finish();
+    }
+
     fn encode_into(&self, w: &mut Writer) {
         match self {
             Request::Forecast { host } => {
@@ -317,6 +325,14 @@ impl Response {
         let mut w = Writer::new();
         self.encode_into(&mut w);
         w.finish()
+    }
+
+    /// Appends the encoded payload to `out` — the zero-fresh-allocation
+    /// path for servers reusing one scratch buffer per connection.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::with_buf(std::mem::take(out));
+        self.encode_into(&mut w);
+        *out = w.finish();
     }
 
     fn encode_into(&self, w: &mut Writer) {
