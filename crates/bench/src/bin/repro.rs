@@ -594,6 +594,9 @@ fn perf_kernels(
         .collect();
     let points_per_read = grid.memory().len(ids[0]);
     let reads = if smoke { 50 } else { 200 };
+    // The deprecated owned extract is benchmarked on purpose: it IS the
+    // pre-refactor reference the borrowed path is measured against.
+    #[allow(deprecated)]
     let (extract_sum, extract_ms, extract_allocs) = timed_allocs(|| {
         let mut acc = 0.0f64;
         for _ in 0..reads {
@@ -676,6 +679,7 @@ fn perf_kernels(
             current_allocs.bytes
         ));
     };
+    #[allow(deprecated)]
     let extracted_values = |id: nws_grid::ResourceId| -> Vec<f64> {
         let pts = grid.memory().extract(id, usize::MAX);
         pts.iter().map(|p| p.value).collect()
@@ -772,6 +776,55 @@ fn perf_kernels(
         },
     );
 
+    // --- Engine tick throughput: the deterministic event engine driving
+    // the full six-host measurement pipeline (sensing → memory →
+    // forecasts) across thread counts and batch windows. Every cell
+    // commits identical events in identical order — the sweep measures
+    // scheduling cost, not different work.
+    let engine_steps: u64 = if smoke {
+        120
+    } else if quick {
+        360
+    } else {
+        1_080
+    };
+    let engine_host_count = profiles.len() as u64;
+    let prev_threads = nws_runtime::threads();
+    let mut engine_entries = Vec::new();
+    for bench_threads in [1usize, 4] {
+        for batch_slots in [1usize, 16, 64] {
+            nws_runtime::set_threads(Some(bench_threads));
+            let mut engine_grid = nws_grid::GridMonitor::new(
+                &profiles,
+                cfg.seed,
+                nws_grid::GridMonitorConfig {
+                    batch_slots,
+                    ..nws_grid::GridMonitorConfig::default()
+                },
+            );
+            let (slots_done, tick_ms, tick_allocs) = timed_allocs(|| {
+                engine_grid.run_steps(engine_steps);
+                engine_grid.slots()
+            });
+            assert_eq!(slots_done, engine_steps, "engine ran every slot");
+            let events = engine_steps * engine_host_count;
+            let events_per_sec = events as f64 / (tick_ms / 1e3).max(1e-9);
+            println!(
+                "  engine threads={bench_threads} batch={batch_slots:<2}: {events} events in \
+                 {tick_ms:>7.2} ms = {events_per_sec:>8.0} events/s ({} allocs)",
+                tick_allocs.calls
+            );
+            engine_entries.push(format!(
+                "    {{ \"threads\": {bench_threads}, \"batch_slots\": {batch_slots}, \
+                 \"slots\": {engine_steps}, \"hosts\": {engine_host_count}, \
+                 \"events\": {events}, \"ms\": {tick_ms:.4}, \
+                 \"events_per_sec\": {events_per_sec:.0}, \"allocs\": {} }}",
+                tick_allocs.calls
+            ));
+        }
+    }
+    nws_runtime::set_threads(Some(prev_threads));
+
     // --- Serving hot path: the in-memory transport (full codec, no
     // sockets) over the warmed grid, with the per-connection scratch
     // buffers and the revision-keyed query cache in play.
@@ -850,6 +903,9 @@ fn perf_kernels(
     let _ = writeln!(json, "  \"drivers\": [");
     let _ = writeln!(json, "{}", driver_entries.join(",\n"));
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"engine\": [");
+    let _ = writeln!(json, "{}", engine_entries.join(",\n"));
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
         "  \"serve\": {{ \"requests\": {reqs}, \"ms\": {serve_ms:.4}, \
@@ -866,7 +922,8 @@ fn perf_kernels(
 /// and query-cache effectiveness to `BENCH_serve.json`.
 fn run_serve(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
     use nws_server::{
-        ClientConfig, GridState, InMemoryTransport, NwsClient, NwsServer, ServerConfig, Transport,
+        ClientConfig, GridState, InMemoryTransport, NwsClient, NwsServer, ServerConfig, TickDriver,
+        Transport,
     };
     use nws_wire::{Request, Response};
     use std::sync::{Arc, Mutex};
@@ -912,6 +969,19 @@ fn run_serve(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
     let mut mem = InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid_b))));
     let mut tcp = NwsClient::connect(server.addr(), ClientConfig::default()).expect("connect");
 
+    // Sensor ticks come from engine-clocked drivers, not from the serve
+    // loop: each driver watches a virtual clock on the grid's cadence and
+    // delivers exactly the slots that come due between request rounds.
+    let mut tcp_driver = TickDriver::virtual_time(Arc::clone(server.state()));
+    let mut mem_driver = TickDriver::virtual_time(Arc::clone(mem.state()));
+    let slot_seconds = tcp_driver
+        .state()
+        .lock()
+        .expect("state")
+        .grid()
+        .cadence()
+        .measurement_period;
+
     let mut sequence: Vec<Request> = vec![Request::Snapshot, Request::BestHost];
     for h in &hosts {
         sequence.push(Request::Forecast { host: h.clone() });
@@ -939,10 +1009,10 @@ fn run_serve(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
             );
             compared += 1;
         }
-        // Advance both grids one sensor tick between passes so the
-        // comparison also covers the invalidate-and-recompute path.
-        server.state().lock().expect("state").tick(1);
-        mem.state().lock().expect("state").tick(1);
+        // Advance both clocks one measurement period between passes so
+        // the comparison also covers the invalidate-and-recompute path.
+        assert_eq!(tcp_driver.advance(slot_seconds), 1);
+        assert_eq!(mem_driver.advance(slot_seconds), 1);
     }
     println!("  verified: {compared} responses byte-identical across TCP and in-memory");
 
@@ -995,7 +1065,7 @@ fn run_serve(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
             total_requests += lat.len();
             latencies_ms.extend(lat);
         }
-        server.state().lock().expect("state").tick(1);
+        tcp_driver.advance(slot_seconds);
     }
     let elapsed_s = load_t0.elapsed().as_secs_f64();
 

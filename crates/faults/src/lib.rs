@@ -264,6 +264,66 @@ impl HostFaults {
     }
 }
 
+/// The delivery-delay transform of the event pipeline: measurements a
+/// [`SlotFaults::delay_slots`] fault held back, redelivered when their
+/// due slot commits.
+///
+/// This is where delayed/out-of-order delivery lives as an event-stream
+/// transform rather than being hand-threaded through each layer: the
+/// commit stage `admit`s a delayed payload with its due slot and
+/// `release`s everything due at the top of each slot's commit. Payloads
+/// come back in admission order (FIFO among equally-due items), so
+/// redelivery order — and therefore which late measurements the memory
+/// still accepts — is a pure function of the fault stream.
+#[derive(Debug, Clone)]
+pub struct DelayLine<P> {
+    pending: Vec<(u64, P)>,
+}
+
+impl<P> Default for DelayLine<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> DelayLine<P> {
+    /// An empty delay line.
+    pub fn new() -> Self {
+        DelayLine {
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of payloads currently in flight.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Holds a payload back until slot `due` commits.
+    pub fn admit(&mut self, due: u64, payload: P) {
+        self.pending.push((due, payload));
+    }
+
+    /// Delivers every payload whose due slot is at or before `slot`, in
+    /// admission order, removing them from the line.
+    pub fn release(&mut self, slot: u64, mut deliver: impl FnMut(P)) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 > slot {
+                i += 1;
+                continue;
+            }
+            let (_, payload) = self.pending.remove(i);
+            deliver(payload);
+        }
+    }
+}
+
 /// Counters for everything the fault layer did and how the measurement
 /// path absorbed it. Additive: aggregate per-host stats with
 /// [`FaultStats::merge`].
@@ -447,5 +507,26 @@ mod tests {
     #[should_panic(expected = "fault intensity")]
     fn uniform_rejects_out_of_range() {
         let _ = FaultRates::uniform(1.0);
+    }
+
+    #[test]
+    fn delay_line_releases_due_payloads_in_admission_order() {
+        let mut line = DelayLine::new();
+        assert!(line.is_empty());
+        line.admit(3, "a");
+        line.admit(2, "b");
+        line.admit(3, "c");
+        line.admit(9, "d");
+        assert_eq!(line.len(), 4);
+        let mut out = Vec::new();
+        line.release(1, |p| out.push(p));
+        assert!(out.is_empty(), "nothing due yet");
+        line.release(3, |p| out.push(p));
+        // Everything due by slot 3, in the order it was admitted.
+        assert_eq!(out, vec!["a", "b", "c"]);
+        assert_eq!(line.len(), 1);
+        line.release(100, |p| out.push(p));
+        assert_eq!(out, vec!["a", "b", "c", "d"]);
+        assert!(line.is_empty());
     }
 }

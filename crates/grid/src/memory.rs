@@ -287,8 +287,19 @@ impl Memory {
     }
 
     /// The NWS `extract`: up to `n` most recent measurements, oldest
-    /// first. Allocates an owned copy; prefer [`Memory::tail`] /
-    /// [`Memory::values`] on hot paths.
+    /// first, as an owned `Vec<TimePoint>`.
+    ///
+    /// Deprecated in favor of the borrowed accessors — [`Memory::tail`],
+    /// [`Memory::values`], [`Memory::times`], [`Memory::with_series`] —
+    /// which read straight out of the columnar ring without allocating.
+    /// The owned form survives only as the CSV round-trip shape
+    /// ([`Memory::save`] / [`Memory::load_into`]) and for model tests
+    /// that diff against it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the borrowed accessors (tail/values/times/with_series); \
+                extract remains only for CSV round-trip shapes"
+    )]
     pub fn extract(&self, id: ResourceId, n: usize) -> Vec<TimePoint> {
         let (times, values) = self.tail(id, n);
         times
@@ -350,6 +361,10 @@ impl Memory {
 }
 
 #[cfg(test)]
+// The owned `extract` shape is deprecated in production code but stays
+// covered here: these tests are the CSV round-trip / reference-model
+// consumers it survives for.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

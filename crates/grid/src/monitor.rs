@@ -1,31 +1,42 @@
 //! `GridMonitor`: the whole weather service over a fleet of hosts.
 //!
-//! Beyond the fault-free lockstep loop, the monitor threads a
+//! The monitor is a client of the deterministic event engine
+//! ([`nws_runtime::Engine`]): each host is one engine shard — a
+//! [`Source`] producing one [`SlotRecord`] per measurement slot — and
+//! the [`Memory`] + [`ForecastService`] pair registers as the commit
+//! [`Stage`] absorbing those events slot-major in host-registration
+//! order. Timing comes from the shared [`Cadence`]; batching, ordering,
+//! and backpressure live in the engine, not here.
+//!
+//! Beyond the fault-free lockstep flow, the monitor threads a
 //! [`FaultPlan`] through the measurement path: hosts suffer sensor
 //! dropouts, failed probes (retried with backoff under a per-slot
-//! deadline), outages with reboots, and delayed deliveries — and every
-//! slot still resolves to either a stored reading or an explicit gap in
-//! the [`Memory`] and [`ForecastService`]. Because each host's fault
-//! stream is a pure function of the plan seed and the host name, and
-//! commits happen slot-major in registration order, runs are
-//! bit-identical at any `--threads` setting.
+//! deadline), outages with reboots, and delayed deliveries (a
+//! [`DelayLine`] event transform redelivers held-back measurements at
+//! commit time) — and every slot still resolves to either a stored
+//! reading or an explicit gap in the [`Memory`] and [`ForecastService`].
+//! Because each host's fault stream is a pure function of the plan seed
+//! and the host name, and the engine commits slot-major in registration
+//! order, runs are bit-identical at any `--threads` setting, any batch
+//! window, and under any engine clock.
 
 use crate::memory::{Memory, MemoryConfig, StoreOutcome};
 use crate::registry::{Metric, Registry, ResourceId};
 use crate::service::{ForecastAnswer, ForecastService};
-use nws_faults::{FaultPlan, FaultStats, HostFaults, SlotFaults};
-use nws_sensors::{
-    HybridSensor, LoadAvgSensor, ProbeOutcome, VmstatSensor, MEASUREMENT_PERIOD, PROBE_PERIOD,
-};
+use nws_faults::{DelayLine, FaultPlan, FaultStats, HostFaults, SlotFaults};
+use nws_runtime::{Cadence, Clock, Engine, EngineConfig, Source, Stage};
+use nws_sensors::{HybridSensor, LoadAvgSensor, ProbeOutcome, VmstatSensor};
 use nws_sim::{Host, HostProfile, Seconds};
 
 /// Grid monitor configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct GridMonitorConfig {
-    /// Measurement cadence (paper: 10 s).
-    pub measurement_period: Seconds,
-    /// Hybrid probe cadence (paper: 60 s).
-    pub probe_period: Seconds,
+    /// The measurement/probe schedule (paper: 10 s measurements, 60 s
+    /// probes) — the one shared [`Cadence`] the engine runs on.
+    pub cadence: Cadence,
+    /// Most slots the engine buffers per host before committing (the
+    /// bounded event-queue window; output-invariant).
+    pub batch_slots: usize,
     /// Memory retention per series.
     pub memory: MemoryConfig,
     /// Two-sided coverage of forecast intervals.
@@ -39,8 +50,8 @@ pub struct GridMonitorConfig {
 impl Default for GridMonitorConfig {
     fn default() -> Self {
         Self {
-            measurement_period: MEASUREMENT_PERIOD,
-            probe_period: PROBE_PERIOD,
+            cadence: Cadence::PAPER,
+            batch_slots: EngineConfig::default().batch_slots,
             memory: MemoryConfig::default(),
             interval_coverage: 0.9,
             staleness_bound: 120.0,
@@ -48,28 +59,45 @@ impl Default for GridMonitorConfig {
     }
 }
 
-/// A measurement held back by a delivery fault, due to arrive later.
+/// A measurement held back by a delivery fault: what arrives when the
+/// [`DelayLine`] redelivers it.
 #[derive(Debug, Clone, Copy)]
 struct PendingDelivery {
-    /// Slot at whose commit this measurement finally arrives.
-    due: u64,
     id: ResourceId,
     t: Seconds,
     value: f64,
 }
 
+/// One engine shard: a host, its sensors, and its fault stream.
 struct MonitoredHost {
     host: Host,
     load_sensor: LoadAvgSensor,
     vmstat_sensor: VmstatSensor,
     hybrid_sensor: HybridSensor,
     ids: [ResourceId; 4], // load, vmstat, hybrid, load1 (registry order)
+    /// The slot grid (copied from the monitor config; the source needs
+    /// it to place measurements in time).
+    cadence: Cadence,
     /// This host's deterministic fault stream.
     faults: HostFaults,
-    /// Measurements delayed in flight, drained at commit time.
-    pending: Vec<PendingDelivery>,
+    /// Measurements delayed in flight, redelivered at commit time.
+    pending: DelayLine<PendingDelivery>,
     /// What the fault layer did to this host and how it was absorbed.
     stats: FaultStats,
+}
+
+impl Source for MonitoredHost {
+    type Event = SlotRecord;
+
+    /// Sensing side of the engine contract: advances the host simulator
+    /// and takes all four readings. Reads only measurement state (host,
+    /// sensors, fault stream) — never the delivery state (`pending`,
+    /// `stats`) the commit stage mutates.
+    fn produce(&mut self, slot: u64) -> SlotRecord {
+        let probe_every = self.cadence.probe_every();
+        let period = self.cadence.measurement_period;
+        measure_host(self, slot, probe_every, period)
+    }
 }
 
 /// Everything one host produced for one slot: the measurement time, one
@@ -162,11 +190,24 @@ fn measure_host(
     }
 }
 
-/// Commits one host's slot to the memory and forecast service: drains
-/// late deliveries that are now due, then stores this slot's readings or
-/// records explicit gaps. Always called slot-major in host-registration
-/// order — from `step()` and `run_steps()` alike — so the shared state
-/// evolves identically at any thread count.
+/// The engine's commit stage: the memory and forecast service absorbing
+/// each host's slot events in canonical order.
+struct GridStage<'a> {
+    memory: &'a mut Memory,
+    service: &'a mut ForecastService,
+}
+
+impl Stage<MonitoredHost> for GridStage<'_> {
+    fn commit(&mut self, _shard: usize, mh: &mut MonitoredHost, slot: u64, rec: &SlotRecord) {
+        commit_slot(self.memory, self.service, mh, slot, rec);
+    }
+}
+
+/// Commits one host's slot to the memory and forecast service: releases
+/// delay-line deliveries that are now due, then stores this slot's
+/// readings or records explicit gaps. The engine calls this slot-major
+/// in host-registration order — from `step()` and `run_steps()` alike —
+/// so the shared state evolves identically at any thread count.
 fn commit_slot(
     memory: &mut Memory,
     service: &mut ForecastService,
@@ -177,21 +218,15 @@ fn commit_slot(
     mh.stats.slots += 1;
     // Late deliveries land before the current slot's readings; whether
     // the memory still accepts them depends on what arrived in between.
-    let mut i = 0;
-    while i < mh.pending.len() {
-        if mh.pending[i].due > slot {
-            i += 1;
-            continue;
-        }
-        let p = mh.pending.remove(i);
-        match memory.append(p.id, p.t, p.value) {
+    let stats = &mut mh.stats;
+    mh.pending
+        .release(slot, |p| match memory.append(p.id, p.t, p.value) {
             StoreOutcome::Stored => {
                 service.observe(p.id, p.t, p.value);
-                mh.stats.late_delivered += 1;
+                stats.late_delivered += 1;
             }
-            _ => mh.stats.late_dropped += 1,
-        }
-    }
+            _ => stats.late_dropped += 1,
+        });
     let f = &rec.faults;
     if f.reboot {
         mh.stats.reboots += 1;
@@ -216,19 +251,22 @@ fn commit_slot(
     }
     if f.delay_slots > 0 {
         // The readings exist but are in flight: the slot resolves to a
-        // gap *now*, and the values arrive at their due slot.
+        // gap *now*, and the delay line redelivers the values when their
+        // due slot commits.
         mh.stats.delayed += 1;
         for (id, v) in mh.ids.iter().zip(rec.values) {
             memory.record_gap(*id, rec.t);
             service.note_gap(*id, rec.t);
             mh.stats.gaps += 1;
             if let Some(value) = v {
-                mh.pending.push(PendingDelivery {
-                    due: slot + f.delay_slots,
-                    id: *id,
-                    t: rec.t,
-                    value,
-                });
+                mh.pending.admit(
+                    slot + f.delay_slots,
+                    PendingDelivery {
+                        id: *id,
+                        t: rec.t,
+                        value,
+                    },
+                );
             }
         }
         return;
@@ -320,10 +358,9 @@ pub struct GridMonitor {
     registry: Registry,
     memory: Memory,
     service: ForecastService,
-    hosts: Vec<MonitoredHost>,
+    /// The event engine owning the per-host shards and the slot clock.
+    engine: Engine<MonitoredHost>,
     plan: FaultPlan,
-    /// Measurement slots taken so far.
-    slots: u64,
 }
 
 impl GridMonitor {
@@ -342,8 +379,31 @@ impl GridMonitor {
         config: GridMonitorConfig,
         plan: FaultPlan,
     ) -> Self {
+        Self::build(profiles, base_seed, config, plan, None)
+    }
+
+    /// Creates a monitor paced by an explicit engine clock. The clock
+    /// changes pacing only: virtual-time, step-quantized, and wall
+    /// clocks all produce bit-identical measurements and forecasts.
+    pub fn with_clock(
+        profiles: &[HostProfile],
+        base_seed: u64,
+        config: GridMonitorConfig,
+        plan: FaultPlan,
+        clock: Box<dyn Clock>,
+    ) -> Self {
+        Self::build(profiles, base_seed, config, plan, Some(clock))
+    }
+
+    fn build(
+        profiles: &[HostProfile],
+        base_seed: u64,
+        config: GridMonitorConfig,
+        plan: FaultPlan,
+        clock: Option<Box<dyn Clock>>,
+    ) -> Self {
         let mut registry = Registry::new();
-        let hosts = profiles
+        let hosts: Vec<MonitoredHost> = profiles
             .iter()
             .map(|p| {
                 let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -365,20 +425,28 @@ impl GridMonitor {
                     vmstat_sensor: VmstatSensor::new(),
                     hybrid_sensor: HybridSensor::default(),
                     ids,
+                    cadence: config.cadence,
                     faults,
-                    pending: Vec::new(),
+                    pending: DelayLine::new(),
                     stats: FaultStats::default(),
                 }
             })
             .collect();
+        let engine_config = EngineConfig {
+            cadence: config.cadence,
+            batch_slots: config.batch_slots,
+        };
+        let engine = match clock {
+            None => Engine::new(hosts, engine_config),
+            Some(clock) => Engine::with_clock(hosts, engine_config, clock),
+        };
         Self {
             config,
             registry,
             memory: Memory::new(config.memory),
             service: ForecastService::new(config.interval_coverage),
-            hosts,
+            engine,
             plan,
-            slots: 0,
         }
     }
 
@@ -410,7 +478,7 @@ impl GridMonitor {
     /// Aggregate fault/survival statistics across the fleet.
     pub fn fault_stats(&self) -> FaultStats {
         let mut total = FaultStats::default();
-        for mh in &self.hosts {
+        for mh in self.engine.sources() {
             total.merge(&mh.stats);
         }
         total
@@ -418,13 +486,25 @@ impl GridMonitor {
 
     /// Measurement slots taken so far.
     pub fn slots(&self) -> u64 {
-        self.slots
+        self.engine.slot()
+    }
+
+    /// The shared tick schedule this monitor's engine runs on.
+    pub fn cadence(&self) -> Cadence {
+        self.config.cadence
+    }
+
+    /// Changes the engine's batch window (slots buffered per host before
+    /// the commit barrier). Output-invariant; exposed for benchmarks.
+    pub fn set_batch_slots(&mut self, batch_slots: usize) {
+        self.config.batch_slots = batch_slots;
+        self.engine.set_batch_slots(batch_slots);
     }
 
     /// Current simulation time in seconds (slots × measurement period);
     /// the "now" a serving layer judges staleness against.
     pub fn now(&self) -> Seconds {
-        self.slots as f64 * self.config.measurement_period
+        self.config.cadence.slot_time(self.slots())
     }
 
     /// Change counter over the whole monitor: any stored measurement or
@@ -433,83 +513,42 @@ impl GridMonitor {
     /// cache that captured this value can keep answering until it
     /// moves.
     pub fn revision(&self) -> u64 {
-        self.slots
+        self.slots()
             .wrapping_add(self.memory.global_revision())
             .wrapping_add(self.service.global_revision())
-    }
-
-    fn probe_every(&self) -> u64 {
-        (self.config.probe_period / self.config.measurement_period)
-            .round()
-            .max(1.0) as u64
     }
 
     /// Advances every host by one measurement period and publishes one
     /// measurement (or explicit gap) per registered series.
     pub fn step(&mut self) {
-        let probe_every = self.probe_every();
-        let period = self.config.measurement_period;
-        let slot = self.slots;
-        for mh in &mut self.hosts {
-            let rec = measure_host(mh, slot, probe_every, period);
-            commit_slot(&mut self.memory, &mut self.service, mh, slot, &rec);
-        }
-        self.slots += 1;
+        self.run_steps(1);
     }
 
-    /// Runs `n` measurement steps.
+    /// Runs `n` measurement slots through the event engine.
     ///
-    /// With more than one worker thread available, the fleet is advanced
-    /// host-by-host in parallel: each host simulates all `n` slots on its
-    /// own thread (host simulators, sensors, and fault streams share no
-    /// state), and the buffered slot records are then committed to the
+    /// The engine fans production out host-by-host across worker threads
+    /// in bounded batches (host simulators, sensors, and fault streams
+    /// share no state) and commits the buffered slot records to the
     /// memory and forecast service slot-major in host-registration order
-    /// — exactly the order a sequential [`GridMonitor::step`] loop uses,
-    /// so memory contents, gap records, and forecast state are
-    /// bit-identical at any thread count.
+    /// — the canonical event order — so memory contents, gap records,
+    /// and forecast state are bit-identical at any thread count and any
+    /// batch window.
     pub fn run_steps(&mut self, n: u64) {
-        if n == 0 {
-            return;
-        }
-        if nws_runtime::threads() <= 1 || self.hosts.len() <= 1 {
-            for _ in 0..n {
-                self.step();
-            }
-            return;
-        }
-        let probe_every = self.probe_every();
-        let period = self.config.measurement_period;
-        let start_slot = self.slots;
-        let hosts = std::mem::take(&mut self.hosts);
-        let mut advanced = nws_runtime::parallel_map(hosts, |mut mh| {
-            let mut batch = Vec::with_capacity(n as usize);
-            for i in 0..n {
-                batch.push(measure_host(&mut mh, start_slot + i, probe_every, period));
-            }
-            (mh, batch)
-        });
-        for i in 0..n as usize {
-            for (mh, batch) in advanced.iter_mut() {
-                commit_slot(
-                    &mut self.memory,
-                    &mut self.service,
-                    mh,
-                    start_slot + i as u64,
-                    &batch[i],
-                );
-            }
-        }
-        self.hosts = advanced.drain(..).map(|(mh, _)| mh).collect();
-        self.slots += n;
+        let mut stage = GridStage {
+            memory: &mut self.memory,
+            service: &mut self.service,
+        };
+        self.engine.run(n, &mut stage);
     }
 
     /// A snapshot of every host's latest hybrid measurement and forecast,
     /// with staleness judged against the snapshot time.
     pub fn snapshot(&self) -> GridSnapshot {
-        let time = self.slots as f64 * self.config.measurement_period;
+        let time = self.now();
         let bound = self.config.staleness_bound;
         let hosts = self
-            .hosts
+            .engine
+            .sources()
             .iter()
             .map(|mh| {
                 let hybrid_id = mh.ids[2];
@@ -530,8 +569,8 @@ impl GridMonitor {
 impl std::fmt::Debug for GridMonitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GridMonitor")
-            .field("hosts", &self.hosts.len())
-            .field("slots", &self.slots)
+            .field("hosts", &self.engine.sources().len())
+            .field("slots", &self.slots())
             .field("resources", &self.registry.len())
             .field("faults", &!self.plan.is_none())
             .finish()
@@ -623,7 +662,7 @@ mod tests {
                 }
             }
             let mut all = Vec::new();
-            for mh in &gm.hosts {
+            for mh in gm.engine.sources() {
                 for id in mh.ids {
                     let points: Vec<(f64, f64)> = gm.memory.with_series(id, |times, values| {
                         times.iter().copied().zip(values.iter().copied()).collect()
@@ -671,7 +710,7 @@ mod tests {
     fn none_plan_matches_fault_free_monitor_bit_for_bit() {
         let dump = |gm: &GridMonitor| {
             let mut all = Vec::new();
-            for mh in &gm.hosts {
+            for mh in gm.engine.sources() {
                 for id in mh.ids {
                     let pts: Vec<(f64, f64)> = gm.memory.with_series(id, |times, values| {
                         times.iter().copied().zip(values.iter().copied()).collect()
@@ -710,7 +749,7 @@ mod tests {
             gm.run_steps(90);
             nws_runtime::set_threads(None);
             let mut series = Vec::new();
-            for mh in &gm.hosts {
+            for mh in gm.engine.sources() {
                 for id in mh.ids {
                     let pts: Vec<(f64, f64)> = gm.memory.with_series(id, |times, values| {
                         times.iter().copied().zip(values.iter().copied()).collect()
@@ -749,7 +788,7 @@ mod tests {
         assert!(stats.reboots > 0, "outages at 0.4 intensity reboot");
         assert!(stats.probe_attempts_failed > 0);
         assert!(stats.delayed > 0);
-        for mh in &gm.hosts {
+        for mh in gm.engine.sources() {
             for id in mh.ids {
                 assert!(
                     gm.memory.len(id) + gm.memory.gap_count(id) > 0,

@@ -12,7 +12,8 @@ use crate::monitor::{GridMonitor, GridMonitorConfig};
 use crate::registry::{Metric, Registry, ResourceId};
 use crate::service::{ForecastAnswer, ForecastService};
 use nws_faults::FaultPlan;
-use nws_net::{LinkConfig, LinkMonitor, LinkMonitorConfig};
+use nws_net::{LinkConfig, LinkMonitor, LinkMonitorConfig, LinkSample};
+use nws_runtime::{Cadence, Engine, EngineConfig, Stage};
 use nws_sim::HostProfile;
 
 /// Configuration for the combined service.
@@ -39,15 +40,58 @@ impl Default for WeatherServiceConfig {
 /// CPU + network weather under one roof.
 pub struct WeatherService {
     cpu: GridMonitor,
-    net: LinkMonitor,
+    /// The network half as its own engine: the whole [`LinkMonitor`] is
+    /// one shard (its probe-drop RNG spans links), one slot = one probe
+    /// cycle on the link cadence.
+    net: Engine<LinkMonitor>,
     net_registry: Registry,
     net_memory: Memory,
     net_forecasts: ForecastService,
     /// `(bandwidth id, latency id, link name, capacity)` per link.
     link_ids: Vec<(ResourceId, ResourceId, String, f64)>,
-    /// Probe cycles completed on the network side.
-    net_cycles: u64,
     config: WeatherServiceConfig,
+}
+
+/// The commit side of the network engine: publishes each cycle's samples
+/// (or explicit gaps) into the shared memory and forecast service.
+struct NetStage<'a> {
+    memory: &'a mut Memory,
+    forecasts: &'a mut ForecastService,
+    link_ids: &'a [(ResourceId, ResourceId, String, f64)],
+    probe_period: f64,
+}
+
+impl Stage<LinkMonitor> for NetStage<'_> {
+    fn commit(
+        &mut self,
+        _shard: usize,
+        _source: &mut LinkMonitor,
+        slot: u64,
+        event: &Vec<Option<LinkSample>>,
+    ) {
+        // The cycle completes at the *end* of its probe period.
+        let now = (slot + 1) as f64 * self.probe_period;
+        for ((bw_id, lat_id, _, capacity), sample) in self.link_ids.iter().zip(event) {
+            match sample {
+                Some(s) => {
+                    self.memory.store(*bw_id, s.time, s.bandwidth);
+                    // Forecast the capacity-normalized series.
+                    self.forecasts
+                        .observe(*bw_id, s.time, s.bandwidth / capacity);
+                    self.memory.store(*lat_id, s.time, s.latency);
+                    self.forecasts.observe(*lat_id, s.time, s.latency);
+                }
+                None => {
+                    // A dropped probe cycle is an explicit gap on both
+                    // series at the cycle's nominal completion time.
+                    for id in [bw_id, lat_id] {
+                        self.memory.record_gap(*id, now);
+                        self.forecasts.note_gap(*id, now);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl WeatherService {
@@ -89,14 +133,26 @@ impl WeatherService {
         if !plan.is_none() {
             net.inject_faults(base_seed ^ 0x4E45_54FA, plan.rates().sensor_dropout);
         }
+        // The network engine ticks on the link probe cadence: one slot =
+        // one probe cycle.
+        let net_cadence = Cadence {
+            measurement_period: config.links.probe_period,
+            probe_period: config.links.probe_period,
+            ..Cadence::PAPER
+        };
         Self {
             cpu: GridMonitor::with_faults(profiles, base_seed, config.grid, plan),
-            net,
+            net: Engine::new(
+                vec![net],
+                EngineConfig {
+                    cadence: net_cadence,
+                    batch_slots: config.grid.batch_slots,
+                },
+            ),
             net_registry,
             net_memory: Memory::new(config.net_memory),
             net_forecasts: ForecastService::new(config.grid.interval_coverage),
             link_ids,
-            net_cycles: 0,
             config,
         }
     }
@@ -137,42 +193,19 @@ impl WeatherService {
 
     /// Advances both halves by `seconds` of simulated time: the CPU side on
     /// its 10-second measurement cadence, the network side on its probe
-    /// cadence, publishing everything into the memories and forecasters.
+    /// cadence, both driven through the event engine and published into
+    /// the memories and forecasters.
     pub fn advance(&mut self, seconds: f64) {
-        let cpu_steps = (seconds / self.config.grid.measurement_period).round() as u64;
+        let cpu_steps = (seconds / self.config.grid.cadence.measurement_period).round() as u64;
         self.cpu.run_steps(cpu_steps);
-        let net_probes = (seconds / self.config.links.probe_period).round() as usize;
-        for _ in 0..net_probes {
-            self.net.run_probes(1);
-            self.net_cycles += 1;
-            self.publish_net_cycle();
-        }
-    }
-
-    fn publish_net_cycle(&mut self) {
-        let now = self.net_cycles as f64 * self.config.links.probe_period;
-        for (bw_id, lat_id, name, capacity) in &self.link_ids {
-            let (bw, lat) = self.net.series(name).expect("registered link");
-            // A dropped probe cycle leaves the series' last point stale;
-            // the memory rejects the duplicate and the slot is recorded
-            // as an explicit gap instead.
-            match (bw.last(), lat.last()) {
-                (Some(p), Some(q)) if self.net_memory.store(*bw_id, p.time, p.value) => {
-                    // Forecast the capacity-normalized series.
-                    self.net_forecasts
-                        .observe(*bw_id, p.time, p.value / capacity);
-                    if self.net_memory.store(*lat_id, q.time, q.value) {
-                        self.net_forecasts.observe(*lat_id, q.time, q.value);
-                    }
-                }
-                _ => {
-                    for id in [bw_id, lat_id] {
-                        self.net_memory.record_gap(*id, now);
-                        self.net_forecasts.note_gap(*id, now);
-                    }
-                }
-            }
-        }
+        let net_probes = (seconds / self.config.links.probe_period).round() as u64;
+        let mut stage = NetStage {
+            memory: &mut self.net_memory,
+            forecasts: &mut self.net_forecasts,
+            link_ids: &self.link_ids,
+            probe_period: self.config.links.probe_period,
+        };
+        self.net.run(net_probes, &mut stage);
     }
 
     /// Change counter over both halves of the weather service: CPU

@@ -9,6 +9,10 @@
 //! the ring cursor, compaction, or eviction logic shows up as a concrete
 //! failing operation sequence.
 
+// `extract` is deprecated for production reads, but the model tests diff
+// its owned output against the reference model on purpose.
+#![allow(deprecated)]
+
 use nws_grid::{Memory, MemoryConfig, ResourceId};
 use proptest::collection::vec;
 use proptest::prelude::*;

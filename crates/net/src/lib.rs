@@ -24,7 +24,7 @@ pub mod monitor;
 pub mod sensors;
 
 pub use link::{Link, LinkConfig};
-pub use monitor::{LinkMonitor, LinkMonitorConfig, LinkReport};
+pub use monitor::{LinkMonitor, LinkMonitorConfig, LinkReport, LinkSample};
 pub use sensors::{BandwidthSensor, LatencySensor};
 
 /// Seconds (simulation time).

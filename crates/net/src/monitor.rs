@@ -4,6 +4,7 @@ use crate::link::{Link, LinkConfig};
 use crate::sensors::{BandwidthSensor, LatencySensor};
 use crate::Seconds;
 use nws_forecast::{evaluate_one_step, NwsForecaster};
+use nws_runtime::Source;
 use nws_stats::Rng;
 use nws_timeseries::Series;
 
@@ -36,6 +37,19 @@ pub struct MonitoredLink {
     /// Round-trip latency (seconds).
     pub latency: Series,
     forecaster: NwsForecaster,
+}
+
+/// What one probe cycle yielded on one link: the samples a consumer
+/// (memory, forecaster) should publish. `None` in a cycle's vector means
+/// that link's probe was lost this cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSample {
+    /// Link time when the probe completed.
+    pub time: Seconds,
+    /// Achieved probe throughput (bytes/s).
+    pub bandwidth: f64,
+    /// Round-trip latency (seconds).
+    pub latency: Seconds,
 }
 
 /// A summary row for one link after a monitoring run.
@@ -146,31 +160,49 @@ impl LinkMonitor {
     /// Runs `probes` probe cycles on every link.
     pub fn run_probes(&mut self, probes: usize) {
         for _ in 0..probes {
-            for ml in &mut self.links {
-                if let Some((rng, rate)) = &mut self.faults {
-                    if rng.chance(*rate) {
-                        // The probe never completes: no samples this
-                        // cycle, the forecaster ages out its windows, and
-                        // the link's clock (and traffic) move on.
-                        ml.forecaster.note_gap();
-                        ml.link.advance(self.config.probe_period);
-                        self.dropped += 1;
-                        continue;
-                    }
-                }
-                // Latency first (non-intrusive), then the transfer probe,
-                // then idle background until the next cycle.
-                let rtt = ml.latency_sensor.measure(&ml.link);
-                let bw = ml.bandwidth_sensor.measure(&mut ml.link);
-                let t = ml.link.now();
-                ml.latency.push(t, rtt).expect("time advances");
-                ml.bandwidth.push(t, bw).expect("time advances");
-                // Feed the forecaster the capacity-normalized series so
-                // its panel (tuned for [0,1] data) behaves.
-                ml.forecaster.update(bw / ml.link.config().capacity);
-                ml.link.advance(self.config.probe_period);
-            }
+            self.probe_cycle();
         }
+    }
+
+    /// Runs one probe cycle across every link, in registration order, and
+    /// returns what each link yielded (`None` = the probe was lost to an
+    /// injected drop). The fault RNG is shared across links and drawn in
+    /// link order, so one cycle is the atomic unit of determinism — this
+    /// is why the whole link set is a single engine shard rather than one
+    /// shard per link.
+    pub fn probe_cycle(&mut self) -> Vec<Option<LinkSample>> {
+        let mut samples = Vec::with_capacity(self.links.len());
+        for ml in &mut self.links {
+            if let Some((rng, rate)) = &mut self.faults {
+                if rng.chance(*rate) {
+                    // The probe never completes: no samples this
+                    // cycle, the forecaster ages out its windows, and
+                    // the link's clock (and traffic) move on.
+                    ml.forecaster.note_gap();
+                    ml.link.advance(self.config.probe_period);
+                    self.dropped += 1;
+                    samples.push(None);
+                    continue;
+                }
+            }
+            // Latency first (non-intrusive), then the transfer probe,
+            // then idle background until the next cycle.
+            let rtt = ml.latency_sensor.measure(&ml.link);
+            let bw = ml.bandwidth_sensor.measure(&mut ml.link);
+            let t = ml.link.now();
+            ml.latency.push(t, rtt).expect("time advances");
+            ml.bandwidth.push(t, bw).expect("time advances");
+            // Feed the forecaster the capacity-normalized series so
+            // its panel (tuned for [0,1] data) behaves.
+            ml.forecaster.update(bw / ml.link.config().capacity);
+            ml.link.advance(self.config.probe_period);
+            samples.push(Some(LinkSample {
+                time: t,
+                bandwidth: bw,
+                latency: rtt,
+            }));
+        }
+        samples
     }
 
     /// Access to a link's series by name.
@@ -216,6 +248,18 @@ impl LinkMonitor {
                 }
             })
             .collect()
+    }
+}
+
+/// The whole link set as ONE engine shard: the probe-drop RNG is shared
+/// across links and drawn in link order each cycle, so splitting links
+/// into separate shards would reorder its draws. One event = one probe
+/// cycle = one `Option<LinkSample>` per link, in registration order.
+impl Source for LinkMonitor {
+    type Event = Vec<Option<LinkSample>>;
+
+    fn produce(&mut self, _slot: u64) -> Self::Event {
+        self.probe_cycle()
     }
 }
 

@@ -1,0 +1,223 @@
+//! Swappable time sources for the event engine.
+//!
+//! The engine computes every slot's timestamp from the [`Cadence`] — the
+//! clock never feeds values into the measurement path, so two runs under
+//! different clocks produce bit-identical events. What a clock controls
+//! is *pacing*: how much wall time passes between slots.
+//!
+//! - [`VirtualClock`] jumps instantly — simulation, tests, benchmarks.
+//! - [`StepClock`] also never sleeps but moves in fixed quanta, modeling
+//!   a discrete scheduler tick; with a quantum dividing the measurement
+//!   period it lands on exactly the same slot times as the virtual
+//!   clock.
+//! - [`WallClock`] sleeps until each slot's real-time due point — live
+//!   serving, where sensor ticks must track actual elapsed time.
+//!
+//! [`Cadence`]: crate::engine::Cadence
+
+use std::time::Instant;
+
+/// A monotonic time source the engine advances slot by slot.
+///
+/// `advance_to` is called with each slot's nominal timestamp (simulated
+/// seconds); `now` reports the clock's current position. Implementations
+/// must be monotone: `advance_to` never moves time backwards.
+pub trait Clock: Send {
+    /// Current position in simulated seconds.
+    fn now(&self) -> f64;
+
+    /// Advances to (at least) `t` simulated seconds, sleeping if this
+    /// clock paces against wall time.
+    fn advance_to(&mut self, t: f64);
+}
+
+/// Virtual time: `advance_to` jumps instantly. The default for
+/// simulation, tests, and benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> f64 {
+        self.now
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+/// Quantized virtual time: advances in fixed `quantum`-second ticks to
+/// the first tick at or past the target, like a discrete scheduler.
+/// Never sleeps.
+#[derive(Debug, Clone, Copy)]
+pub struct StepClock {
+    now: f64,
+    quantum: f64,
+    ticks: u64,
+}
+
+impl StepClock {
+    /// A step clock starting at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `quantum` is positive and finite.
+    pub fn new(quantum: f64) -> Self {
+        assert!(
+            quantum.is_finite() && quantum > 0.0,
+            "step quantum must be positive and finite: {quantum}"
+        );
+        Self {
+            now: 0.0,
+            quantum,
+            ticks: 0,
+        }
+    }
+
+    /// Ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+impl Clock for StepClock {
+    fn now(&self) -> f64 {
+        self.now
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        while self.now < t {
+            self.ticks += 1;
+            self.now = self.ticks as f64 * self.quantum;
+        }
+    }
+}
+
+/// Wall-clock pacing: each simulated second maps to `1 / rate` real
+/// seconds from the clock's creation, and `advance_to` sleeps until the
+/// target's real due point. For live serving loops.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+    /// Simulated seconds per wall-clock second.
+    rate: f64,
+    now: f64,
+}
+
+impl WallClock {
+    /// A real-time clock: one simulated second per wall second.
+    pub fn new() -> Self {
+        Self::with_rate(1.0)
+    }
+
+    /// A scaled clock — `rate` simulated seconds per wall second (e.g.
+    /// 10.0 runs the 10 s cadence on 1 s wall ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is positive and finite.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "wall-clock rate must be positive and finite: {rate}"
+        );
+        Self {
+            origin: Instant::now(),
+            rate,
+            now: 0.0,
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.now
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        if t <= self.now {
+            return;
+        }
+        let due = std::time::Duration::from_secs_f64((t / self.rate).max(0.0));
+        let elapsed = self.origin.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_jumps_and_is_monotone() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance_to(30.0);
+        assert_eq!(c.now(), 30.0);
+        c.advance_to(10.0); // never backwards
+        assert_eq!(c.now(), 30.0);
+    }
+
+    #[test]
+    fn step_clock_lands_on_quantum_multiples() {
+        let mut c = StepClock::new(10.0);
+        c.advance_to(10.0);
+        assert_eq!(c.now(), 10.0);
+        assert_eq!(c.ticks(), 1);
+        c.advance_to(25.0); // rounds up to the next tick
+        assert_eq!(c.now(), 30.0);
+        assert_eq!(c.ticks(), 3);
+        c.advance_to(30.0); // already there
+        assert_eq!(c.ticks(), 3);
+    }
+
+    #[test]
+    fn step_clock_matches_virtual_on_the_slot_grid() {
+        let mut s = StepClock::new(10.0);
+        let mut v = VirtualClock::new();
+        for slot in 1..=50u64 {
+            let t = slot as f64 * 10.0;
+            s.advance_to(t);
+            v.advance_to(t);
+            assert_eq!(s.now().to_bits(), v.now().to_bits());
+        }
+    }
+
+    #[test]
+    fn wall_clock_sleeps_to_the_due_point() {
+        // 1000 simulated seconds per wall second: 50 sim-seconds is a
+        // 50 ms sleep — fast enough for a unit test, long enough to
+        // measure.
+        let mut c = WallClock::with_rate(1000.0);
+        let t0 = Instant::now();
+        c.advance_to(50.0);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(45));
+        assert_eq!(c.now(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn step_clock_rejects_bad_quantum() {
+        let _ = StepClock::new(0.0);
+    }
+}

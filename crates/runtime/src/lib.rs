@@ -17,6 +17,17 @@
 //!
 //! `threads = 1` is a guaranteed sequential fallback: the closure runs on
 //! the caller's thread and no worker threads are spawned at all.
+//!
+//! On top of the parallel map sits the [`engine`] module: the
+//! deterministic discrete-event engine the sensing → storage → forecast →
+//! serve pipeline runs on, with swappable [`clock`]s (virtual time for
+//! simulation and tests, wall time for live serving).
+
+pub mod clock;
+pub mod engine;
+
+pub use clock::{Clock, StepClock, VirtualClock, WallClock};
+pub use engine::{Cadence, Engine, EngineConfig, Source, Stage};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

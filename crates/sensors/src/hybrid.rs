@@ -72,7 +72,8 @@ impl Default for HybridConfig {
         Self {
             probe_duration: crate::PROBE_DURATION,
             apply_bias: true,
-            bias_gain: 0.3,
+            // Spread across the paper cadence's 5-probe bias window.
+            bias_gain: nws_runtime::Cadence::PAPER.bias_gain(),
             probe_max_wall: 8.0,
             probe_retries: 2,
             probe_backoff: 0.5,

@@ -30,6 +30,7 @@
 pub mod hybrid;
 pub mod loadavg_sensor;
 pub mod proc;
+pub mod source;
 pub mod test_process;
 pub mod vmstat_sensor;
 
@@ -79,18 +80,23 @@ impl AvailabilitySensor for HybridSensor {
 
 pub use hybrid::{HybridConfig, HybridSensor, Method, ProbeOutcome};
 pub use loadavg_sensor::{availability_from_load, LoadAvgSensor};
+pub use source::SensorSource;
 pub use test_process::TestProcess;
 pub use vmstat_sensor::{availability_from_vmstat, VmstatReading, VmstatSensor};
 
-/// Sensor cadence used throughout the paper: one measurement every 10 s.
-pub const MEASUREMENT_PERIOD: f64 = 10.0;
+use nws_runtime::Cadence;
 
-/// Hybrid probe cadence: once per minute.
-pub const PROBE_PERIOD: f64 = 60.0;
+/// Sensor cadence used throughout the paper: one measurement every 10 s.
+/// Derived from the shared [`Cadence::PAPER`] schedule the event engine
+/// runs on — kept as a named constant for call sites that predate it.
+pub const MEASUREMENT_PERIOD: f64 = Cadence::PAPER.measurement_period;
+
+/// Hybrid probe cadence: once per minute (from [`Cadence::PAPER`]).
+pub const PROBE_PERIOD: f64 = Cadence::PAPER.probe_period;
 
 /// Hybrid probe duration: 1.5 s ("the shortest probe duration that is
-/// useful"); overhead `1.5/60 = 2.5 %`.
-pub const PROBE_DURATION: f64 = 1.5;
+/// useful"); overhead `1.5/60 = 2.5 %` (from [`Cadence::PAPER`]).
+pub const PROBE_DURATION: f64 = Cadence::PAPER.probe_duration;
 
 /// Duration of the short test process (Tables 1–3).
 pub const TEST_DURATION_SHORT: f64 = 10.0;

@@ -22,12 +22,14 @@
 
 mod cache;
 mod client;
+mod driver;
 mod state;
 mod tcp;
 mod transport;
 
 pub use cache::QueryCache;
 pub use client::{ClientConfig, NwsClient};
+pub use driver::TickDriver;
 pub use state::GridState;
 pub use tcp::{NwsServer, ServerConfig};
 pub use transport::{InMemoryTransport, ServeError, Transport};

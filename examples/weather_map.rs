@@ -56,10 +56,10 @@ fn main() {
         .registry()
         .lookup("thing2", Metric::CpuAvailabilityHybrid)
         .expect("registered");
-    let recent = ws.cpu().memory().extract(id, 6);
+    let (times, values) = ws.cpu().memory().tail(id, 6);
     println!("\nlast minute of thing2 hybrid measurements:");
-    for p in recent {
-        println!("  t={:>7.0}s  {:>4.0}%", p.time, p.value * 100.0);
+    for (t, v) in times.iter().zip(values) {
+        println!("  t={t:>7.0}s  {:>4.0}%", v * 100.0);
     }
 
     // …and the network half reports the weather between sites.

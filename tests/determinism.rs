@@ -136,12 +136,9 @@ fn faulted_grid_replays_bit_identically_across_thread_counts() {
                 .registry()
                 .lookup(p.name(), Metric::CpuAvailabilityHybrid)
                 .expect("registered");
-            let pts: Vec<(f64, f64)> = gm
-                .memory()
-                .extract(id, usize::MAX)
-                .iter()
-                .map(|q| (q.time, q.value))
-                .collect();
+            let pts: Vec<(f64, f64)> = gm.memory().with_series(id, |times, values| {
+                times.iter().copied().zip(values.iter().copied()).collect()
+            });
             out.push((pts, gm.memory().gaps(id), gm.memory().dropped(id)));
         }
         (out, gm.fault_stats())
