@@ -23,10 +23,20 @@ use nws_timeseries::SlidingWindow;
 /// the system is degenerate (zero variance or a non-positive-definite
 /// covariance sequence, e.g. from numerically inconsistent inputs).
 pub fn levinson_durbin(autocov: &[f64], order: usize) -> Option<Vec<f64>> {
+    let mut a = vec![0.0f64; order];
+    let mut prev = vec![0.0f64; order];
+    levinson_durbin_into(autocov, order, &mut a, &mut prev).then_some(a)
+}
+
+/// The recursion itself, writing into caller-provided buffers so periodic
+/// refits allocate nothing. `a` and `prev` must both hold exactly `order`
+/// elements; `a` receives the coefficients on success and is unspecified on
+/// failure. Returns whether the fit succeeded.
+fn levinson_durbin_into(autocov: &[f64], order: usize, a: &mut [f64], prev: &mut [f64]) -> bool {
     if autocov.len() < order + 1 || autocov[0] <= 0.0 {
-        return None;
+        return false;
     }
-    let mut a = vec![0.0f64; order]; // current coefficients a_1..a_p
+    a.fill(0.0); // current coefficients a_1..a_p
     let mut e = autocov[0]; // prediction error variance
     for k in 0..order {
         let mut acc = autocov[k + 1];
@@ -34,22 +44,22 @@ pub fn levinson_durbin(autocov: &[f64], order: usize) -> Option<Vec<f64>> {
             acc -= a[j] * autocov[k - j];
         }
         if e <= 0.0 {
-            return None;
+            return false;
         }
         let reflection = acc / e;
         if !reflection.is_finite() || reflection.abs() > 1.0 + 1e-9 {
             // Non-stationary fit; bail out rather than predict explosively.
-            return None;
+            return false;
         }
         // Update coefficients (Levinson step).
-        let prev = a.clone();
+        prev.copy_from_slice(a);
         a[k] = reflection;
         for j in 0..k {
             a[j] = prev[j] - reflection * prev[k - 1 - j];
         }
         e *= 1.0 - reflection * reflection;
     }
-    Some(a)
+    true
 }
 
 /// A sliding-window AR(p) one-step predictor.
@@ -63,6 +73,11 @@ pub struct ArPredictor {
     coefficients: Vec<f64>,
     /// Window mean at fit time.
     mean: f64,
+    /// Refit scratch, preallocated so periodic fits are allocation-free:
+    /// autocovariances up to lag `order`, and the two Levinson buffers.
+    autocov: Vec<f64>,
+    lev_a: Vec<f64>,
+    lev_prev: Vec<f64>,
 }
 
 impl ArPredictor {
@@ -85,8 +100,11 @@ impl ArPredictor {
             window: SlidingWindow::new(window_len),
             refit_every,
             since_refit: 0,
-            coefficients: Vec::new(),
+            coefficients: Vec::with_capacity(order),
             mean: 0.0,
+            autocov: vec![0.0; order + 1],
+            lev_a: vec![0.0; order],
+            lev_prev: vec![0.0; order],
         }
     }
 
@@ -96,23 +114,30 @@ impl ArPredictor {
     }
 
     fn refit(&mut self) {
-        let values = self.window.to_vec();
-        let n = values.len();
+        let n = self.window.len();
         if n < 4 * self.order {
             return;
         }
-        let mean = values.iter().sum::<f64>() / n as f64;
-        // Biased autocovariances up to lag `order`.
-        let mut autocov = Vec::with_capacity(self.order + 1);
+        let mean = self.window.iter().sum::<f64>() / n as f64;
+        // Biased autocovariances up to lag `order`, straight off the ring
+        // buffer — no window copy.
         for k in 0..=self.order {
             let mut acc = 0.0;
             for t in 0..n - k {
-                acc += (values[t] - mean) * (values[t + k] - mean);
+                let xt = self.window.get(t).expect("t in range");
+                let xtk = self.window.get(t + k).expect("t + k in range");
+                acc += (xt - mean) * (xtk - mean);
             }
-            autocov.push(acc / n as f64);
+            self.autocov[k] = acc / n as f64;
         }
-        if let Some(coeffs) = levinson_durbin(&autocov, self.order) {
-            self.coefficients = coeffs;
+        if levinson_durbin_into(
+            &self.autocov,
+            self.order,
+            &mut self.lev_a,
+            &mut self.lev_prev,
+        ) {
+            self.coefficients.clear();
+            self.coefficients.extend_from_slice(&self.lev_a);
             self.mean = mean;
         }
         // On a degenerate fit the previous model (or none) is kept.
@@ -138,14 +163,14 @@ impl Forecaster for ArPredictor {
             // Fall back to the window mean until a model exists.
             return self.window.mean();
         }
-        let recent: Vec<f64> = self.window.to_vec();
-        let n = recent.len();
+        let n = self.window.len();
         if n < self.order {
             return self.window.mean();
         }
         let mut pred = self.mean;
         for (i, &a) in self.coefficients.iter().enumerate() {
-            pred += a * (recent[n - 1 - i] - self.mean);
+            let lag = self.window.get(n - 1 - i).expect("lag in range");
+            pred += a * (lag - self.mean);
         }
         Some(pred)
     }

@@ -217,9 +217,16 @@ impl Forecaster for SlidingMedian {
 
 /// Predicts the α-trimmed mean of the last `k` measurements (a compromise
 /// between the mean's efficiency and the median's robustness).
+///
+/// Like [`SlidingMedian`] it mirrors the window into a sorted `Vec`
+/// maintained by binary-search insert and evict, so a prediction is an
+/// O(k) sum over the kept middle slice instead of an O(k log k)
+/// copy-and-sort per call — and allocates nothing once warm.
 #[derive(Debug, Clone)]
 pub struct TrimmedMean {
     window: SlidingWindow,
+    /// The window's values in ascending order.
+    sorted: Vec<f64>,
     k: usize,
     alpha: f64,
 }
@@ -234,6 +241,7 @@ impl TrimmedMean {
         assert!((0.0..0.5).contains(&alpha), "alpha must be in [0, 0.5)");
         Self {
             window: SlidingWindow::new(k),
+            sorted: Vec::with_capacity(k),
             k,
             alpha,
         }
@@ -246,19 +254,43 @@ impl Forecaster for TrimmedMean {
     }
 
     fn observe(&mut self, value: f64) {
-        self.window.push(value);
+        debug_assert!(value.is_finite(), "trimmed window values must be finite");
+        if let Some(evicted) = self.window.push(value) {
+            let at = self.sorted.partition_point(|&x| x < evicted);
+            debug_assert!(self.sorted[at] == evicted, "evicted value not found");
+            self.sorted.remove(at);
+        }
+        let at = self.sorted.partition_point(|&x| x < value);
+        self.sorted.insert(at, value);
     }
 
     fn predict(&self) -> Option<f64> {
-        self.window.trimmed_mean(self.alpha)
+        let n = self.sorted.len();
+        if n == 0 {
+            return None;
+        }
+        let k = (self.alpha * n as f64).floor() as usize;
+        let kept = &self.sorted[k..n - k];
+        if kept.is_empty() {
+            // Everything trimmed away: fall back to the median, exactly as
+            // `SlidingWindow::trimmed_mean` does.
+            return Some(if n % 2 == 1 {
+                self.sorted[n / 2]
+            } else {
+                (self.sorted[n / 2 - 1] + self.sorted[n / 2]) / 2.0
+            });
+        }
+        Some(kept.iter().sum::<f64>() / kept.len() as f64)
     }
 
     fn reset(&mut self) {
         self.window.clear();
+        self.sorted.clear();
     }
 
     fn note_gap(&mut self) {
         self.window.clear();
+        self.sorted.clear();
     }
 }
 

@@ -6,6 +6,7 @@ use crate::methods::{
     ExpSmoothing, Forecaster, LastValue, RunningMean, SlidingMean, SlidingMedian, TrimmedMean,
 };
 use crate::tracker::ErrorTracker;
+use std::sync::Arc;
 
 /// Which error statistic drives predictor selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -21,6 +22,9 @@ pub enum Selection {
 }
 
 /// One issued forecast.
+///
+/// The method name is a shared, immutable string cached per panel member
+/// at construction, so issuing a forecast never formats or allocates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Forecast {
     /// The predicted next value.
@@ -28,7 +32,7 @@ pub struct Forecast {
     /// Panel index of the predictor that issued it.
     pub method_index: usize,
     /// Name of that predictor.
-    pub method: String,
+    pub method: Arc<str>,
 }
 
 /// The NWS forecasting engine.
@@ -54,6 +58,9 @@ pub struct Forecast {
 pub struct NwsForecaster {
     panel: Vec<Box<dyn Forecaster>>,
     trackers: Vec<ErrorTracker>,
+    /// Panel member names, cached once so the per-measurement paths never
+    /// re-run the `format!`-based [`Forecaster::name`].
+    names: Vec<Arc<str>>,
     selection: Selection,
     observations: u64,
     selected: usize,
@@ -78,9 +85,11 @@ impl NwsForecaster {
             .iter()
             .map(|_| ErrorTracker::new(recent_window))
             .collect();
+        let names = panel.iter().map(|f| Arc::from(f.name())).collect();
         Self {
             panel,
             trackers,
+            names,
             selection,
             observations: 0,
             selected: 0,
@@ -201,8 +210,15 @@ impl NwsForecaster {
         self.panel[i].predict().map(|value| Forecast {
             value,
             method_index: i,
-            method: self.panel[i].name(),
+            method: Arc::clone(&self.names[i]),
         })
+    }
+
+    /// The selected predictor's point forecast alone — the allocation-free
+    /// path for callers that score or track the value and do not need the
+    /// method attribution a full [`Forecast`] carries.
+    pub fn predicted_value(&self) -> Option<f64> {
+        self.panel[self.selected].predict()
     }
 
     /// Notes a gap in the measurement stream (a slot with no reading).

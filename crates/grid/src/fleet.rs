@@ -1,0 +1,431 @@
+//! Fleet-scale monitoring: racks of synthetic hosts rolled up into a
+//! regional view.
+//!
+//! The six-host [`GridMonitor`](crate::GridMonitor) runs full kernel
+//! simulations — the fidelity the paper's tables need, at ~100 scheduler
+//! ticks per measurement slot per host. This module is the scale
+//! counterpart: a [`FleetMonitor`] drives 10⁴–10⁵ *synthetic* hosts
+//! ([`SyntheticHost`]) through the same deterministic event engine, the
+//! same sharded columnar [`Memory`], and a hierarchical aggregation
+//! layer, so engine throughput and fleet-wide queries can be measured at
+//! sizes the kernel simulation cannot reach.
+//!
+//! # Hierarchical aggregation
+//!
+//! Hosts are grouped into racks of [`FleetConfig::rack_size`]; each rack
+//! monitor maintains a max-tournament over its hosts' availability
+//! forecasts, and a regional monitor maintains a tournament over the
+//! rack winners. A host update replays one path in its rack's tree plus
+//! one path in the regional tree — O(log n) total — and the fleet-wide
+//! [`FleetMonitor::best_host`] answer is a root read, O(1). This mirrors
+//! the NWS's hierarchy of per-LAN name servers reporting into wider
+//! aggregates rather than one flat registry.
+//!
+//! # Determinism
+//!
+//! Each host's trajectory is a pure function of `(index, seed)`, events
+//! commit slot-major in shard order through the engine, and the
+//! tournament replays are input-deterministic — so a fleet run is
+//! bit-identical at any thread count and any batch size, which
+//! [`FleetMonitor::fingerprint`] pins cheaply.
+
+use crate::memory::{Memory, MemoryConfig};
+use crate::registry::ResourceId;
+use nws_runtime::{Cadence, Engine, EngineConfig, Source, Stage};
+use nws_sim::SyntheticHost;
+
+/// Fleet sizing and tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Hosts in the fleet.
+    pub hosts: usize,
+    /// Hosts per rack (the unit of the first aggregation level).
+    pub rack_size: usize,
+    /// Measurements retained per host series. Fleet memory is sized for
+    /// recent-window forecasting, not day-long archives, so the default
+    /// is far below the single-host default of 8 640.
+    pub retain: usize,
+    /// Base seed for the synthetic roster.
+    pub seed: u64,
+    /// Engine batch window (slots produced per commit barrier).
+    pub batch_slots: usize,
+    /// EWMA gain of the per-host availability forecaster.
+    pub ewma_gain: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 1024,
+            rack_size: 64,
+            retain: 64,
+            seed: 4242,
+            batch_slots: 64,
+            ewma_gain: 0.25,
+        }
+    }
+}
+
+/// A max-tournament over a fixed leaf set: `update` replays the path
+/// from one leaf to the root (O(log n)); `best` reads the root (O(1)).
+/// Ties break toward the lower leaf index, keeping the winner — and
+/// every artifact derived from it — independent of update order.
+#[derive(Debug)]
+struct Tournament {
+    /// Number of live leaves.
+    leaves: usize,
+    /// Leaf capacity rounded up to a power of two.
+    cap: usize,
+    /// Leaf keys; dead leaves hold −∞ and never win.
+    keys: Vec<f64>,
+    /// Winning leaf index per internal node; `tree[1]` is the champion.
+    tree: Vec<u32>,
+}
+
+impl Tournament {
+    fn new(leaves: usize) -> Self {
+        assert!(leaves > 0, "tournament needs at least one leaf");
+        let cap = leaves.next_power_of_two();
+        Self {
+            leaves,
+            cap,
+            keys: vec![f64::NEG_INFINITY; leaves],
+            tree: vec![u32::MAX; cap],
+        }
+    }
+
+    /// The winning leaf below `node`, or `None` for dead subtrees.
+    fn winner(&self, node: usize) -> Option<u32> {
+        if node >= self.cap {
+            let leaf = node - self.cap;
+            (leaf < self.leaves && self.keys[leaf] > f64::NEG_INFINITY).then_some(leaf as u32)
+        } else {
+            let w = self.tree[node];
+            (w != u32::MAX).then_some(w)
+        }
+    }
+
+    /// Sets leaf `leaf`'s key and replays its path to the root.
+    fn update(&mut self, leaf: usize, key: f64) {
+        self.keys[leaf] = key;
+        let mut node = (self.cap + leaf) / 2;
+        while node >= 1 {
+            let left = self.winner(2 * node);
+            let right = self.winner(2 * node + 1);
+            self.tree[node] = match (left, right) {
+                (Some(l), Some(r)) => {
+                    // Strict > keeps the tie-break on the lower index
+                    // (left subtree holds the lower leaves).
+                    if self.keys[r as usize] > self.keys[l as usize] {
+                        r
+                    } else {
+                        l
+                    }
+                }
+                (Some(l), None) => l,
+                (None, Some(r)) => r,
+                (None, None) => u32::MAX,
+            };
+            node /= 2;
+        }
+    }
+
+    /// The champion leaf and its key (the root read; for a single-leaf
+    /// tournament node 1 *is* that leaf).
+    fn best(&self) -> Option<(usize, f64)> {
+        let w = self.winner(1)?;
+        Some((w as usize, self.keys[w as usize]))
+    }
+}
+
+/// One fleet shard: a synthetic host behind the engine's
+/// [`Source`] contract.
+#[derive(Debug)]
+struct FleetShard {
+    host: SyntheticHost,
+}
+
+impl Source for FleetShard {
+    type Event = f64;
+
+    fn produce(&mut self, _slot: u64) -> f64 {
+        self.host.step()
+    }
+}
+
+/// The commit side: sharded memory ingest, per-host EWMA forecasts, and
+/// the two-level tournament roll-up.
+struct FleetStage<'a> {
+    memory: &'a mut Memory,
+    forecasts: &'a mut [f64],
+    racks: &'a mut [Tournament],
+    region: &'a mut Tournament,
+    cadence: Cadence,
+    rack_size: usize,
+    ewma_gain: f64,
+    events: &'a mut u64,
+}
+
+impl Stage<FleetShard> for FleetStage<'_> {
+    fn commit(&mut self, shard: usize, _source: &mut FleetShard, slot: u64, event: &f64) {
+        let availability = *event;
+        self.memory.append(
+            ResourceId(shard as u64),
+            self.cadence.slot_time(slot),
+            availability,
+        );
+        let forecast = &mut self.forecasts[shard];
+        *forecast = if slot == 0 {
+            availability
+        } else {
+            *forecast + self.ewma_gain * (availability - *forecast)
+        };
+        let rack = shard / self.rack_size;
+        self.racks[rack].update(shard % self.rack_size, *forecast);
+        if let Some((_, rack_best)) = self.racks[rack].best() {
+            self.region.update(rack, rack_best);
+        }
+        *self.events += 1;
+    }
+}
+
+/// The fleet: an engine over synthetic shards plus the rolled-up state
+/// the commit stage maintains.
+pub struct FleetMonitor {
+    config: FleetConfig,
+    engine: Engine<FleetShard>,
+    memory: Memory,
+    /// Per-host EWMA availability forecast.
+    forecasts: Vec<f64>,
+    /// First aggregation level: one tournament per rack.
+    racks: Vec<Tournament>,
+    /// Second level: tournament over rack winners.
+    region: Tournament,
+    events: u64,
+}
+
+impl FleetMonitor {
+    /// Builds the fleet from its config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` or `rack_size` is zero.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.hosts > 0, "fleet needs at least one host");
+        assert!(config.rack_size > 0, "racks must hold at least one host");
+        let shards: Vec<FleetShard> = (0..config.hosts as u64)
+            .map(|i| FleetShard {
+                host: SyntheticHost::new(i, config.seed),
+            })
+            .collect();
+        let engine = Engine::new(
+            shards,
+            EngineConfig {
+                cadence: Cadence::PAPER,
+                batch_slots: config.batch_slots,
+            },
+        );
+        let rack_count = config.hosts.div_ceil(config.rack_size);
+        let racks = (0..rack_count)
+            .map(|r| {
+                let in_rack = config.rack_size.min(config.hosts - r * config.rack_size);
+                Tournament::new(in_rack)
+            })
+            .collect();
+        Self {
+            config,
+            engine,
+            memory: Memory::new(MemoryConfig {
+                retain: config.retain,
+            }),
+            forecasts: vec![0.0; config.hosts],
+            racks,
+            region: Tournament::new(rack_count),
+            events: 0,
+        }
+    }
+
+    /// Runs `slots` measurement slots through the engine.
+    pub fn run_steps(&mut self, slots: u64) {
+        let mut stage = FleetStage {
+            memory: &mut self.memory,
+            forecasts: &mut self.forecasts,
+            racks: &mut self.racks,
+            region: &mut self.region,
+            cadence: *self.engine.cadence(),
+            rack_size: self.config.rack_size,
+            ewma_gain: self.config.ewma_gain,
+            events: &mut self.events,
+        };
+        self.engine.run(slots, &mut stage);
+    }
+
+    /// The fleet-wide best host `(index, forecast availability)` —
+    /// the regional tournament root, maintained in O(log n) per update
+    /// and read in O(1).
+    pub fn best_host(&self) -> Option<(usize, f64)> {
+        let (rack, _) = self.region.best()?;
+        let (leaf, key) = self.racks[rack].best()?;
+        Some((rack * self.config.rack_size + leaf, key))
+    }
+
+    /// The best host within one rack.
+    pub fn rack_best(&self, rack: usize) -> Option<(usize, f64)> {
+        let (leaf, key) = self.racks.get(rack)?.best()?;
+        Some((rack * self.config.rack_size + leaf, key))
+    }
+
+    /// Host count.
+    pub fn hosts(&self) -> usize {
+        self.config.hosts
+    }
+
+    /// Rack count.
+    pub fn rack_count(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Events committed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Slots completed so far.
+    pub fn slots(&self) -> u64 {
+        self.engine.slot()
+    }
+
+    /// The current EWMA forecast for one host.
+    pub fn forecast(&self, host: usize) -> f64 {
+        self.forecasts[host]
+    }
+
+    /// The measurement store.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// FNV-1a over every forecast's bits, the event count, and the best
+    /// host — a cheap bit-identity pin for cross-thread/batch checks.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for f in &self.forecasts {
+            mix(f.to_bits());
+        }
+        mix(self.events);
+        if let Some((host, key)) = self.best_host() {
+            mix(host as u64);
+            mix(key.to_bits());
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for FleetMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetMonitor")
+            .field("hosts", &self.config.hosts)
+            .field("racks", &self.racks.len())
+            .field("slots", &self.engine.slot())
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tournament_tracks_max_with_low_index_ties() {
+        let mut t = Tournament::new(5);
+        for (i, k) in [0.2, 0.9, 0.5, 0.9, 0.1].iter().enumerate() {
+            t.update(i, *k);
+        }
+        assert_eq!(t.best(), Some((1, 0.9)), "tie breaks to the lower index");
+        t.update(1, 0.05);
+        assert_eq!(t.best(), Some((3, 0.9)));
+        t.update(4, 0.95);
+        assert_eq!(t.best(), Some((4, 0.95)));
+    }
+
+    #[test]
+    fn tournament_matches_linear_scan_under_churn() {
+        let mut t = Tournament::new(37);
+        let mut keys = vec![f64::NEG_INFINITY; 37];
+        let mut rng: u64 = 99;
+        for step in 0..2000 {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            let leaf = (rng % 37) as usize;
+            let key = ((rng >> 16) % 1000) as f64 / 1000.0;
+            t.update(leaf, key);
+            keys[leaf] = key;
+            let want = keys
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| **k > f64::NEG_INFINITY)
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+                .map(|(i, k)| (i, *k));
+            assert_eq!(t.best(), want, "step {step}");
+        }
+    }
+
+    #[test]
+    fn fleet_runs_and_serves_best_host() {
+        let mut fleet = FleetMonitor::new(FleetConfig {
+            hosts: 130,
+            rack_size: 32,
+            ..FleetConfig::default()
+        });
+        assert_eq!(fleet.rack_count(), 5, "129/32 racks plus the remainder");
+        fleet.run_steps(50);
+        assert_eq!(fleet.events(), 130 * 50);
+        assert_eq!(fleet.slots(), 50);
+        let (best, key) = fleet.best_host().expect("fleet has hosts");
+        assert!(best < 130);
+        assert!((0.0..=1.0).contains(&key));
+        // The root really is the global argmax of the forecasts.
+        let scan = (0..130)
+            .map(|h| (h, fleet.forecast(h)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+            .unwrap();
+        assert_eq!((best, key), scan);
+        // Memory holds every host's series under its dense id.
+        assert_eq!(fleet.memory().len(ResourceId(0)), 50);
+        assert_eq!(fleet.memory().len(ResourceId(129)), 50);
+    }
+
+    #[test]
+    fn fleet_is_bit_identical_across_threads_and_batches() {
+        let run = |threads: usize, batch: usize| {
+            nws_runtime::set_threads(Some(threads));
+            let mut fleet = FleetMonitor::new(FleetConfig {
+                hosts: 96,
+                rack_size: 16,
+                batch_slots: batch,
+                ..FleetConfig::default()
+            });
+            fleet.run_steps(75);
+            nws_runtime::set_threads(None);
+            fleet.fingerprint()
+        };
+        let reference = run(1, 64);
+        for threads in [1, 4] {
+            for batch in [1, 16, 64] {
+                assert_eq!(
+                    run(threads, batch),
+                    reference,
+                    "threads={threads} batch={batch}"
+                );
+            }
+        }
+    }
+}

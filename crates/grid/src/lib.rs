@@ -29,12 +29,14 @@
 //!
 //! [`NwsForecaster`]: nws_forecast::NwsForecaster
 
+pub mod fleet;
 pub mod memory;
 pub mod monitor;
 pub mod registry;
 pub mod service;
 pub mod weather;
 
+pub use fleet::{FleetConfig, FleetMonitor};
 pub use memory::{Memory, MemoryConfig};
 pub use monitor::{GridMonitor, GridMonitorConfig, GridSnapshot, HostReport};
 pub use registry::{Metric, Registry, ResourceId, ResourceInfo};

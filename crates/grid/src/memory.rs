@@ -6,7 +6,7 @@
 //! disk persistence is out of scope (the forecasting behaviour depends only
 //! on the retained window).
 //!
-//! # Columnar layout
+//! # Columnar layout, sharded segments
 //!
 //! Each series is stored structure-of-arrays: one contiguous `times`
 //! column and one contiguous `values` column, plus a `start` cursor
@@ -17,13 +17,21 @@
 //! retention bound). Because the live window is always one contiguous
 //! slice per column, analytics and wire encoding borrow measurements
 //! directly — [`Memory::values`], [`Memory::tail`], [`Memory::with_series`]
-//! — instead of cloning them out; [`Memory::extract`] remains as the
-//! allocating compatibility shim.
+//! — instead of cloning them out.
+//!
+//! Segments are addressed by [`ResourceId`] *directly*: the registry
+//! hands out dense sequential ids and registers each host's series
+//! adjacently, so the segment table is a flat vector in which every
+//! shard (host) owns a small contiguous block of column segments.
+//! Ingest is therefore an O(1) index, not a tree walk — at fleet scale
+//! (10⁵ hosts × 4 series) the per-append id lookup is what dominates
+//! the commit stage, and the commit loop's slot-major order makes the
+//! per-segment revision bumps merge into `global_revision` in canonical
+//! order regardless of how production was parallelized.
 
 use crate::registry::ResourceId;
 use nws_timeseries::csv::{read_series, write_series, CsvError};
 use nws_timeseries::{Seconds, Series, TimePoint};
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::path::Path;
 
@@ -126,11 +134,15 @@ struct SeriesMeta {
 }
 
 /// The measurement store.
+///
+/// Column segments and their metadata live in flat vectors indexed by
+/// the raw [`ResourceId`]; the registry's dense id allocation keeps the
+/// tables compact and each shard's segments contiguous.
 #[derive(Debug)]
 pub struct Memory {
     config: MemoryConfig,
-    store: BTreeMap<ResourceId, ColumnSeries>,
-    meta: BTreeMap<ResourceId, SeriesMeta>,
+    store: Vec<ColumnSeries>,
+    meta: Vec<SeriesMeta>,
     /// Bumped whenever any series changes; lets whole-memory views
     /// (snapshots) validate a cached answer with one comparison.
     global_revision: u64,
@@ -146,10 +158,32 @@ impl Memory {
         assert!(config.retain > 0, "memory must retain at least one point");
         Self {
             config,
-            store: BTreeMap::new(),
-            meta: BTreeMap::new(),
+            store: Vec::new(),
+            meta: Vec::new(),
             global_revision: 0,
         }
+    }
+
+    /// The column segment for a series, if it has ever been touched.
+    fn seg(&self, id: ResourceId) -> Option<&ColumnSeries> {
+        self.store.get(id.0 as usize)
+    }
+
+    /// Per-series metadata, if the series has ever been touched.
+    fn meta_of(&self, id: ResourceId) -> Option<&SeriesMeta> {
+        self.meta.get(id.0 as usize)
+    }
+
+    /// Grows the segment tables to cover `id` and returns its index.
+    /// Ids are registry-dense, so growth is bounded by the number of
+    /// registered series.
+    fn ensure(&mut self, id: ResourceId) -> usize {
+        let idx = id.0 as usize;
+        if idx >= self.store.len() {
+            self.store.resize_with(idx + 1, ColumnSeries::default);
+            self.meta.resize_with(idx + 1, SeriesMeta::default);
+        }
+        idx
     }
 
     /// Stores one measurement. Timestamps within a series must be strictly
@@ -169,15 +203,16 @@ impl Memory {
         if !value.is_finite() || !time.is_finite() {
             return StoreOutcome::RejectedNonFinite;
         }
-        let buf = self.store.entry(id).or_default();
+        let idx = self.ensure(id);
+        let buf = &mut self.store[idx];
         if let Some(last) = buf.last_time() {
             if time <= last {
-                self.meta.entry(id).or_default().dropped += 1;
+                self.meta[idx].dropped += 1;
                 return StoreOutcome::RejectedOutOfOrder;
             }
         }
         buf.push(time, value, self.config.retain);
-        self.meta.entry(id).or_default().revision += 1;
+        self.meta[idx].revision += 1;
         self.global_revision += 1;
         StoreOutcome::Stored
     }
@@ -186,7 +221,8 @@ impl Memory {
     /// series — an explicit gap, distinct from "nothing happened". Gap
     /// timestamps are retained under the same bound as measurements.
     pub fn record_gap(&mut self, id: ResourceId, time: Seconds) {
-        let meta = self.meta.entry(id).or_default();
+        let idx = self.ensure(id);
+        let meta = &mut self.meta[idx];
         if meta.gaps.len() == self.config.retain {
             meta.gaps.pop_front();
         }
@@ -199,7 +235,7 @@ impl Memory {
     /// it. Equal revisions guarantee an identical extract, so a serving
     /// cache can answer without touching the ring.
     pub fn revision(&self, id: ResourceId) -> u64 {
-        self.meta.get(&id).map_or(0, |m| m.revision)
+        self.meta_of(id).map_or(0, |m| m.revision)
     }
 
     /// Change counter over the whole memory (any series).
@@ -209,29 +245,28 @@ impl Memory {
 
     /// Number of out-of-order deliveries dropped from a series.
     pub fn dropped(&self, id: ResourceId) -> u64 {
-        self.meta.get(&id).map_or(0, |m| m.dropped)
+        self.meta_of(id).map_or(0, |m| m.dropped)
     }
 
     /// Total out-of-order drops across all series.
     pub fn total_dropped(&self) -> u64 {
-        self.meta.values().map(|m| m.dropped).sum()
+        self.meta.iter().map(|m| m.dropped).sum()
     }
 
     /// Number of recorded gaps for a series (bounded by retention).
     pub fn gap_count(&self, id: ResourceId) -> usize {
-        self.meta.get(&id).map_or(0, |m| m.gaps.len())
+        self.meta_of(id).map_or(0, |m| m.gaps.len())
     }
 
     /// The recorded gap timestamps for a series, oldest first.
     pub fn gaps(&self, id: ResourceId) -> Vec<Seconds> {
-        self.meta
-            .get(&id)
+        self.meta_of(id)
             .map_or_else(Vec::new, |m| m.gaps.iter().copied().collect())
     }
 
     /// Number of measurements currently held for a series.
     pub fn len(&self, id: ResourceId) -> usize {
-        self.store.get(&id).map_or(0, ColumnSeries::len)
+        self.seg(id).map_or(0, ColumnSeries::len)
     }
 
     /// True when the series holds no measurements (or is unknown).
@@ -241,7 +276,7 @@ impl Memory {
 
     /// The most recent measurement of a series.
     pub fn latest(&self, id: ResourceId) -> Option<TimePoint> {
-        self.store.get(&id).and_then(|b| {
+        self.seg(id).and_then(|b| {
             let (times, values) = (b.times(), b.values());
             times
                 .last()
@@ -253,19 +288,19 @@ impl Memory {
     /// borrowed contiguous slice — the zero-copy path analytics kernels
     /// read. Empty for unknown series.
     pub fn values(&self, id: ResourceId) -> &[f64] {
-        self.store.get(&id).map_or(&[], ColumnSeries::values)
+        self.seg(id).map_or(&[], ColumnSeries::values)
     }
 
     /// The retained measurement timestamps of a series, oldest first,
     /// borrowed. Empty for unknown series.
     pub fn times(&self, id: ResourceId) -> &[Seconds] {
-        self.store.get(&id).map_or(&[], ColumnSeries::times)
+        self.seg(id).map_or(&[], ColumnSeries::times)
     }
 
     /// The most recent `n` measurements as borrowed `(times, values)`
     /// column slices, oldest first — the zero-copy `extract`.
     pub fn tail(&self, id: ResourceId, n: usize) -> (&[Seconds], &[f64]) {
-        match self.store.get(&id) {
+        match self.seg(id) {
             None => (&[], &[]),
             Some(buf) => {
                 let (times, values) = (buf.times(), buf.values());
@@ -280,33 +315,10 @@ impl Memory {
     /// compute without cloning or fighting the borrow checker. Unknown
     /// series yield empty slices.
     pub fn with_series<R>(&self, id: ResourceId, f: impl FnOnce(&[Seconds], &[f64]) -> R) -> R {
-        match self.store.get(&id) {
+        match self.seg(id) {
             None => f(&[], &[]),
             Some(buf) => f(buf.times(), buf.values()),
         }
-    }
-
-    /// The NWS `extract`: up to `n` most recent measurements, oldest
-    /// first, as an owned `Vec<TimePoint>`.
-    ///
-    /// Deprecated in favor of the borrowed accessors — [`Memory::tail`],
-    /// [`Memory::values`], [`Memory::times`], [`Memory::with_series`] —
-    /// which read straight out of the columnar ring without allocating.
-    /// The owned form survives only as the CSV round-trip shape
-    /// ([`Memory::save`] / [`Memory::load_into`]) and for model tests
-    /// that diff against it.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the borrowed accessors (tail/values/times/with_series); \
-                extract remains only for CSV round-trip shapes"
-    )]
-    pub fn extract(&self, id: ResourceId, n: usize) -> Vec<TimePoint> {
-        let (times, values) = self.tail(id, n);
-        times
-            .iter()
-            .zip(values)
-            .map(|(&t, &v)| TimePoint::new(t, v))
-            .collect()
     }
 
     /// The full retained history as a [`Series`] (for analysis code).
@@ -344,8 +356,9 @@ impl Memory {
             buf.values.push(p.value);
         }
         let n = buf.len();
-        self.store.insert(id, buf);
-        self.meta.entry(id).or_default().revision += 1;
+        let idx = self.ensure(id);
+        self.store[idx] = buf;
+        self.meta[idx].revision += 1;
         self.global_revision += 1;
         Ok(n)
     }
@@ -354,22 +367,30 @@ impl Memory {
     pub fn resource_ids(&self) -> Vec<ResourceId> {
         self.store
             .iter()
+            .enumerate()
             .filter(|(_, b)| b.len() > 0)
-            .map(|(&id, _)| id)
+            .map(|(idx, _)| ResourceId(idx as u64))
             .collect()
     }
 }
 
 #[cfg(test)]
-// The owned `extract` shape is deprecated in production code but stays
-// covered here: these tests are the CSV round-trip / reference-model
-// consumers it survives for.
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
     fn rid(n: u64) -> ResourceId {
         ResourceId(n)
+    }
+
+    /// Owned extract shape (the old NWS `extract` API), rebuilt from the
+    /// borrowed tail for tests that diff against it.
+    fn extract(m: &Memory, id: ResourceId, n: usize) -> Vec<TimePoint> {
+        let (times, values) = m.tail(id, n);
+        times
+            .iter()
+            .zip(values)
+            .map(|(&t, &v)| TimePoint::new(t, v))
+            .collect()
     }
 
     #[test]
@@ -378,7 +399,7 @@ mod tests {
         assert!(m.store(rid(1), 0.0, 0.5));
         assert!(m.store(rid(1), 10.0, 0.6));
         assert!(m.store(rid(1), 20.0, 0.7));
-        let pts = m.extract(rid(1), 2);
+        let pts = extract(&m, rid(1), 2);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].value, 0.6);
         assert_eq!(pts[1].value, 0.7);
@@ -404,7 +425,7 @@ mod tests {
             assert!(m.store(rid(7), i as f64, i as f64 / 10.0));
         }
         assert_eq!(m.len(rid(7)), 3);
-        let pts = m.extract(rid(7), 10);
+        let pts = extract(&m, rid(7), 10);
         let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
         assert_eq!(values, vec![0.7, 0.8, 0.9]);
     }
@@ -416,7 +437,7 @@ mod tests {
         let mut m = Memory::new(MemoryConfig { retain: 5 });
         for i in 0..37 {
             m.store(rid(3), i as f64, (i as f64).sin());
-            let pts = m.extract(rid(3), usize::MAX);
+            let pts = extract(&m, rid(3), usize::MAX);
             let times = m.times(rid(3));
             let values = m.values(rid(3));
             assert_eq!(times.len(), pts.len());
@@ -465,7 +486,7 @@ mod tests {
     fn unknown_series_is_empty() {
         let m = Memory::new(MemoryConfig::default());
         assert!(m.is_empty(rid(9)));
-        assert!(m.extract(rid(9), 5).is_empty());
+        assert!(extract(&m, rid(9), 5).is_empty());
         assert!(m.latest(rid(9)).is_none());
         assert!(m.values(rid(9)).is_empty());
         assert!(m.times(rid(9)).is_empty());
@@ -496,7 +517,7 @@ mod tests {
         let mut m2 = Memory::new(MemoryConfig::default());
         let n = m2.load(rid(5), &path).expect("readable");
         assert_eq!(n, 20);
-        assert_eq!(m2.extract(rid(5), 100), m.extract(rid(1), 100));
+        assert_eq!(extract(&m2, rid(5), 100), extract(&m, rid(1), 100));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -513,7 +534,7 @@ mod tests {
         let n = small.load(rid(1), &path).expect("readable");
         assert_eq!(n, 7);
         // The RETAINED points are the most recent ones.
-        assert_eq!(small.extract(rid(1), 1)[0].time, 49.0);
+        assert_eq!(extract(&small, rid(1), 1)[0].time, 49.0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -590,7 +611,7 @@ mod tests {
         for i in 0..10_000 {
             m.store(rid(1), i as f64, 0.5);
         }
-        let buf = m.store.get(&rid(1)).expect("present");
+        let buf = &m.store[1];
         assert_eq!(buf.len(), 8);
         assert!(
             buf.times.len() <= 16 && buf.values.len() <= 16,

@@ -92,8 +92,8 @@ impl ForecastService {
     /// measurement's timestamp, used to answer staleness queries.
     pub fn observe(&mut self, id: ResourceId, time: Seconds, value: f64) {
         let st = self.entry(id);
-        if let Some(f) = st.nws.forecast() {
-            st.intervals.record(f.value, value);
+        if let Some(predicted) = st.nws.predicted_value() {
+            st.intervals.record(predicted, value);
         }
         st.nws.update(value);
         st.last_obs = Some(time);

@@ -9,11 +9,8 @@
 //! the ring cursor, compaction, or eviction logic shows up as a concrete
 //! failing operation sequence.
 
-// `extract` is deprecated for production reads, but the model tests diff
-// its owned output against the reference model on purpose.
-#![allow(deprecated)]
-
 use nws_grid::{Memory, MemoryConfig, ResourceId};
+use nws_timeseries::TimePoint;
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::{BTreeMap, VecDeque};
@@ -127,6 +124,17 @@ fn op_sequence(max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
     .prop_map(|raw| raw.into_iter().map(decode_op).collect())
 }
 
+/// Owned extract shape (the old NWS `extract` API), rebuilt from the
+/// borrowed tail; the model diffs against the owned form on purpose.
+fn extract(mem: &Memory, id: ResourceId, n: usize) -> Vec<TimePoint> {
+    let (times, values) = mem.tail(id, n);
+    times
+        .iter()
+        .zip(values)
+        .map(|(&t, &v)| TimePoint::new(t, v))
+        .collect()
+}
+
 /// Checks every observable of one series against the model.
 fn assert_series_agrees(mem: &Memory, model: &RefMemory, id: u64) -> Result<(), TestCaseError> {
     let rid = ResourceId(id);
@@ -147,7 +155,7 @@ fn assert_series_agrees(mem: &Memory, model: &RefMemory, id: u64) -> Result<(), 
 
     // Owned extract, borrowed full columns, and the latest point must
     // all be bit-identical views of the model's window.
-    let extracted = mem.extract(rid, usize::MAX);
+    let extracted = extract(mem, rid, usize::MAX);
     prop_assert_eq!(extracted.len(), ref_points.len());
     let times = mem.times(rid);
     let values = mem.values(rid);
@@ -185,7 +193,7 @@ fn assert_series_agrees(mem: &Memory, model: &RefMemory, id: u64) -> Result<(), 
             prop_assert_eq!(tail_times[i].to_bits(), p.time.to_bits());
             prop_assert_eq!(tail_values[i].to_bits(), p.value.to_bits());
         }
-        let ex = mem.extract(rid, n);
+        let ex = extract(mem, rid, n);
         prop_assert_eq!(ex.len(), keep);
         for (i, p) in ex.iter().enumerate() {
             prop_assert_eq!(p.time.to_bits(), tail_times[i].to_bits());
@@ -307,8 +315,8 @@ proptest! {
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(loaded, mem.len(ResourceId(4)));
         prop_assert_eq!(restored.len(ResourceId(4)), mem.len(ResourceId(4)));
-        let want = mem.extract(ResourceId(4), usize::MAX);
-        let got = restored.extract(ResourceId(4), usize::MAX);
+        let want = extract(&mem, ResourceId(4), usize::MAX);
+        let got = extract(&restored, ResourceId(4), usize::MAX);
         for (a, b) in want.iter().zip(&got) {
             prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
             prop_assert_eq!(a.value.to_bits(), b.value.to_bits());

@@ -16,16 +16,23 @@
 //! commits before anything of slot `s + 1`, and within a slot shards
 //! commit in registration order. The order is a property of the engine,
 //! never of thread scheduling — production may fan out across threads
-//! ([`parallel_map`]), but commits always replay the canonical order, so
-//! runs are bit-identical at any thread count.
+//! ([`parallel_zip_mut`]), but commits always replay the canonical
+//! order, so runs are bit-identical at any thread count.
 //!
-//! # Bounded batches
+//! # Bounded batches, pooled buffers
 //!
 //! Production is buffered at most [`EngineConfig::batch_slots`] slots
 //! ahead of the commit stage — the engine's event queues are bounded by
 //! `batch_slots × shards` and the commit barrier at the end of each
 //! round provides backpressure: no source can run further ahead than one
 //! batch window.
+//!
+//! The buffers themselves are engine-owned, per-shard event arenas,
+//! double-buffered as a front/back pair: each round the producers fill
+//! the back arenas in place (via [`parallel_zip_mut`]), the banks swap,
+//! and the commit loop drains the front slot-major. Arenas are cleared —
+//! never dropped — between rounds, so once warmed to `batch_slots`
+//! capacity a steady-state round performs no allocation at all.
 //!
 //! # The determinism contract
 //!
@@ -37,7 +44,7 @@
 //! The grid monitor's hosts honor this: sensing reads the host simulator
 //! and fault stream; committing writes the delay lines and fault stats.
 //!
-//! [`parallel_map`]: crate::parallel_map
+//! [`parallel_zip_mut`]: crate::parallel_zip_mut
 
 use crate::clock::{Clock, VirtualClock};
 
@@ -145,6 +152,13 @@ pub struct Engine<S: Source> {
     clock: Box<dyn Clock>,
     sources: Vec<S>,
     slot: u64,
+    /// Front bank of the double-buffered slot ring: the arenas the
+    /// commit loop is draining (one arena of up to `batch_slots` events
+    /// per shard). Persistent across rounds; cleared, never dropped.
+    front: Vec<Vec<S::Event>>,
+    /// Back bank: the arenas the producers fill. Swapped with `front`
+    /// at the round's produce→commit handoff.
+    back: Vec<Vec<S::Event>>,
 }
 
 impl<S: Source> Engine<S> {
@@ -163,6 +177,8 @@ impl<S: Source> Engine<S> {
             clock,
             sources,
             slot: 0,
+            front: Vec::new(),
+            back: Vec::new(),
         }
     }
 
@@ -230,22 +246,26 @@ impl<S: Source> Engine<S> {
             }
             return;
         }
-        // Parallel: each shard produces its whole batch on a worker
-        // thread (shard state is independent by contract), then the
-        // buffered events commit in exactly the sequential order.
-        let sources = std::mem::take(&mut self.sources);
-        let mut produced = crate::parallel_map(sources, |mut src| {
-            let events: Vec<S::Event> = (0..take).map(|i| src.produce(start + i)).collect();
-            (src, events)
+        // Parallel: each shard produces its whole batch into its own
+        // back arena on a worker thread (shard state is independent by
+        // contract), the banks swap, then the buffered events commit in
+        // exactly the sequential order. The arenas are persistent, so a
+        // warmed round allocates nothing.
+        if self.back.len() < self.sources.len() {
+            self.back.resize_with(self.sources.len(), Vec::new);
+        }
+        crate::parallel_zip_mut(&mut self.sources, &mut self.back, |_, src, arena| {
+            arena.clear();
+            arena.extend((0..take).map(|i| src.produce(start + i)));
         });
+        std::mem::swap(&mut self.front, &mut self.back);
         for i in 0..take {
-            for (shard, (src, events)) in produced.iter_mut().enumerate() {
-                stage.commit(shard, src, start + i, &events[i as usize]);
+            for (shard, src) in self.sources.iter_mut().enumerate() {
+                stage.commit(shard, src, start + i, &self.front[shard][i as usize]);
             }
             self.clock
                 .advance_to(self.config.cadence.slot_time(start + i + 1));
         }
-        self.sources = produced.into_iter().map(|(src, _)| src).collect();
         self.slot = start + take;
     }
 }

@@ -20,6 +20,7 @@
 use crate::loadavg_sensor::LoadAvgSensor;
 use crate::vmstat_sensor::VmstatSensor;
 use nws_sim::Host;
+use std::sync::Arc;
 
 /// Which passive method the hybrid currently trusts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +102,8 @@ pub struct HybridSensor {
     bias: f64,
     probes_run: u64,
     last_probe_value: Option<f64>,
+    /// Interned probe process name so periodic probes spawn allocation-free.
+    probe_name: Arc<str>,
 }
 
 impl Default for HybridSensor {
@@ -128,6 +131,7 @@ impl HybridSensor {
             bias: 0.0,
             probes_run: 0,
             last_probe_value: None,
+            probe_name: Arc::from("nws-probe"),
         }
     }
 
@@ -218,7 +222,7 @@ impl HybridSensor {
         let l = self.load.measure(host);
         let v = self.vmstat.measure(host);
         let probe = host.run_cpu_limited_probe(
-            "nws-probe",
+            Arc::clone(&self.probe_name),
             self.config.probe_duration,
             self.config.probe_max_wall.max(self.config.probe_duration),
         );

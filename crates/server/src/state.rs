@@ -110,7 +110,7 @@ impl GridState {
         let reply = ForecastReply {
             host: host.to_string(),
             value: answer.forecast.value,
-            method: answer.forecast.method.clone(),
+            method: answer.forecast.method.to_string(),
             interval: answer.interval.as_ref().map(|iv| (iv.lo, iv.hi)),
             observations: answer.observations,
             staleness: answer.staleness,

@@ -146,7 +146,11 @@ impl Host {
     /// paper's probe (1.5 s) and test process (10 s / 5 min) primitive.
     ///
     /// The simulation advances by exactly `duration`.
-    pub fn run_occupancy_process(&mut self, name: &str, duration: Seconds) -> f64 {
+    pub fn run_occupancy_process(
+        &mut self,
+        name: impl Into<std::sync::Arc<str>>,
+        duration: Seconds,
+    ) -> f64 {
         assert!(duration > 0.0);
         let pid = self.kernel.spawn(ProcessSpec::cpu_bound(name));
         self.advance(duration);
@@ -170,7 +174,7 @@ impl Host {
     /// Panics unless `0 < cpu_time <= max_wall`.
     pub fn run_cpu_limited_probe(
         &mut self,
-        name: &str,
+        name: impl Into<std::sync::Arc<str>>,
         cpu_time: Seconds,
         max_wall: Seconds,
     ) -> f64 {

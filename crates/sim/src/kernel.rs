@@ -20,6 +20,7 @@ use crate::loadavg::LoadAverage;
 use crate::process::{Pid, Process, ProcessSpec};
 use crate::{Seconds, PCPU_PER_TICK, STARVATION_TICKS, TICK, TICKS_PER_SECOND};
 use nws_stats::Rng;
+use std::sync::Arc;
 
 /// Cumulative CPU-time accounting, the counters `vmstat` reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -55,7 +56,7 @@ pub struct ProcessView {
     /// The process id.
     pub pid: Pid,
     /// Display name from the spawn spec.
-    pub name: String,
+    pub name: Arc<str>,
     /// The nice value.
     pub nice: u8,
     /// Whether the process is currently runnable.
@@ -76,7 +77,7 @@ pub struct ProcessStats {
     /// The process id.
     pub pid: Pid,
     /// Display name from the spawn spec.
-    pub name: String,
+    pub name: Arc<str>,
     /// Total CPU time consumed (seconds).
     pub cpu_time: Seconds,
     /// Wall-clock lifetime (seconds).
@@ -117,6 +118,8 @@ pub struct Kernel {
     n_cpus: usize,
     /// Scratch buffer for per-tick dispatch (avoids re-allocating).
     dispatch: Vec<usize>,
+    /// Scratch buffer for per-tick reaping (avoids re-allocating).
+    finished: Vec<usize>,
 }
 
 impl Kernel {
@@ -144,6 +147,7 @@ impl Kernel {
             completed: Vec::new(),
             n_cpus,
             dispatch: Vec::new(),
+            finished: Vec::new(),
         }
     }
 
@@ -191,7 +195,7 @@ impl Kernel {
     fn stats_of(&self, p: &Process) -> ProcessStats {
         ProcessStats {
             pid: p.pid,
-            name: p.name.clone(),
+            name: Arc::clone(&p.name),
             cpu_time: p.cpu_time,
             wall_time: self.now() - p.spawned_at,
             nice: p.nice,
@@ -274,7 +278,7 @@ impl Kernel {
             .iter()
             .map(|p| ProcessView {
                 pid: p.pid,
-                name: p.name.clone(),
+                name: Arc::clone(&p.name),
                 nice: p.nice,
                 runnable: p.runnable,
                 p_cpu: p.p_cpu,
@@ -344,7 +348,8 @@ impl Kernel {
         });
         dispatch.truncate(cpus_free);
         let ran = dispatch.len();
-        let mut finished: Vec<usize> = Vec::new();
+        let mut finished = std::mem::take(&mut self.finished);
+        finished.clear();
         for &idx in &dispatch {
             let p = &mut self.procs[idx];
             p.cpu_time += TICK;
@@ -359,11 +364,12 @@ impl Kernel {
         self.accounting.idle += TICK * (cpus_free - ran) as f64;
         // Reap finished processes (highest index first: swap_remove-safe).
         finished.sort_unstable_by(|a, b| b.cmp(a));
-        for idx in finished {
+        for &idx in &finished {
             let proc_rec = self.procs.swap_remove(idx);
             let stats = self.stats_of_after_tick(&proc_rec);
             self.completed.push(stats);
         }
+        self.finished = finished;
         self.dispatch = dispatch;
         self.tick_count += 1;
     }
@@ -373,7 +379,7 @@ impl Kernel {
     fn stats_of_after_tick(&self, p: &Process) -> ProcessStats {
         ProcessStats {
             pid: p.pid,
-            name: p.name.clone(),
+            name: Arc::clone(&p.name),
             cpu_time: p.cpu_time,
             wall_time: (self.tick_count + 1) as Seconds * TICK - p.spawned_at,
             nice: p.nice,
@@ -506,7 +512,7 @@ mod tests {
         let stats = k
             .drain_completed()
             .into_iter()
-            .find(|s| s.name == "test")
+            .find(|s| &*s.name == "test")
             .expect("test process completed");
         let occ = stats.cpu_time / (k.now() - start);
         assert!(occ > 0.52 && occ < 0.95, "test occupancy = {occ}");

@@ -39,7 +39,9 @@ pub use host::Host;
 pub use kernel::{Accounting, Kernel, ProcessStats, ProcessView};
 pub use loadavg::LoadAverage;
 pub use process::{Pid, ProcessSpec};
-pub use profiles::{ucsd_hosts, HostProfile, UCSD_HOST_NAMES};
+pub use profiles::{
+    synthetic_host_name, synthetic_roster, ucsd_hosts, HostProfile, SyntheticHost, UCSD_HOST_NAMES,
+};
 pub use trace::{record_load_trace, LoadTrace, TraceReplay};
 pub use workload::{
     BatchArrivals, Diurnal, FgnLoad, GatewayInterrupts, InteractiveSessions, LongRunningHog,

@@ -1,6 +1,7 @@
 //! Simulated processes and their scheduling state.
 
 use crate::Seconds;
+use std::sync::Arc;
 
 /// Process identifier, unique within one simulated host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -15,8 +16,10 @@ impl std::fmt::Display for Pid {
 /// Specification for spawning a process.
 #[derive(Debug, Clone)]
 pub struct ProcessSpec {
-    /// Display name (for traces and debugging).
-    pub name: String,
+    /// Display name (for traces and debugging). Shared and immutable so
+    /// workloads that spawn the same kind of job every few seconds can
+    /// intern the name once and spawn allocation-free.
+    pub name: Arc<str>,
     /// `nice` value in `0..=19`. 0 is full priority, 19 is the classic
     /// background-soaker priority that full-priority work always preempts.
     pub nice: u8,
@@ -33,7 +36,7 @@ pub struct ProcessSpec {
 impl ProcessSpec {
     /// A full-priority, always-runnable, CPU-bound process — the shape of
     /// the NWS probe and the paper's test process.
-    pub fn cpu_bound(name: impl Into<String>) -> Self {
+    pub fn cpu_bound(name: impl Into<Arc<str>>) -> Self {
         Self {
             name: name.into(),
             nice: 0,
@@ -78,7 +81,7 @@ impl ProcessSpec {
 #[derive(Debug, Clone)]
 pub(crate) struct Process {
     pub(crate) pid: Pid,
-    pub(crate) name: String,
+    pub(crate) name: Arc<str>,
     pub(crate) nice: u8,
     pub(crate) sys_fraction: f64,
     pub(crate) cpu_limit: Option<Seconds>,

@@ -247,6 +247,102 @@ pub fn ucsd_hosts(base_seed: u64) -> Vec<Host> {
         .collect()
 }
 
+/// A synthetic fleet host: a statistical stand-in for one monitored
+/// machine, cheap enough to instantiate by the hundred thousand.
+///
+/// The full kernel simulation behind [`HostProfile::build`] costs ~100
+/// scheduler ticks per measurement slot — ideal for fidelity at six
+/// hosts, hopeless for a 10⁵-host sweep. Each synthetic host instead
+/// draws CPU availability from an AR(1) process with occasional regime
+/// shifts, anchored at one of six long-run levels spanning the UCSD
+/// machines (busy workstation ≈ 0.35 through idle server ≈ 0.9). State
+/// is a few words, stepping is a handful of arithmetic ops, and the
+/// trajectory is a pure function of `(index, base_seed)` — the
+/// determinism contract the event engine needs.
+#[derive(Debug, Clone)]
+pub struct SyntheticHost {
+    /// xorshift64* RNG state (never zero).
+    rng: u64,
+    /// Long-run availability level of the current regime.
+    level: f64,
+    /// Current availability value.
+    value: f64,
+}
+
+/// Long-run availability anchors, one per UCSD profile archetype,
+/// in [`HostProfile::all`] order.
+const SYNTHETIC_LEVELS: [f64; 6] = [0.35, 0.55, 0.45, 0.6, 0.9, 0.5];
+
+impl SyntheticHost {
+    /// AR(1) pull toward the regime level per 10-second slot.
+    const PHI: f64 = 0.9;
+    /// Innovation scale.
+    const SIGMA: f64 = 0.05;
+    /// Expected slots between regime shifts (~1 h at the paper cadence).
+    const SHIFT_EVERY: f64 = 360.0;
+
+    /// The host at `index` in the roster seeded by `base_seed`.
+    pub fn new(index: u64, base_seed: u64) -> Self {
+        // FNV-1a over the index bytes, xor'd with the base seed, so
+        // every host walks an independent trajectory.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in index.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let rng = (h ^ base_seed).max(1);
+        let level = SYNTHETIC_LEVELS[(index % 6) as usize];
+        Self {
+            rng,
+            level,
+            value: level,
+        }
+    }
+
+    /// Next raw RNG draw (xorshift64*).
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Advances one measurement slot and returns the availability in
+    /// `[0, 1]`.
+    pub fn step(&mut self) -> f64 {
+        if self.next_f64() < 1.0 / Self::SHIFT_EVERY {
+            // Regime shift: re-anchor near the profile level.
+            self.level = (SYNTHETIC_LEVELS[(self.next_u64() % 6) as usize]
+                + 0.2 * (self.next_f64() - 0.5))
+                .clamp(0.05, 0.98);
+        }
+        let noise = 2.0 * (self.next_f64() - 0.5);
+        self.value = (self.level + Self::PHI * (self.value - self.level) + Self::SIGMA * noise)
+            .clamp(0.0, 1.0);
+        self.value
+    }
+}
+
+/// The display name of roster slot `index` (`fleet-000042`-style;
+/// generated on demand so a 10⁵-host roster carries no name storage).
+pub fn synthetic_host_name(index: usize) -> String {
+    format!("fleet-{index:06}")
+}
+
+/// A synthetic roster of `n` hosts cycling the six profile archetypes.
+pub fn synthetic_roster(n: usize, base_seed: u64) -> Vec<SyntheticHost> {
+    (0..n as u64)
+        .map(|i| SyntheticHost::new(i, base_seed))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +415,34 @@ mod tests {
         assert_eq!(hosts.len(), 6);
         let names: Vec<&str> = hosts.iter().map(|h| h.name()).collect();
         assert_eq!(names, UCSD_HOST_NAMES.to_vec());
+    }
+
+    #[test]
+    fn synthetic_hosts_are_deterministic_and_bounded() {
+        let mut a = SyntheticHost::new(17, 4242);
+        let mut b = SyntheticHost::new(17, 4242);
+        let mut c = SyntheticHost::new(18, 4242);
+        let mut diverged = false;
+        for _ in 0..2000 {
+            let va = a.step();
+            assert_eq!(va.to_bits(), b.step().to_bits());
+            assert!((0.0..=1.0).contains(&va));
+            if va.to_bits() != c.step().to_bits() {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "distinct indices must walk distinct trajectories");
+    }
+
+    #[test]
+    fn synthetic_roster_shapes() {
+        let roster = synthetic_roster(13, 7);
+        assert_eq!(roster.len(), 13);
+        assert_eq!(synthetic_host_name(42), "fleet-000042");
+        // Regime anchors cycle the six archetypes: hosts 0 and 6 share a
+        // level but not a trajectory.
+        let mut h0 = SyntheticHost::new(0, 7);
+        let mut h6 = SyntheticHost::new(6, 7);
+        assert_ne!(h0.step().to_bits(), h6.step().to_bits());
     }
 }

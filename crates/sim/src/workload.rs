@@ -26,6 +26,7 @@ use crate::kernel::Kernel;
 use crate::process::{Pid, ProcessSpec};
 use crate::Seconds;
 use nws_stats::{DaviesHarte, Distribution, Exponential, Pareto, Rng};
+use std::sync::Arc;
 
 /// A source of load on a simulated host, polled once per scheduling tick.
 ///
@@ -155,6 +156,9 @@ struct Session {
 #[derive(Debug)]
 pub struct InteractiveSessions {
     name: String,
+    /// Interned spawn name (`{name}-session`) so steady-state arrivals
+    /// allocate nothing.
+    session_name: Arc<str>,
     cfg: SessionConfig,
     rng: Rng,
     next_arrival: Seconds,
@@ -178,8 +182,10 @@ impl InteractiveSessions {
         let think_mean = cfg.think.mean().unwrap_or(0.0);
         let lifetime = cfg.bursts_per_session * (burst_mean + think_mean);
         let expected = (lifetime / cfg.arrival_mean).round() as usize;
+        let name = name.into();
         Self {
-            name: name.into(),
+            session_name: format!("{name}-session").into(),
+            name,
             pending_initial: expected.min(cfg.max_concurrent),
             primed: false,
             cfg,
@@ -220,7 +226,7 @@ impl Workload for InteractiveSessions {
                 let bursts = self.draw_bursts();
                 let bursting = self.rng.chance(burst_frac);
                 let pid = kernel.spawn(
-                    ProcessSpec::cpu_bound(format!("{}-session", self.name))
+                    ProcessSpec::cpu_bound(Arc::clone(&self.session_name))
                         .with_sys_fraction(self.cfg.sys_fraction),
                 );
                 // Residual phase time: uniform fraction of a fresh draw.
@@ -254,7 +260,7 @@ impl Workload for InteractiveSessions {
             }
             let bursts = self.draw_bursts();
             let pid = kernel.spawn(
-                ProcessSpec::cpu_bound(format!("{}-session", self.name))
+                ProcessSpec::cpu_bound(Arc::clone(&self.session_name))
                     .with_sys_fraction(self.cfg.sys_fraction),
             );
             let burst_len = self.cfg.burst.sample(&mut self.rng);
@@ -372,23 +378,43 @@ struct BatchJob {
 #[derive(Debug)]
 pub struct BatchArrivals {
     name: String,
+    /// Interned spawn name (`{name}-job`) so steady-state arrivals
+    /// allocate nothing.
+    job_name: Arc<str>,
     cfg: BatchConfig,
     rng: Rng,
     next_arrival: Seconds,
     jobs: Vec<BatchJob>,
+    completed_jobs: u64,
+    completed_cpu: Seconds,
 }
 
 impl BatchArrivals {
     /// Creates the workload.
     pub fn new(name: impl Into<String>, cfg: BatchConfig, mut rng: Rng) -> Self {
         let first = Exponential::with_mean(cfg.arrival_mean).sample(&mut rng);
+        let name = name.into();
         Self {
-            name: name.into(),
+            job_name: format!("{name}-job").into(),
+            name,
             cfg,
             rng,
             next_arrival: first,
             jobs: Vec::new(),
+            completed_jobs: 0,
+            completed_cpu: 0.0,
         }
+    }
+
+    /// Jobs reaped so far (their completion records are consumed by the
+    /// workload itself — fire-and-forget jobs have no other collector).
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs
+    }
+
+    /// Total CPU time consumed by reaped jobs.
+    pub fn completed_cpu(&self) -> Seconds {
+        self.completed_cpu
     }
 }
 
@@ -399,7 +425,18 @@ impl Workload for BatchArrivals {
 
     fn on_tick(&mut self, kernel: &mut Kernel) {
         let now = kernel.now();
-        // Prune finished jobs (the kernel reaps at the CPU limit).
+        // Prune finished jobs (the kernel reaps at the CPU limit) and
+        // consume their completion records: fire-and-forget jobs have no
+        // other collector, and without this the kernel's completed list
+        // grows without bound over a long monitoring run.
+        for j in &self.jobs {
+            if !kernel.is_alive(j.pid) {
+                if let Some(stats) = kernel.remove_completed(j.pid) {
+                    self.completed_jobs += 1;
+                    self.completed_cpu += stats.cpu_time;
+                }
+            }
+        }
         self.jobs.retain(|j| kernel.is_alive(j.pid));
         // I/O interleaving for running jobs (micro on/off cycles).
         if self.cfg.duty < 1.0 {
@@ -422,7 +459,7 @@ impl Workload for BatchArrivals {
             }
             let demand = self.cfg.demand.sample(&mut self.rng).max(crate::TICK);
             let pid = kernel.spawn(
-                ProcessSpec::cpu_bound(format!("{}-job", self.name))
+                ProcessSpec::cpu_bound(Arc::clone(&self.job_name))
                     .with_nice(self.cfg.nice)
                     .with_sys_fraction(self.cfg.sys_fraction)
                     .with_cpu_limit(demand),
@@ -804,14 +841,19 @@ mod tests {
             demand: Pareto::new(1.5, 5.0).with_cap(60.0),
             ..BatchConfig::default()
         };
-        let mut ws: Vec<Box<dyn Workload>> =
-            vec![Box::new(BatchArrivals::new("batch", cfg, Rng::new(19)))];
-        run(&mut ws, &mut k, 3600.0);
-        let done = k.drain_completed();
-        assert!(!done.is_empty(), "no batch job completed in an hour");
-        for j in &done {
-            assert!(j.cpu_time >= 5.0 - TICK);
+        let mut w = BatchArrivals::new("batch", cfg, Rng::new(19));
+        for _ in 0..((3600.0 / TICK) as u64) {
+            w.on_tick(&mut k);
+            k.tick();
         }
+        // One extra tick so the workload consumes any record reaped on
+        // the final kernel tick.
+        w.on_tick(&mut k);
+        assert!(w.completed_jobs() > 0, "no batch job completed in an hour");
+        // Pareto demand has scale 5.0, so every job consumed at least that.
+        assert!(w.completed_cpu() >= w.completed_jobs() as f64 * (5.0 - TICK));
+        // The workload consumed every record: nothing left behind to leak.
+        assert!(k.drain_completed().is_empty());
     }
 
     #[test]

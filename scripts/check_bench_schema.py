@@ -17,6 +17,20 @@ Exits 0 when the structures match, 1 with a path-level diff otherwise.
 import json
 import sys
 
+# Sections every BENCH_perf.json must carry, whatever the tier. The
+# structural diff below catches drift between two artifacts; this list
+# catches the case where *both* sides lost a section.
+REQUIRED_PERF_SECTIONS = (
+    "acf",
+    "hurst",
+    "ingest",
+    "memory_read",
+    "drivers",
+    "engine",
+    "fleet",
+    "serve",
+)
+
 
 def shape(node, path="$"):
     """The structure of a JSON value as a set of (path, kind) pairs."""
@@ -45,9 +59,18 @@ def main():
         sys.exit(f"usage: {sys.argv[0]} BASELINE.json CANDIDATE.json")
     baseline_path, candidate_path = sys.argv[1], sys.argv[2]
     with open(baseline_path) as f:
-        baseline = shape(json.load(f))
+        baseline_doc = json.load(f)
     with open(candidate_path) as f:
-        candidate = shape(json.load(f))
+        candidate_doc = json.load(f)
+
+    for name, doc in ((baseline_path, baseline_doc), (candidate_path, candidate_doc)):
+        if isinstance(doc, dict) and "engine" in doc:
+            absent = [s for s in REQUIRED_PERF_SECTIONS if s not in doc]
+            if absent:
+                sys.exit(f"{name}: missing required sections: {', '.join(absent)}")
+
+    baseline = shape(baseline_doc)
+    candidate = shape(candidate_doc)
 
     missing = sorted(baseline - candidate)
     extra = sorted(candidate - baseline)
