@@ -4,7 +4,8 @@
 //! repro [--quick] [--smoke] [--seed N] [--threads N] <experiment>...
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 ablation sweep robustness
-//!              sched datasched net loadstats faults perf all
+//!              sched datasched net loadstats faults perf serve fleet
+//!              durability all
 //! ```
 //!
 //! Tables are printed with the paper's published value in parentheses next
@@ -117,6 +118,7 @@ fn parse_args() -> Args {
         "perf",
         "serve",
         "fleet",
+        "durability",
         "all",
     ];
     for exp in &experiments {
@@ -141,7 +143,8 @@ fn usage(msg: &str) -> ! {
         "usage: repro [--quick] [--smoke] [--seed N] [--threads N] <experiment>...\n\
          experiments: table1 table2 table3 table4 table5 table6\n\
          \x20            fig1 fig2 fig3 fig4 ablation sweep robustness\n\
-         \x20            sched datasched net loadstats faults perf serve fleet all"
+         \x20            sched datasched net loadstats faults perf serve fleet\n\
+         \x20            durability all"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -383,6 +386,14 @@ fn main() {
     if !run_all && args.experiments.contains("fleet") {
         timed(&mut stages, "fleet", || {
             run_fleet(cfg.seed, args.quick, args.smoke)
+        });
+    }
+    // `durability` replays seeded crash plans and spins real sockets for
+    // the failover phase, so like `perf` it only runs when asked for by
+    // name.
+    if !run_all && args.experiments.contains("durability") {
+        timed(&mut stages, "durability", || {
+            run_durability(&cfg, args.quick, args.smoke)
         });
     }
 
@@ -863,6 +874,59 @@ fn perf_kernels(
     // the standalone `repro fleet` experiment writes the identity CSV.
     let (fleet_entries, _fleet_csv) = fleet_sweep(cfg.seed, quick, smoke);
 
+    // --- Durability: WAL replay and snapshot recovery over a journaled
+    // reference run. Both recovery paths must land on the live run's
+    // exact memory fingerprint; the artifact tracks how fast they get
+    // there.
+    let dur_steps: u64 = if smoke {
+        120
+    } else if quick {
+        360
+    } else {
+        1_080
+    };
+    let mut dur_grid = nws_grid::GridMonitor::ucsd(cfg.seed);
+    dur_grid.attach_journal(nws_grid::Wal::new());
+    dur_grid.run_steps(dur_steps / 2);
+    let dur_snap = dur_grid.memory().snapshot_bytes();
+    dur_grid.run_steps(dur_steps - dur_steps / 2);
+    let dur_wal = dur_grid
+        .journal()
+        .expect("journal attached")
+        .bytes()
+        .to_vec();
+    let dur_golden = dur_grid.memory().fingerprint();
+    let mem_config = nws_grid::GridMonitorConfig::default().memory;
+    let genesis_ms = best_ms(3, || {
+        nws_grid::recover_memory(mem_config, None, &dur_wal, |_| {})
+    });
+    let (genesis_mem, genesis_report) =
+        nws_grid::recover_memory(mem_config, None, &dur_wal, |_| {});
+    assert_eq!(
+        genesis_mem.fingerprint(),
+        dur_golden,
+        "genesis recovery diverged from the live run"
+    );
+    let snap_ms = best_ms(3, || {
+        nws_grid::recover_memory(mem_config, Some(&dur_snap), &dur_wal, |_| {})
+    });
+    let (snap_mem, snap_report) =
+        nws_grid::recover_memory(mem_config, Some(&dur_snap), &dur_wal, |_| {});
+    assert_eq!(
+        snap_mem.fingerprint(),
+        dur_golden,
+        "snapshot recovery diverged from the live run"
+    );
+    let dur_records = genesis_report.replayed;
+    let records_per_sec = dur_records as f64 / (genesis_ms / 1e3).max(1e-9);
+    println!(
+        "  durab  {dur_records} records / {} B journal: genesis {genesis_ms:>7.2} ms \
+         ({records_per_sec:.0} rec/s), snapshot+suffix {snap_ms:>7.2} ms \
+         (replayed {})",
+        dur_wal.len(),
+        snap_report.replayed
+    );
+
     // --- Serving hot path: the in-memory transport (full codec, no
     // sockets) over the warmed grid, with the per-connection scratch
     // buffers and the revision-keyed query cache in play.
@@ -947,6 +1011,16 @@ fn perf_kernels(
     let _ = writeln!(json, "  \"fleet\": [");
     let _ = writeln!(json, "{}", fleet_entries.join(",\n"));
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"durability\": {{ \"steps\": {dur_steps}, \"wal_bytes\": {}, \
+         \"records\": {dur_records}, \"snapshot_bytes\": {}, \
+         \"genesis_recover_ms\": {genesis_ms:.4}, \"records_per_sec\": {records_per_sec:.0}, \
+         \"snapshot_recover_ms\": {snap_ms:.4}, \"snapshot_replayed\": {} }},",
+        dur_wal.len(),
+        dur_snap.len(),
+        snap_report.replayed
+    );
     let _ = writeln!(
         json,
         "  \"serve\": {{ \"requests\": {reqs}, \"ms\": {serve_ms:.4}, \
@@ -1046,6 +1120,209 @@ fn run_fleet(seed: u64, quick: bool, smoke: bool) {
     );
     let (_entries, csv) = fleet_sweep(seed, quick, smoke);
     write_artifact("fleet_sweep.csv", &csv);
+}
+
+/// The `durability` experiment: a crash-recovery sweep plus a serving
+/// availability phase.
+///
+/// Phase 1 grows a journaled reference run, then kills it at fixed
+/// fractions and at every cut a seeded [`CrashPlan`] produces — clean
+/// kills, torn final records, truncated snapshots — and proves each
+/// recovery (replay the valid prefix, resume over the rest of the
+/// journal) lands on the live run's exact memory fingerprint. The
+/// deterministic columns (cut offsets, bytes kept, records replayed,
+/// fingerprints) go to `results/durability_sweep.csv`, which CI
+/// byte-diffs across thread counts; recovery wall-clock is printed only.
+///
+/// Phase 2 spins up a TCP primary, replicates its journal into a
+/// [`ReplicaState`] over the wire protocol, serves the replica on a
+/// second socket, and drives a [`FailoverClient`] through a mid-stream
+/// primary kill: every request must be answered, and the failover count
+/// and post-kill latency are reported.
+fn run_durability(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
+    use nws_faults::{CrashKind, CrashPlan};
+    use nws_grid::wal::replay;
+    use nws_grid::{recover_memory, GridMonitor, GridMonitorConfig, RecoverySource, Wal};
+    use nws_server::{
+        ClientConfig, FailoverClient, GridState, NwsClient, NwsServer, ReplicaState, ServerConfig,
+        Transport,
+    };
+    use std::time::Instant;
+
+    let steps: u64 = if smoke {
+        120
+    } else if quick {
+        240
+    } else {
+        720
+    };
+    let crash_rounds = if smoke { 6 } else { 12 };
+    println!(
+        "\n== durability: crash-recovery sweep ({steps} slots, {} hosts, \
+         {crash_rounds} seeded crashes) ==",
+        HostProfile::all().len()
+    );
+
+    // The golden journaled run, with a snapshot captured halfway.
+    let mut gm = GridMonitor::ucsd(cfg.seed);
+    gm.attach_journal(Wal::new());
+    gm.run_steps(steps / 2);
+    let snapshot = gm.memory().snapshot_bytes();
+    gm.run_steps(steps - steps / 2);
+    let golden = gm.memory().fingerprint();
+    let wal = gm.journal().expect("journal attached").bytes().to_vec();
+    let mem_config = GridMonitorConfig::default().memory;
+
+    // The crash schedule: fixed kill fractions plus the seeded plan.
+    let mut cuts: Vec<(String, &'static str, usize)> = [0.25f64, 0.50, 0.99]
+        .iter()
+        .map(|&f| {
+            (
+                format!("fraction_{f:.2}"),
+                "clean_kill",
+                (wal.len() as f64 * f) as usize,
+            )
+        })
+        .collect();
+    let mut plan = CrashPlan::seeded(cfg.seed ^ 0xC4A5);
+    for i in 0..crash_rounds {
+        let event = plan.next_event();
+        let kind = match event.kind {
+            CrashKind::CleanKill => "clean_kill",
+            CrashKind::TornRecord => "torn_record",
+            CrashKind::TruncatedSnapshot => "truncated_snapshot",
+        };
+        cuts.push((format!("plan_{i}"), kind, event.cut_at(wal.len())));
+    }
+    cuts.push(("snapshot_suffix".to_string(), "snapshot", wal.len()));
+
+    let mut csv = String::from(
+        "scenario,kind,cut_bytes,valid_bytes,replayed,torn_tail,source,fingerprint,matches\n",
+    );
+    let mut worst_recover_ms = 0.0f64;
+    for (scenario, kind, cut) in &cuts {
+        let t0 = Instant::now();
+        let (mut mem, report) = match *kind {
+            // A half-written snapshot: recovery must reject it and fall
+            // back to genesis replay of the full journal.
+            "truncated_snapshot" => {
+                let snap_cut = (*cut).min(snapshot.len().saturating_sub(1));
+                recover_memory(mem_config, Some(&snapshot[..snap_cut]), &wal, |_| {})
+            }
+            // An intact snapshot plus the journal suffix.
+            "snapshot" => recover_memory(mem_config, Some(&snapshot), &wal, |_| {}),
+            // A kill at `cut`: replay whatever survived, torn tail and
+            // all, then resume over the rest of the golden journal (the
+            // deterministic restart re-run).
+            _ => recover_memory(mem_config, None, &wal[..*cut], |_| {}),
+        };
+        let torn = report.tail_error.is_some();
+        if matches!(*kind, "clean_kill" | "torn_record") {
+            let resumed = replay(&wal, report.valid_wal_len, |rec| mem.apply(rec));
+            assert!(resumed.error.is_none(), "golden journal replays cleanly");
+        }
+        let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+        worst_recover_ms = worst_recover_ms.max(recover_ms);
+        let fingerprint = mem.fingerprint();
+        let matches = fingerprint == golden;
+        assert!(
+            matches,
+            "{scenario} ({kind}, cut {cut}) did not recover the golden state"
+        );
+        let source = match report.source {
+            RecoverySource::Genesis => "genesis",
+            RecoverySource::Snapshot { .. } => "snapshot",
+        };
+        println!(
+            "  {scenario:<16} {kind:<18} cut {cut:>7} B -> kept {:>7} B, replayed {:>5}, \
+             {source:<8} {recover_ms:>7.2} ms  ok",
+            report.valid_wal_len, report.replayed
+        );
+        let _ = writeln!(
+            csv,
+            "{scenario},{kind},{cut},{},{},{torn},{source},{fingerprint:#018x},{matches}",
+            report.valid_wal_len, report.replayed
+        );
+    }
+    write_artifact("durability_sweep.csv", &csv);
+    println!(
+        "  all {} recoveries bit-identical (golden {golden:#018x}); worst recovery \
+         {worst_recover_ms:.2} ms",
+        cuts.len()
+    );
+
+    // --- Phase 2: serving availability through a primary kill.
+    let requests = if smoke { 40 } else { 200 };
+    println!(
+        "\n== durability: failover availability ({requests} requests, primary killed \
+         mid-stream) =="
+    );
+    let mut gm = GridMonitor::ucsd(cfg.seed);
+    gm.attach_journal(Wal::new());
+    gm.run_steps(steps.min(240));
+    let hosts: Vec<String> = HostProfile::all()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    let host_refs: Vec<&str> = HostProfile::all().iter().map(|p| p.name()).collect();
+    let expected_fingerprint = gm.memory().fingerprint();
+
+    let mut primary =
+        NwsServer::spawn(GridState::new(gm), ServerConfig::default()).expect("bind primary");
+    let mut feed = NwsClient::connect(primary.addr(), ClientConfig::default()).expect("connect");
+    let mut replica = ReplicaState::new(&host_refs, GridMonitorConfig::default());
+    let sync_t0 = Instant::now();
+    replica.sync(&mut feed).expect("replicate over tcp");
+    let sync_ms = sync_t0.elapsed().as_secs_f64() * 1e3;
+    drop(feed);
+    assert!(replica.synced(), "replica caught up to the primary");
+    assert_eq!(
+        replica.memory().fingerprint(),
+        expected_fingerprint,
+        "replica is byte-identical to the primary"
+    );
+    println!(
+        "  replica caught up over the wire in {sync_ms:.2} ms ({} journal bytes applied)",
+        replica.applied()
+    );
+    let replica_server = NwsServer::spawn(replica, ServerConfig::default()).expect("bind replica");
+
+    let mut client = FailoverClient::new(
+        &[primary.addr(), replica_server.addr()],
+        ClientConfig {
+            io_timeout: std::time::Duration::from_millis(500),
+            retries: 0,
+            backoff_base: std::time::Duration::from_millis(1),
+            backoff_cap: std::time::Duration::from_millis(5),
+            ..ClientConfig::default()
+        },
+    );
+    let kill_at = requests / 2;
+    let mut served = 0usize;
+    let mut failover_latency_ms = 0.0f64;
+    for i in 0..requests {
+        if i == kill_at {
+            primary.shutdown();
+        }
+        let host = &hosts[i % hosts.len()];
+        let t0 = Instant::now();
+        client.forecast(host).expect("every request is served");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if i == kill_at {
+            failover_latency_ms = ms;
+        }
+        served += 1;
+    }
+    assert_eq!(served, requests, "availability through the kill is 100%");
+    assert!(client.failovers() >= 1, "the kill forced a failover");
+    println!(
+        "  served {served}/{requests} requests through the kill; {} failover(s), \
+         first post-kill request {failover_latency_ms:.2} ms",
+        client.failovers()
+    );
+    let mut avail_csv = String::from("requests,served,failovers,replica_synced\n");
+    let _ = writeln!(avail_csv, "{requests},{served},{},true", client.failovers());
+    write_artifact("durability_availability.csv", &avail_csv);
 }
 
 /// The `serve` experiment: spins up the forecast-serving subsystem on a

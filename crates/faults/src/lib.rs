@@ -371,6 +371,88 @@ impl FaultStats {
     }
 }
 
+/// Salt for the crash-plan RNG stream (independent of measurement-path
+/// fault streams even under the same base seed).
+const CRASH_SALT: u64 = 0xDEAD_70A5_7C4A_5E5D;
+
+/// What a process crash leaves behind in the durable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The process dies between journal writes: the WAL ends cleanly on
+    /// a record boundary.
+    CleanKill,
+    /// The process dies mid-write: the final WAL record is torn partway
+    /// through (the classic crash artifact recovery must absorb).
+    TornRecord,
+    /// The crash interrupts a snapshot write on a filesystem without
+    /// atomic rename: the snapshot file is cut short and must be
+    /// rejected, falling back to WAL replay.
+    TruncatedSnapshot,
+}
+
+/// One planned process crash: where in the run it strikes and what it
+/// leaves torn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashEvent {
+    /// Fraction of the uninterrupted run's WAL the process lives
+    /// through, in `(0, 1)`.
+    pub fraction: f64,
+    /// What the crash damages.
+    pub kind: CrashKind,
+}
+
+impl CrashEvent {
+    /// The raw byte offset into a `len`-byte image (WAL or snapshot)
+    /// where the crash cuts it. A cut mid-record *is* the torn-record
+    /// artifact; recovery keeps everything before it.
+    pub fn cut_at(&self, len: usize) -> usize {
+        ((len as f64) * self.fraction) as usize
+    }
+}
+
+/// A seeded schedule of process crashes for recovery drills: each draw
+/// yields a kill point and a damage kind, deterministically from the
+/// seed — so a "kill/restart" sweep is reproducible byte for byte and
+/// diffable across thread counts in CI, like every other fault stream
+/// in this crate.
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    rng: Rng,
+}
+
+impl CrashPlan {
+    /// A crash schedule derived from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        CrashPlan {
+            rng: Rng::new(seed ^ CRASH_SALT),
+        }
+    }
+
+    /// Draws the next crash: a kill fraction in `[0.05, 0.95]` and a
+    /// damage kind cycling over all three with equal probability.
+    pub fn next_event(&mut self) -> CrashEvent {
+        let fraction = self.rng.range_f64(0.05, 0.95);
+        let kind = match self.rng.below(3) {
+            0 => CrashKind::CleanKill,
+            1 => CrashKind::TornRecord,
+            _ => CrashKind::TruncatedSnapshot,
+        };
+        CrashEvent { fraction, kind }
+    }
+
+    /// Flips one seeded bit in `bytes` (bit-rot drills), returning the
+    /// `(byte, bit)` flipped, or `None` on an empty slice.
+    pub fn flip_bit(&mut self, bytes: &mut [u8]) -> Option<(usize, u8)> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let byte = self.rng.below(bytes.len() as u64) as usize;
+        let bit = self.rng.below(8) as u8;
+        bytes[byte] ^= 1 << bit;
+        Some((byte, bit))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,5 +610,40 @@ mod tests {
         line.release(100, |p| out.push(p));
         assert_eq!(out, vec!["a", "b", "c", "d"]);
         assert!(line.is_empty());
+    }
+
+    #[test]
+    fn crash_plan_is_deterministic_and_in_range() {
+        let draw = |seed| {
+            let mut plan = CrashPlan::seeded(seed);
+            (0..20).map(|_| plan.next_event()).collect::<Vec<_>>()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7), "same seed, same schedule");
+        assert_ne!(a, draw(8), "different seed, different schedule");
+        let mut kinds = [false; 3];
+        for e in &a {
+            assert!((0.05..=0.95).contains(&e.fraction), "{}", e.fraction);
+            kinds[match e.kind {
+                CrashKind::CleanKill => 0,
+                CrashKind::TornRecord => 1,
+                CrashKind::TruncatedSnapshot => 2,
+            }] = true;
+        }
+        assert!(kinds.iter().all(|&k| k), "20 draws cover all kinds");
+        // cut_at maps fractions into the image.
+        assert_eq!(a[0].cut_at(0), 0);
+        assert!(a[0].cut_at(1000) <= 950);
+    }
+
+    #[test]
+    fn flip_bit_is_seeded_and_reversible() {
+        let mut plan = CrashPlan::seeded(3);
+        let mut bytes = vec![0u8; 64];
+        let (byte, bit) = plan.flip_bit(&mut bytes).expect("non-empty");
+        assert_eq!(bytes[byte], 1 << bit);
+        bytes[byte] ^= 1 << bit;
+        assert!(bytes.iter().all(|&b| b == 0));
+        assert_eq!(CrashPlan::seeded(1).flip_bit(&mut []), None);
     }
 }

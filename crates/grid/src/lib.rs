@@ -34,11 +34,15 @@ pub mod memory;
 pub mod monitor;
 pub mod registry;
 pub mod service;
+pub mod wal;
 pub mod weather;
 
 pub use fleet::{FleetConfig, FleetMonitor};
-pub use memory::{Memory, MemoryConfig};
+pub use memory::{Memory, MemoryConfig, StoreOutcome};
 pub use monitor::{GridMonitor, GridMonitorConfig, GridSnapshot, HostReport};
 pub use registry::{Metric, Registry, ResourceId, ResourceInfo};
 pub use service::{ForecastAnswer, ForecastService};
+pub use wal::{
+    recover_memory, RecoveryReport, RecoverySource, Replay, SnapshotStore, Wal, WalError, WalRecord,
+};
 pub use weather::{WeatherService, WeatherServiceConfig};

@@ -30,6 +30,7 @@
 //! order regardless of how production was parallelized.
 
 use crate::registry::ResourceId;
+use crate::wal::{crc32, Wal, WalError, WalRecord, SNAPSHOT_MAGIC};
 use nws_timeseries::csv::{read_series, write_series, CsvError};
 use nws_timeseries::{Seconds, Series, TimePoint};
 use std::collections::VecDeque;
@@ -146,6 +147,10 @@ pub struct Memory {
     /// Bumped whenever any series changes; lets whole-memory views
     /// (snapshots) validate a cached answer with one comparison.
     global_revision: u64,
+    /// Optional write-ahead log: when attached, every accepted append,
+    /// recorded gap, and counted out-of-order drop is journaled in
+    /// commit order (see [`crate::wal`]).
+    journal: Option<Wal>,
 }
 
 impl Memory {
@@ -161,7 +166,38 @@ impl Memory {
             store: Vec::new(),
             meta: Vec::new(),
             global_revision: 0,
+            journal: None,
         }
+    }
+
+    /// Attaches a write-ahead log. From here on, every state change
+    /// ([`StoreOutcome::Stored`] appends, recorded gaps, counted
+    /// out-of-order drops) is journaled in commit order. Attach before
+    /// the first measurement for a complete log; the legacy CSV
+    /// [`Memory::load`] path is *not* journaled.
+    pub fn attach_journal(&mut self, wal: Wal) {
+        self.journal = Some(wal);
+    }
+
+    /// Detaches and returns the journal, leaving the memory unlogged.
+    pub fn detach_journal(&mut self) -> Option<Wal> {
+        self.journal.take()
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Wal> {
+        self.journal.as_ref()
+    }
+
+    /// Mutable access to the attached journal (flush/sync the file
+    /// mirror).
+    pub fn journal_mut(&mut self) -> Option<&mut Wal> {
+        self.journal.as_mut()
+    }
+
+    /// The memory's sizing configuration.
+    pub fn config(&self) -> MemoryConfig {
+        self.config
     }
 
     /// The column segment for a series, if it has ever been touched.
@@ -200,6 +236,25 @@ impl Memory {
     /// [`Memory::dropped`]) so fault-injected delivery reordering is
     /// observable rather than silent.
     pub fn append(&mut self, id: ResourceId, time: Seconds, value: f64) -> StoreOutcome {
+        let out = self.apply_append(id, time, value);
+        if let Some(wal) = &mut self.journal {
+            match out {
+                StoreOutcome::Stored => wal.log(&WalRecord::Append { id, time, value }),
+                // The drop counter is fingerprinted state, so the
+                // rejection itself is journaled (the rejected value is
+                // not — replay only needs the counter bump).
+                StoreOutcome::RejectedOutOfOrder => wal.log(&WalRecord::Drop { id }),
+                // Non-finite rejections change nothing an extract or
+                // fingerprint can see; nothing to journal.
+                StoreOutcome::RejectedNonFinite => {}
+            }
+        }
+        out
+    }
+
+    /// [`Memory::append`] without the journaling side: the state
+    /// transition itself, shared by live ingest and WAL replay.
+    fn apply_append(&mut self, id: ResourceId, time: Seconds, value: f64) -> StoreOutcome {
         if !value.is_finite() || !time.is_finite() {
             return StoreOutcome::RejectedNonFinite;
         }
@@ -221,6 +276,13 @@ impl Memory {
     /// series — an explicit gap, distinct from "nothing happened". Gap
     /// timestamps are retained under the same bound as measurements.
     pub fn record_gap(&mut self, id: ResourceId, time: Seconds) {
+        self.apply_gap(id, time);
+        if let Some(wal) = &mut self.journal {
+            wal.log(&WalRecord::Gap { id, time });
+        }
+    }
+
+    fn apply_gap(&mut self, id: ResourceId, time: Seconds) {
         let idx = self.ensure(id);
         let meta = &mut self.meta[idx];
         if meta.gaps.len() == self.config.retain {
@@ -229,6 +291,26 @@ impl Memory {
         meta.gaps.push_back(time);
         meta.revision += 1;
         self.global_revision += 1;
+    }
+
+    /// Applies one replayed WAL record without journaling it — the
+    /// recovery and replication path. Applying a log produced by this
+    /// memory's journal in order reproduces the original state bit for
+    /// bit: same column bytes, same revision counters, same
+    /// [`Memory::fingerprint`].
+    pub fn apply(&mut self, rec: &WalRecord) {
+        match *rec {
+            WalRecord::Append { id, time, value } => {
+                let _ = self.apply_append(id, time, value);
+            }
+            WalRecord::Gap { id, time } => self.apply_gap(id, time),
+            WalRecord::Drop { id } => {
+                // Mirrors the RejectedOutOfOrder branch: the drop
+                // counter moves, revisions do not.
+                let idx = self.ensure(id);
+                self.meta[idx].dropped += 1;
+            }
+        }
     }
 
     /// Change counter for one series: any append, gap, or reload bumps
@@ -371,6 +453,176 @@ impl Memory {
             .filter(|(_, b)| b.len() > 0)
             .map(|(idx, _)| ResourceId(idx as u64))
             .collect()
+    }
+
+    /// FNV-1a fingerprint of everything an extract can observe: the
+    /// retention bound, every live column window bit for bit, gap
+    /// rings, drop counts, and all revision counters. Two memories with
+    /// equal fingerprints answer every query identically — the
+    /// crash-recovery and replication tests pin exactly this.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.config.retain as u64);
+        mix(self.store.len() as u64);
+        for idx in 0..self.store.len() {
+            let buf = &self.store[idx];
+            let meta = &self.meta[idx];
+            mix(buf.len() as u64);
+            for &t in buf.times() {
+                mix(t.to_bits());
+            }
+            for &v in buf.values() {
+                mix(v.to_bits());
+            }
+            mix(meta.dropped);
+            mix(meta.gaps.len() as u64);
+            for &g in &meta.gaps {
+                mix(g.to_bits());
+            }
+            mix(meta.revision);
+        }
+        mix(self.global_revision);
+        h
+    }
+
+    /// Serializes the full columnar state — live windows, gap rings,
+    /// drop counts, revisions — as one CRC-trailed snapshot covering
+    /// the attached journal's current offset (0 when unjournaled).
+    /// Restoring it and replaying the WAL suffix from that offset
+    /// reproduces any later state bit for bit.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let wal_offset = self.journal.as_ref().map_or(0, |w| w.len() as u64);
+        self.snapshot_bytes_at(wal_offset)
+    }
+
+    /// [`Memory::snapshot_bytes`] with an explicit WAL offset (for
+    /// callers journaling externally).
+    pub fn snapshot_bytes_at(&self, wal_offset: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        let put = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        put(&mut out, self.config.retain as u64);
+        put(&mut out, wal_offset);
+        put(&mut out, self.global_revision);
+        put(&mut out, self.store.len() as u64);
+        for idx in 0..self.store.len() {
+            let buf = &self.store[idx];
+            let meta = &self.meta[idx];
+            put(&mut out, buf.len() as u64);
+            for &t in buf.times() {
+                put(&mut out, t.to_bits());
+            }
+            for &v in buf.values() {
+                put(&mut out, v.to_bits());
+            }
+            put(&mut out, meta.dropped);
+            put(&mut out, meta.gaps.len() as u64);
+            for &g in &meta.gaps {
+                put(&mut out, g.to_bits());
+            }
+            put(&mut out, meta.revision);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Restores a memory from snapshot bytes, returning it with the WAL
+    /// offset the snapshot covers. Total: bad magic, a checksum
+    /// mismatch, truncation, or out-of-bounds counts yield a typed
+    /// [`WalError::Snapshot`], never a panic — recovery treats any of
+    /// them as "no snapshot" and falls back to a genesis replay.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<(Memory, u64), WalError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+            return Err(WalError::Snapshot("too short"));
+        }
+        if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(WalError::Snapshot("bad magic"));
+        }
+        let body_end = bytes.len() - 4;
+        let want = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+        if crc32(&bytes[..body_end]) != want {
+            return Err(WalError::Snapshot("checksum mismatch"));
+        }
+        let body = &bytes[..body_end];
+        let mut off = SNAPSHOT_MAGIC.len();
+        let take = |off: &mut usize| -> Result<u64, WalError> {
+            let end = *off + 8;
+            if end > body.len() {
+                return Err(WalError::Snapshot("truncated body"));
+            }
+            let v = u64::from_le_bytes(body[*off..end].try_into().expect("8 bytes"));
+            *off = end;
+            Ok(v)
+        };
+        let retain = take(&mut off)? as usize;
+        if retain == 0 {
+            return Err(WalError::Snapshot("zero retention"));
+        }
+        let wal_offset = take(&mut off)?;
+        let global_revision = take(&mut off)?;
+        let nseries = take(&mut off)? as usize;
+        // Every series costs at least 4 u64s; bound the count by the
+        // bytes actually present before allocating tables.
+        if nseries > (body.len() - off) / 32 + 1 {
+            return Err(WalError::Snapshot("series count out of bounds"));
+        }
+        let mut store = Vec::with_capacity(nseries);
+        let mut meta = Vec::with_capacity(nseries);
+        for _ in 0..nseries {
+            let len = take(&mut off)? as usize;
+            if len > retain || len * 16 > body.len() - off {
+                return Err(WalError::Snapshot("series length out of bounds"));
+            }
+            let mut buf = ColumnSeries {
+                times: Vec::with_capacity(len),
+                values: Vec::with_capacity(len),
+                start: 0,
+            };
+            for _ in 0..len {
+                buf.times.push(f64::from_bits(take(&mut off)?));
+            }
+            for _ in 0..len {
+                buf.values.push(f64::from_bits(take(&mut off)?));
+            }
+            let dropped = take(&mut off)?;
+            let ngaps = take(&mut off)? as usize;
+            if ngaps > retain || ngaps * 8 > body.len() - off {
+                return Err(WalError::Snapshot("gap count out of bounds"));
+            }
+            let mut gaps = VecDeque::with_capacity(ngaps);
+            for _ in 0..ngaps {
+                gaps.push_back(f64::from_bits(take(&mut off)?));
+            }
+            let revision = take(&mut off)?;
+            store.push(buf);
+            meta.push(SeriesMeta {
+                dropped,
+                gaps,
+                revision,
+            });
+        }
+        if off != body.len() {
+            return Err(WalError::Snapshot("trailing bytes"));
+        }
+        Ok((
+            Memory {
+                config: MemoryConfig { retain },
+                store,
+                meta,
+                global_revision,
+                journal: None,
+            },
+            wal_offset,
+        ))
     }
 }
 

@@ -465,6 +465,20 @@ impl GridMonitor {
         &self.memory
     }
 
+    /// Attaches a write-ahead log to the memory: every accepted
+    /// measurement, gap, and counted drop from here on is journaled in
+    /// commit order (see [`crate::wal`]). Attach before the first step
+    /// for a log that rebuilds the full state from genesis.
+    pub fn attach_journal(&mut self, wal: crate::wal::Wal) {
+        self.memory.attach_journal(wal);
+    }
+
+    /// The attached journal, if any — what the serving layer streams to
+    /// replicas.
+    pub fn journal(&self) -> Option<&crate::wal::Wal> {
+        self.memory.journal()
+    }
+
     /// The forecast service.
     pub fn forecasts(&self) -> &ForecastService {
         &self.service

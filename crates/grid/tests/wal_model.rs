@@ -1,0 +1,253 @@
+//! Property tests for the write-ahead log and snapshot codec.
+//!
+//! Mirrors the `nws-wire` fuzzing pattern: every record sequence must
+//! round-trip bit-exactly through the log; garbage bytes, truncated
+//! tails, and bit-flipped records must yield typed errors — never a
+//! panic — while recovery keeps every record before the first
+//! corruption; and rebuilding a [`Memory`] from genesis replay or from
+//! a snapshot plus the WAL suffix must reproduce the original
+//! fingerprint exactly.
+
+use nws_grid::wal::replay;
+use nws_grid::{recover_memory, Memory, MemoryConfig, ResourceId, Wal, WalRecord};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Any f64 bit pattern, including NaNs, infinities, and signed zeros.
+fn any_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+/// A record with fully arbitrary payload bits — what the codec has to
+/// carry faithfully regardless of what the store would do with it.
+fn any_record() -> impl Strategy<Value = WalRecord> {
+    (0u8..3, 0u64..6, any_f64(), any_f64()).prop_map(|(kind, id, time, value)| {
+        let id = ResourceId(id);
+        match kind {
+            0 => WalRecord::Append { id, time, value },
+            1 => WalRecord::Gap { id, time },
+            _ => WalRecord::Drop { id },
+        }
+    })
+}
+
+/// Raw op tuples for plausible journal traffic: mostly forward-in-time
+/// appends (so series actually accumulate points and the ring
+/// compacts), with occasional out-of-order appends, gaps, and drops.
+fn raw_ops(max: usize) -> impl Strategy<Value = Vec<(u8, u64, i32, i32)>> {
+    vec((0u8..12, 0u64..4, -3i32..10, -100_000i32..100_000), 1..max)
+}
+
+/// Decodes raw ops into records with per-series clocks, the way a
+/// monitor would emit them.
+fn build_records(raw: &[(u8, u64, i32, i32)]) -> Vec<WalRecord> {
+    let mut clocks: BTreeMap<u64, f64> = BTreeMap::new();
+    raw.iter()
+        .map(|&(kind, id, delta, centivalue)| {
+            let rid = ResourceId(id);
+            match kind {
+                9 => WalRecord::Gap {
+                    id: rid,
+                    time: clocks.get(&id).copied().unwrap_or(0.0),
+                },
+                10 | 11 => WalRecord::Drop { id: rid },
+                _ => {
+                    let clock = clocks.entry(id).or_insert(0.0);
+                    let time = *clock + f64::from(delta);
+                    if delta > 0 {
+                        *clock = time;
+                    }
+                    WalRecord::Append {
+                        id: rid,
+                        time,
+                        value: f64::from(centivalue) / 100.0,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Encoded frame length of one record.
+fn frame_len(rec: &WalRecord) -> usize {
+    let mut buf = Vec::new();
+    rec.encode_into(&mut buf);
+    buf.len()
+}
+
+/// Logs every record into a fresh in-memory WAL.
+fn log_all(records: &[WalRecord]) -> Wal {
+    let mut wal = Wal::new();
+    for rec in records {
+        wal.log(rec);
+    }
+    wal
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn records_round_trip_through_the_log(records in vec(any_record(), 0..64)) {
+        let wal = log_all(&records);
+        let mut seen = Vec::new();
+        let outcome = replay(wal.bytes(), 0, |rec| seen.push(*rec));
+        prop_assert!(outcome.error.is_none(), "own encoding must replay: {:?}", outcome.error);
+        prop_assert_eq!(outcome.records as usize, records.len());
+        prop_assert_eq!(outcome.end, wal.len());
+        // NaN-safe equality: re-log what came back, compare the bytes.
+        let relogged = log_all(&seen);
+        prop_assert_eq!(relogged.bytes(), wal.bytes());
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(bytes in vec(any::<u8>(), 0..256)) {
+        let outcome = replay(&bytes, 0, |_| {});
+        prop_assert!(outcome.end <= bytes.len());
+        // Either the garbage happened to parse to its end, or the
+        // failure is typed and positioned inside the buffer.
+        if outcome.end != bytes.len() {
+            prop_assert!(outcome.error.is_some());
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_every_whole_record(
+        records in vec(any_record(), 1..48),
+        frac in 0.0f64..1.0,
+    ) {
+        let wal = log_all(&records);
+        let cut = ((wal.len() as f64) * frac) as usize;
+        // How many records fit entirely below the cut, and where the
+        // last whole one ends.
+        let mut whole = 0usize;
+        let mut boundary = 0usize;
+        for rec in &records {
+            let next = boundary + frame_len(rec);
+            if next > cut {
+                break;
+            }
+            boundary = next;
+            whole += 1;
+        }
+        let mut seen = 0usize;
+        let outcome = replay(&wal.bytes()[..cut], 0, |_| seen += 1);
+        prop_assert_eq!(seen, whole);
+        prop_assert_eq!(outcome.end, boundary);
+        if cut == boundary {
+            prop_assert!(outcome.error.is_none(), "cut on a boundary is a clean tail");
+        } else {
+            prop_assert!(outcome.error.is_some(), "torn tail must be typed");
+        }
+    }
+
+    #[test]
+    fn single_byte_flips_are_typed_and_keep_the_prefix(
+        records in vec(any_record(), 1..48),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let wal = log_all(&records);
+        let mut bytes = wal.bytes().to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        // The record containing the flipped byte, and its offset.
+        let mut hit = 0usize;
+        let mut offset = 0usize;
+        for rec in &records {
+            let next = offset + frame_len(rec);
+            if pos < next {
+                break;
+            }
+            offset = next;
+            hit += 1;
+        }
+        let mut seen = 0usize;
+        let outcome = replay(&bytes, 0, |_| seen += 1);
+        prop_assert!(outcome.error.is_some(), "corruption must be a typed error");
+        prop_assert_eq!(seen, hit);
+        prop_assert_eq!(outcome.end, offset);
+    }
+
+    #[test]
+    fn snapshots_round_trip_bit_exactly(
+        retain in 1usize..6,
+        raw in raw_ops(96),
+    ) {
+        let records = build_records(&raw);
+        let mut mem = Memory::new(MemoryConfig { retain });
+        for rec in &records {
+            mem.apply(rec);
+        }
+        let snap = mem.snapshot_bytes();
+        let (restored, wal_offset) = Memory::from_snapshot(&snap).expect("own snapshot loads");
+        prop_assert_eq!(wal_offset, 0);
+        prop_assert_eq!(restored.fingerprint(), mem.fingerprint());
+        // Snapshotting the restored memory is a fixed point.
+        prop_assert_eq!(restored.snapshot_bytes(), snap);
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_not_panics(
+        retain in 1usize..6,
+        raw in raw_ops(64),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let records = build_records(&raw);
+        let mut mem = Memory::new(MemoryConfig { retain });
+        for rec in &records {
+            mem.apply(rec);
+        }
+        let snap = mem.snapshot_bytes();
+        // Any single flipped byte breaks the trailer CRC (or the magic).
+        let mut bad = snap.clone();
+        let pos = (pos_seed % bad.len() as u64) as usize;
+        bad[pos] ^= flip;
+        prop_assert!(Memory::from_snapshot(&bad).is_err());
+        // Any strict prefix is rejected too.
+        let cut = ((snap.len() as f64) * cut_frac) as usize;
+        prop_assert!(Memory::from_snapshot(&snap[..cut]).is_err());
+    }
+
+    #[test]
+    fn recovery_reproduces_the_fingerprint_from_genesis_or_snapshot(
+        retain in 1usize..6,
+        raw in raw_ops(96),
+        snap_at_seed in any::<u64>(),
+    ) {
+        let records = build_records(&raw);
+        let config = MemoryConfig { retain };
+        // The golden run: state and journal grown together.
+        let mut golden = Memory::new(config);
+        let mut wal = Wal::new();
+        let snap_at = (snap_at_seed % (records.len() as u64 + 1)) as usize;
+        let mut snapshot = None;
+        for (i, rec) in records.iter().enumerate() {
+            if i == snap_at {
+                snapshot = Some(golden.snapshot_bytes_at(wal.len() as u64));
+            }
+            golden.apply(rec);
+            wal.log(rec);
+        }
+        if snap_at == records.len() {
+            snapshot = Some(golden.snapshot_bytes_at(wal.len() as u64));
+        }
+
+        // Cold start: replay the whole journal from genesis.
+        let (from_genesis, report) = recover_memory(config, None, wal.bytes(), |_| {});
+        prop_assert!(report.tail_error.is_none());
+        prop_assert_eq!(report.replayed as usize, records.len());
+        prop_assert_eq!(from_genesis.fingerprint(), golden.fingerprint());
+
+        // Warm start: snapshot plus the journal suffix.
+        let snap = snapshot.expect("snap_at is always in range");
+        let (from_snap, report) = recover_memory(config, Some(&snap), wal.bytes(), |_| {});
+        prop_assert!(report.tail_error.is_none());
+        prop_assert!(report.snapshot_error.is_none());
+        prop_assert_eq!(report.replayed as usize, records.len() - snap_at);
+        prop_assert_eq!(from_snap.fingerprint(), golden.fingerprint());
+    }
+}

@@ -13,23 +13,35 @@
 //! - [`NwsServer`] — a threaded `std::net::TcpListener` server speaking
 //!   the [`nws_wire`] protocol, with per-connection read/write deadlines
 //!   and an in-flight connection bound derived from [`nws_runtime`].
-//! - [`NwsClient`] — a typed client with retry-and-reconnect.
+//! - [`NwsClient`] — a typed client with retry-and-reconnect behind
+//!   capped exponential backoff and seeded deterministic jitter.
 //! - [`Transport`] / [`InMemoryTransport`] — the same codec and
 //!   dispatch path without sockets, so tests and the determinism suite
 //!   can compare answers bit for bit against the TCP path.
+//! - [`ReplicaState`] — a read replica rebuilt byte-for-byte from the
+//!   primary's write-ahead log, streamed over the wire protocol's
+//!   `WalSince`/`WalChunk` frames and served through the same
+//!   [`Dispatch`] machinery as the primary.
+//! - [`FailoverClient`] — a typed client over an ordered replica set
+//!   with per-endpoint health tracking: transport failures rotate to
+//!   the next endpoint, typed server errors do not.
 //!
 //! [`GridMonitor`]: nws_grid::GridMonitor
 
 mod cache;
 mod client;
 mod driver;
+mod failover;
+mod replica;
 mod state;
 mod tcp;
 mod transport;
 
 pub use cache::QueryCache;
-pub use client::{ClientConfig, NwsClient};
+pub use client::{Backoff, ClientConfig, NwsClient};
 pub use driver::TickDriver;
-pub use state::GridState;
+pub use failover::FailoverClient;
+pub use replica::{ReplicaError, ReplicaState};
+pub use state::{Dispatch, GridState};
 pub use tcp::{NwsServer, ServerConfig};
 pub use transport::{InMemoryTransport, ServeError, Transport};

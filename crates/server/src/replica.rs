@@ -1,0 +1,499 @@
+//! Read replicas: a serving-side copy of the primary's state rebuilt
+//! from its journal, byte for byte.
+//!
+//! A replica never runs host simulators or sensors. It pulls the
+//! primary's write-ahead log over the wire ([`Request::WalSince`] →
+//! [`Response::WalChunk`]) and applies each record in commit order —
+//! the exact order the primary mutated its own [`Memory`] and
+//! [`ForecastService`] — so after draining the log the replica's
+//! column bytes, revision counters, and fingerprint are identical to
+//! the primary's. That makes "a replica serves the same answers as the
+//! primary" a byte-level property, checked here by fingerprint and in
+//! `tests/durability.rs` at every revision of a seeded run.
+//!
+//! Staleness stays explicit end to end: the primary stamps every chunk
+//! with its simulation clock, the replica judges forecast staleness
+//! against that stamp, and the revision-validated [`QueryCache`] keeps
+//! cached answers pinned to the replicated revision they were computed
+//! at.
+
+use crate::cache::QueryCache;
+use crate::state::Dispatch;
+use crate::transport::{ServeError, Transport};
+use nws_grid::wal::replay;
+use nws_grid::{
+    ForecastService, GridMonitorConfig, Memory, Metric, Registry, ResourceId, WalError, WalRecord,
+};
+use nws_wire::{
+    ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,
+    SnapshotReply, StatsReply, WalChunkReply, MAX_BATCH, MAX_POINTS, MAX_WAL_CHUNK,
+};
+
+/// Everything that can go wrong applying the replication stream.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// A chunk did not start where the replica left off.
+    OffsetGap {
+        /// The next byte the replica needs.
+        expected: u64,
+        /// The byte the chunk started at.
+        got: u64,
+    },
+    /// A chunk carried bytes that do not decode as journal records.
+    Corrupt(WalError),
+    /// The primary reported progress but sent an empty chunk.
+    Stalled {
+        /// Where replication stopped.
+        offset: u64,
+    },
+    /// The replica drained the journal but its memory revision does
+    /// not match what the primary reported — the streams diverged.
+    RevisionMismatch {
+        /// The replica's memory revision.
+        ours: u64,
+        /// The revision the primary stamped on the final chunk.
+        primary: u64,
+    },
+    /// The pull itself failed.
+    Transport(ServeError),
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::OffsetGap { expected, got } => {
+                write!(f, "chunk starts at {got}, replica needs {expected}")
+            }
+            ReplicaError::Corrupt(e) => write!(f, "corrupt replication chunk: {e}"),
+            ReplicaError::Stalled { offset } => {
+                write!(f, "empty chunk at {offset} with journal bytes remaining")
+            }
+            ReplicaError::RevisionMismatch { ours, primary } => {
+                write!(f, "replica revision {ours} != primary revision {primary}")
+            }
+            ReplicaError::Transport(e) => write!(f, "replication pull failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+impl From<ServeError> for ReplicaError {
+    fn from(e: ServeError) -> Self {
+        ReplicaError::Transport(e)
+    }
+}
+
+/// The state a read replica serves: journal-rebuilt memory and
+/// forecasts plus its own revision-validated query cache.
+pub struct ReplicaState {
+    hosts: Vec<String>,
+    registry: Registry,
+    memory: Memory,
+    service: ForecastService,
+    cache: QueryCache,
+    config: GridMonitorConfig,
+    requests: u64,
+    /// Journal bytes applied so far — the offset of the next pull.
+    applied: u64,
+    /// Journal length the primary last reported.
+    primary_total: u64,
+    /// Memory revision the primary last reported.
+    primary_revision: u64,
+    /// The primary's simulation clock at the last chunk — what this
+    /// replica judges staleness against.
+    primary_now: f64,
+}
+
+impl ReplicaState {
+    /// Creates an empty replica of a primary monitoring `hosts`,
+    /// registering the same four metrics per host in the same order so
+    /// resource ids in the journal resolve identically.
+    pub fn new(hosts: &[&str], config: GridMonitorConfig) -> Self {
+        let mut registry = Registry::new();
+        for host in hosts {
+            registry.register(*host, Metric::CpuAvailabilityLoad);
+            registry.register(*host, Metric::CpuAvailabilityVmstat);
+            registry.register(*host, Metric::CpuAvailabilityHybrid);
+            registry.register(*host, Metric::LoadAverage);
+        }
+        Self {
+            hosts: hosts.iter().map(|h| h.to_string()).collect(),
+            registry,
+            memory: Memory::new(config.memory),
+            service: ForecastService::new(config.interval_coverage),
+            cache: QueryCache::new(),
+            config,
+            requests: 0,
+            applied: 0,
+            primary_total: 0,
+            primary_revision: 0,
+            primary_now: 0.0,
+        }
+    }
+
+    /// The replicated memory (for fingerprint comparisons).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The replicated forecast service.
+    pub fn forecasts(&self) -> &ForecastService {
+        &self.service
+    }
+
+    /// The replica's query cache (for hit/miss accounting).
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Journal bytes applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Whether the replica has applied every journal byte the primary
+    /// last reported. A `true` here is a point-in-time fact: the
+    /// primary may have moved on since the last pull.
+    pub fn synced(&self) -> bool {
+        self.applied == self.primary_total
+    }
+
+    /// Applies one replication chunk. Chunks must arrive in order and
+    /// decode cleanly; anything else is a typed error and the replica
+    /// state is left at the last good record.
+    pub fn apply_chunk(&mut self, chunk: &WalChunkReply) -> Result<u64, ReplicaError> {
+        if chunk.offset != self.applied {
+            return Err(ReplicaError::OffsetGap {
+                expected: self.applied,
+                got: chunk.offset,
+            });
+        }
+        let memory = &mut self.memory;
+        let service = &mut self.service;
+        let outcome = replay(&chunk.bytes, 0, |rec| {
+            memory.apply(rec);
+            match *rec {
+                WalRecord::Append { id, time, value } => service.observe(id, time, value),
+                WalRecord::Gap { id, time } => service.note_gap(id, time),
+                WalRecord::Drop { .. } => {}
+            }
+        });
+        self.applied += outcome.end as u64;
+        if let Some(e) = outcome.error {
+            return Err(ReplicaError::Corrupt(e));
+        }
+        debug_assert_eq!(outcome.end, chunk.bytes.len(), "chunks end on boundaries");
+        self.primary_total = chunk.total;
+        self.primary_revision = chunk.revision;
+        self.primary_now = chunk.now;
+        Ok(outcome.records)
+    }
+
+    /// Pulls and applies journal chunks until the replica has caught up
+    /// with the primary, then cross-checks the memory revision the
+    /// primary reported. Returns the number of records applied.
+    pub fn sync<T: Transport>(&mut self, primary: &mut T) -> Result<u64, ReplicaError> {
+        let mut records = 0;
+        loop {
+            let chunk = primary.wal_since(self.applied, MAX_WAL_CHUNK as u32)?;
+            let got = chunk.bytes.len();
+            records += self.apply_chunk(&chunk)?;
+            if self.applied >= self.primary_total {
+                if self.memory.global_revision() != self.primary_revision {
+                    return Err(ReplicaError::RevisionMismatch {
+                        ours: self.memory.global_revision(),
+                        primary: self.primary_revision,
+                    });
+                }
+                return Ok(records);
+            }
+            if got == 0 {
+                return Err(ReplicaError::Stalled {
+                    offset: self.applied,
+                });
+            }
+        }
+    }
+
+    fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error(ErrorReply {
+            code,
+            message: message.into(),
+        })
+    }
+
+    fn hybrid_id(&self, host: &str) -> Option<ResourceId> {
+        self.registry.lookup(host, Metric::CpuAvailabilityHybrid)
+    }
+
+    fn dispatch_one(&mut self, req: &Request) -> Response {
+        self.requests += 1;
+        match req {
+            Request::Forecast { host } => self.forecast(host),
+            Request::Snapshot => Response::Snapshot(self.snapshot_reply()),
+            Request::BestHost => self.best_host(),
+            Request::SeriesTail { host, n } => self.series_tail(host, *n),
+            Request::Stats => Response::Stats(self.stats_reply()),
+            Request::WalSince { .. } => Self::error(
+                ErrorCode::BadRequest,
+                "replicas do not serve the journal; pull from the primary",
+            ),
+            Request::Batch(_) => Self::error(ErrorCode::BadRequest, "batches cannot nest"),
+        }
+    }
+
+    fn forecast(&mut self, host: &str) -> Response {
+        let Some(id) = self.hybrid_id(host) else {
+            return Self::error(ErrorCode::UnknownHost, format!("no such host: {host}"));
+        };
+        let revision = self.service.revision(id);
+        if let Some(reply) = self.cache.forecast(id, revision) {
+            return Response::Forecast(reply);
+        }
+        let Some(answer) = self.service.forecast_at(id, self.primary_now) else {
+            return Self::error(
+                ErrorCode::ColdForecast,
+                format!("{host} has no replicated measurements yet"),
+            );
+        };
+        let reply = ForecastReply {
+            host: host.to_string(),
+            value: answer.forecast.value,
+            method: answer.forecast.method.to_string(),
+            interval: answer.interval.as_ref().map(|iv| (iv.lo, iv.hi)),
+            observations: answer.observations,
+            staleness: answer.staleness,
+            confidence: answer.confidence,
+        };
+        self.cache.store_forecast(id, revision, reply.clone());
+        Response::Forecast(reply)
+    }
+
+    /// The replica-wide revision cached snapshots validate against:
+    /// any replicated measurement or gap moves it, and so does a
+    /// primary clock advance (new chunk, same bytes).
+    fn snapshot_revision(&self) -> u64 {
+        self.memory
+            .global_revision()
+            .wrapping_add(self.service.global_revision())
+            .wrapping_add(self.primary_now.to_bits())
+    }
+
+    fn current_snapshot(&mut self) -> &SnapshotReply {
+        let revision = self.snapshot_revision();
+        if self.cache.snapshot_ref(revision).is_none() {
+            let time = self.primary_now;
+            let bound = self.config.staleness_bound;
+            let hosts = self
+                .hosts
+                .iter()
+                .map(|host| {
+                    let id = self
+                        .registry
+                        .lookup(host, Metric::CpuAvailabilityHybrid)
+                        .expect("registered in new()");
+                    let answer = self.service.forecast_at(id, time);
+                    let degraded = answer.as_ref().is_none_or(|a| a.staleness > bound);
+                    HostRow {
+                        host: host.clone(),
+                        latest: self.memory.latest(id).map(|p| p.value),
+                        forecast: answer.map(|a| a.forecast.value),
+                        degraded,
+                    }
+                })
+                .collect();
+            self.cache
+                .store_snapshot(revision, SnapshotReply { time, hosts });
+        }
+        self.cache.stored_snapshot().expect("just stored")
+    }
+
+    fn snapshot_reply(&mut self) -> SnapshotReply {
+        self.current_snapshot().clone()
+    }
+
+    fn best_host(&mut self) -> Response {
+        let best = self
+            .current_snapshot()
+            .hosts
+            .iter()
+            .filter(|h| !h.degraded)
+            .filter(|h| h.forecast.is_some_and(f64::is_finite))
+            .max_by(|a, b| {
+                let fa = a.forecast.expect("filtered");
+                let fb = b.forecast.expect("filtered");
+                fa.total_cmp(&fb)
+            })
+            .cloned();
+        Response::BestHost(best)
+    }
+
+    fn series_tail(&mut self, host: &str, n: u32) -> Response {
+        let Some(id) = self.hybrid_id(host) else {
+            return Self::error(ErrorCode::UnknownHost, format!("no such host: {host}"));
+        };
+        let n = (n as usize).min(MAX_POINTS);
+        let (times, values) = self.memory.tail(id, n);
+        let points = times
+            .iter()
+            .zip(values)
+            .map(|(&time, &value)| SeriesPoint { time, value })
+            .collect();
+        Response::SeriesTail(SeriesTailReply {
+            host: host.to_string(),
+            points,
+        })
+    }
+
+    fn stats_reply(&self) -> StatsReply {
+        StatsReply {
+            requests: self.requests,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            invalidations: self.cache.invalidations(),
+            // The replica's view of the primary clock, in slots.
+            slots: (self.primary_now / self.config.cadence.measurement_period).round() as u64,
+            hosts: self.hosts.len() as u32,
+        }
+    }
+}
+
+impl Dispatch for ReplicaState {
+    fn dispatch(&mut self, req: &Request) -> Response {
+        match req {
+            Request::Batch(items) => {
+                if items.len() > MAX_BATCH {
+                    return Self::error(ErrorCode::BadRequest, "batch too large");
+                }
+                Response::Batch(items.iter().map(|r| self.dispatch_one(r)).collect())
+            }
+            other => self.dispatch_one(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::GridState;
+    use crate::transport::InMemoryTransport;
+    use nws_grid::{GridMonitor, GridMonitorConfig, Wal};
+    use nws_sim::HostProfile;
+    use std::sync::{Arc, Mutex};
+
+    const HOSTS: [&str; 2] = ["thing1", "gremlin"];
+
+    fn journaled_primary(steps: u64) -> InMemoryTransport {
+        let mut grid = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Gremlin],
+            7,
+            GridMonitorConfig::default(),
+        );
+        grid.attach_journal(Wal::new());
+        grid.run_steps(steps);
+        InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid))))
+    }
+
+    #[test]
+    fn replica_matches_the_primary_byte_for_byte() {
+        let mut primary = journaled_primary(40);
+        let mut replica = ReplicaState::new(&HOSTS, GridMonitorConfig::default());
+        let records = replica.sync(&mut primary).expect("sync");
+        assert!(records > 0);
+        assert!(replica.synced());
+        let st = primary.state().lock().unwrap();
+        assert_eq!(
+            replica.memory().fingerprint(),
+            st.grid().memory().fingerprint(),
+            "replicated memory is bit-identical"
+        );
+        assert_eq!(
+            replica.forecasts().global_revision(),
+            st.grid().forecasts().global_revision()
+        );
+    }
+
+    #[test]
+    fn replica_serves_the_primary_answers() {
+        let mut primary = journaled_primary(40);
+        let mut replica = ReplicaState::new(&HOSTS, GridMonitorConfig::default());
+        replica.sync(&mut primary).expect("sync");
+        for host in HOSTS {
+            let from_primary = match primary
+                .state()
+                .lock()
+                .unwrap()
+                .dispatch(&Request::Forecast { host: host.into() })
+            {
+                Response::Forecast(r) => r,
+                other => panic!("wrong reply: {other:?}"),
+            };
+            let from_replica = match replica.dispatch(&Request::Forecast { host: host.into() }) {
+                Response::Forecast(r) => r,
+                other => panic!("wrong reply: {other:?}"),
+            };
+            assert_eq!(from_primary, from_replica, "host {host}");
+        }
+        let snap_p = match primary.state().lock().unwrap().dispatch(&Request::Snapshot) {
+            Response::Snapshot(s) => s,
+            other => panic!("wrong reply: {other:?}"),
+        };
+        let snap_r = match replica.dispatch(&Request::Snapshot) {
+            Response::Snapshot(s) => s,
+            other => panic!("wrong reply: {other:?}"),
+        };
+        assert_eq!(snap_p, snap_r, "snapshots agree row for row");
+    }
+
+    #[test]
+    fn replica_follows_an_advancing_primary_incrementally() {
+        let mut primary = journaled_primary(10);
+        let mut replica = ReplicaState::new(&HOSTS, GridMonitorConfig::default());
+        replica.sync(&mut primary).expect("first sync");
+        for _ in 0..5 {
+            primary.state().lock().unwrap().tick(7);
+            replica.sync(&mut primary).expect("catch up");
+            let st = primary.state().lock().unwrap();
+            assert_eq!(
+                replica.memory().fingerprint(),
+                st.grid().memory().fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_and_corrupt_chunks_are_typed_errors() {
+        let mut primary = journaled_primary(20);
+        let mut replica = ReplicaState::new(&HOSTS, GridMonitorConfig::default());
+        let chunk = primary.wal_since(0, 4096).expect("chunk");
+        // Skipping ahead is refused.
+        let ahead = WalChunkReply {
+            offset: chunk.bytes.len() as u64 + 8,
+            ..chunk.clone()
+        };
+        assert!(matches!(
+            replica.apply_chunk(&ahead),
+            Err(ReplicaError::OffsetGap { expected: 0, .. })
+        ));
+        // A flipped byte is refused, keeping the records before it.
+        let mut bad = chunk.clone();
+        let n = bad.bytes.len();
+        bad.bytes[n / 2] ^= 0x40;
+        match replica.apply_chunk(&bad) {
+            Err(ReplicaError::Corrupt(_)) => {}
+            other => panic!("wrong result: {other:?}"),
+        }
+        assert!(replica.applied() > 0, "valid prefix was kept");
+        assert!(replica.applied() <= (n / 2) as u64 + 8);
+    }
+
+    #[test]
+    fn replica_refuses_to_serve_the_journal() {
+        let mut replica = ReplicaState::new(&HOSTS, GridMonitorConfig::default());
+        match replica.dispatch(&Request::WalSince { offset: 0, max: 64 }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+}

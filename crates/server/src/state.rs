@@ -8,11 +8,22 @@
 //! parallel advance is itself bit-deterministic).
 
 use crate::cache::QueryCache;
+use nws_grid::wal::MAX_RECORD_FRAME;
 use nws_grid::{GridMonitor, Metric};
 use nws_wire::{
     ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,
-    SnapshotReply, StatsReply, MAX_BATCH, MAX_POINTS,
+    SnapshotReply, StatsReply, WalChunkReply, MAX_BATCH, MAX_POINTS, MAX_WAL_CHUNK,
 };
+
+/// Anything that can answer a decoded request — the primary
+/// ([`GridState`]) and read replicas
+/// ([`ReplicaState`](crate::ReplicaState)) both implement it, so the
+/// TCP server and the in-memory transport serve either one through the
+/// same machinery.
+pub trait Dispatch: Send {
+    /// Turns one decoded request into a response.
+    fn dispatch(&mut self, req: &Request) -> Response;
+}
 
 /// The state a forecast server fronts: the grid, the cache, and the
 /// request accounting.
@@ -84,8 +95,34 @@ impl GridState {
             Request::BestHost => self.best_host(),
             Request::SeriesTail { host, n } => self.series_tail(host, *n),
             Request::Stats => Response::Stats(self.stats_reply()),
+            Request::WalSince { offset, max } => self.wal_since(*offset, *max),
             Request::Batch(_) => error(ErrorCode::BadRequest, "batches cannot nest"),
         }
+    }
+
+    /// Serves one bounded chunk of the journal for replication. The
+    /// chunk always ends on a record boundary, so a replica can apply
+    /// it without buffering partial frames across replies.
+    fn wal_since(&mut self, offset: u64, max: u32) -> Response {
+        let Some(wal) = self.grid.journal() else {
+            return error(ErrorCode::BadRequest, "no journal attached to this server");
+        };
+        let total = wal.len() as u64;
+        if offset > total {
+            return error(
+                ErrorCode::BadRequest,
+                format!("wal offset {offset} is past the journal end {total}"),
+            );
+        }
+        let max = (max as usize).clamp(MAX_RECORD_FRAME, MAX_WAL_CHUNK);
+        let bytes = wal.chunk(offset as usize, max).to_vec();
+        Response::WalChunk(WalChunkReply {
+            offset,
+            total,
+            revision: self.grid.memory().global_revision(),
+            now: self.grid.now(),
+            bytes,
+        })
     }
 
     fn forecast(&mut self, host: &str) -> Response {
@@ -203,6 +240,12 @@ impl GridState {
             slots: self.grid.slots(),
             hosts: self.hosts,
         }
+    }
+}
+
+impl Dispatch for GridState {
+    fn dispatch(&mut self, req: &Request) -> Response {
+        GridState::dispatch(self, req)
     }
 }
 
@@ -335,6 +378,59 @@ mod tests {
                     other => panic!("wrong reply: {other:?}"),
                 }
             }
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wal_since_without_a_journal_is_a_typed_error() {
+        let mut st = warm_state();
+        match st.dispatch(&Request::WalSince {
+            offset: 0,
+            max: 1024,
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wal_since_streams_the_journal_in_bounded_chunks() {
+        let mut grid = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Gremlin],
+            7,
+            nws_grid::GridMonitorConfig::default(),
+        );
+        grid.attach_journal(nws_grid::Wal::new());
+        grid.run_steps(30);
+        let full = grid.journal().expect("attached").bytes().to_vec();
+        assert!(!full.is_empty());
+        let mut st = GridState::new(grid);
+        let mut got = Vec::new();
+        loop {
+            let resp = st.dispatch(&Request::WalSince {
+                offset: got.len() as u64,
+                max: 256,
+            });
+            let chunk = match resp {
+                Response::WalChunk(c) => c,
+                other => panic!("wrong reply: {other:?}"),
+            };
+            assert_eq!(chunk.total, full.len() as u64);
+            assert!(chunk.bytes.len() <= 256 + nws_grid::wal::MAX_RECORD_FRAME);
+            got.extend_from_slice(&chunk.bytes);
+            if got.len() as u64 >= chunk.total {
+                break;
+            }
+            assert!(!chunk.bytes.is_empty(), "no progress before the end");
+        }
+        assert_eq!(got, full, "chunks concatenate to the exact journal");
+        // An offset past the end is a typed error, not a panic.
+        match st.dispatch(&Request::WalSince {
+            offset: full.len() as u64 + 1,
+            max: 256,
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
             other => panic!("wrong reply: {other:?}"),
         }
     }

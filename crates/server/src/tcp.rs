@@ -1,12 +1,14 @@
 //! The TCP server: a threaded `std::net` listener speaking the wire
-//! protocol in front of shared [`GridState`].
+//! protocol in front of any shared [`Dispatch`] state — the primary
+//! [`GridState`] by default, or a [`ReplicaState`](crate::ReplicaState)
+//! fed from a primary's journal.
 //!
 //! One thread per live connection, bounded by
 //! [`ServerConfig::max_connections`] (derived from the deterministic
 //! runtime's thread count by default), with per-connection read/write
 //! deadlines so a stalled peer cannot pin a handler thread forever.
 
-use crate::state::GridState;
+use crate::state::{Dispatch, GridState};
 use nws_wire::{
     encode_response_frame, read_request, write_response, ErrorCode, ErrorReply, Response, WireError,
 };
@@ -43,26 +45,24 @@ impl Default for ServerConfig {
     }
 }
 
-/// A running forecast server bound to a local port.
-pub struct NwsServer {
+/// A running forecast server bound to a local port, generic over what
+/// it serves (the primary grid by default).
+pub struct NwsServer<D: Dispatch + 'static = GridState> {
     addr: SocketAddr,
-    state: Arc<Mutex<GridState>>,
+    state: Arc<Mutex<D>>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
-impl NwsServer {
+impl<D: Dispatch + 'static> NwsServer<D> {
     /// Spawns the accept loop on an OS-assigned localhost port.
-    pub fn spawn(state: GridState, config: ServerConfig) -> std::io::Result<Self> {
+    pub fn spawn(state: D, config: ServerConfig) -> std::io::Result<Self> {
         Self::spawn_shared(Arc::new(Mutex::new(state)), config)
     }
 
     /// Spawns the accept loop over state shared with the caller (so a
     /// driver can keep ticking the grid while the server runs).
-    pub fn spawn_shared(
-        state: Arc<Mutex<GridState>>,
-        config: ServerConfig,
-    ) -> std::io::Result<Self> {
+    pub fn spawn_shared(state: Arc<Mutex<D>>, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         // Poll the shutdown flag between accepts instead of blocking
@@ -89,12 +89,14 @@ impl NwsServer {
 
     /// The shared state, for ticking the grid or reading cache stats
     /// while the server runs.
-    pub fn state(&self) -> &Arc<Mutex<GridState>> {
+    pub fn state(&self) -> &Arc<Mutex<D>> {
         &self.state
     }
 
     /// Stops accepting and joins the accept thread. Handler threads
-    /// for already-open connections drain on their own deadlines.
+    /// for already-open connections hang up at their next request
+    /// boundary (or drain on their read deadlines if idle), so a
+    /// shutdown looks like a crash to connected clients.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_thread.take() {
@@ -103,15 +105,15 @@ impl NwsServer {
     }
 }
 
-impl Drop for NwsServer {
+impl<D: Dispatch + 'static> Drop for NwsServer<D> {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-fn accept_loop(
+fn accept_loop<D: Dispatch + 'static>(
     listener: TcpListener,
-    state: Arc<Mutex<GridState>>,
+    state: Arc<Mutex<D>>,
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 ) {
@@ -127,8 +129,9 @@ fn accept_loop(
                 active.fetch_add(1, Ordering::SeqCst);
                 let state = Arc::clone(&state);
                 let active = Arc::clone(&active);
+                let shutdown = Arc::clone(&shutdown);
                 std::thread::spawn(move || {
-                    handle_conn(stream, state, config);
+                    handle_conn(stream, state, shutdown, config);
                     active.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -156,7 +159,12 @@ fn refuse(stream: TcpStream, config: ServerConfig) {
 /// Serves one connection: read a request frame, dispatch, write the
 /// response frame, repeat until the peer hangs up, idles past the read
 /// deadline, or sends a malformed frame.
-fn handle_conn(stream: TcpStream, state: Arc<Mutex<GridState>>, config: ServerConfig) {
+fn handle_conn<D: Dispatch>(
+    stream: TcpStream,
+    state: Arc<Mutex<D>>,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+) {
     if stream.set_read_timeout(Some(config.read_timeout)).is_err()
         || stream
             .set_write_timeout(Some(config.write_timeout))
@@ -195,6 +203,11 @@ fn handle_conn(stream: TcpStream, state: Arc<Mutex<GridState>>, config: ServerCo
                 return;
             }
         };
+        if shutdown.load(Ordering::SeqCst) {
+            // The server is going down: hang up without answering, the
+            // way a killed process would.
+            return;
+        }
         let resp = state.lock().expect("server state poisoned").dispatch(&req);
         encode_response_frame(&mut scratch, &resp);
         if writer.write_all(&scratch).is_err() || writer.flush().is_err() {

@@ -7,11 +7,11 @@
 //! That makes "TCP and in-memory answers are byte-identical" a testable
 //! property rather than a hope.
 
-use crate::state::GridState;
+use crate::state::{Dispatch, GridState};
 use nws_wire::{
     encode_request_frame, encode_response_frame, read_request, read_response, ErrorReply,
     ForecastReply, HostRow, Request, Response, SeriesTailReply, SnapshotReply, StatsReply,
-    WireError,
+    WalChunkReply, WireError,
 };
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -108,13 +108,25 @@ pub trait Transport {
             _ => Err(ServeError::Unexpected("stats")),
         }
     }
+
+    /// Typed journal-chunk query: the replication pull. `max` is
+    /// clamped server-side to at most
+    /// [`MAX_WAL_CHUNK`](nws_wire::MAX_WAL_CHUNK) bytes.
+    fn wal_since(&mut self, offset: u64, max: u32) -> Result<WalChunkReply, ServeError> {
+        match self.call(&Request::WalSince { offset, max })? {
+            Response::WalChunk(r) => Ok(r),
+            Response::Error(e) => Err(ServeError::Remote(e)),
+            _ => Err(ServeError::Unexpected("wal chunk")),
+        }
+    }
 }
 
 /// The socket-free transport: frames requests into a buffer, decodes
-/// them back, dispatches against shared [`GridState`], and frames the
-/// response the same way the TCP server does.
-pub struct InMemoryTransport {
-    state: Arc<Mutex<GridState>>,
+/// them back, dispatches against any shared [`Dispatch`] state (the
+/// primary [`GridState`] by default), and frames the response the same
+/// way the TCP server does.
+pub struct InMemoryTransport<D: Dispatch = GridState> {
+    state: Arc<Mutex<D>>,
     /// Reusable "wire" for the request frame, mirroring the client's
     /// per-connection encode scratch.
     wire: Vec<u8>,
@@ -122,9 +134,9 @@ pub struct InMemoryTransport {
     back: Vec<u8>,
 }
 
-impl InMemoryTransport {
+impl<D: Dispatch> InMemoryTransport<D> {
     /// Wraps shared server state.
-    pub fn new(state: Arc<Mutex<GridState>>) -> Self {
+    pub fn new(state: Arc<Mutex<D>>) -> Self {
         Self {
             state,
             wire: Vec::new(),
@@ -133,12 +145,12 @@ impl InMemoryTransport {
     }
 
     /// The shared state (for advancing the grid mid-test).
-    pub fn state(&self) -> &Arc<Mutex<GridState>> {
+    pub fn state(&self) -> &Arc<Mutex<D>> {
         &self.state
     }
 }
 
-impl Transport for InMemoryTransport {
+impl<D: Dispatch> Transport for InMemoryTransport<D> {
     fn call_raw(&mut self, req: &Request) -> Result<(Response, Vec<u8>), ServeError> {
         // Client side: frame the request into the "wire".
         encode_request_frame(&mut self.wire, req);

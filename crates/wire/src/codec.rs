@@ -79,6 +79,12 @@ impl Writer {
             }
         }
     }
+
+    /// Appends a length-prefixed opaque byte string (WAL chunks).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
 }
 
 /// A bounds-checked payload cursor.
@@ -174,6 +180,13 @@ impl<'a> Reader<'a> {
         } else {
             Ok(None)
         }
+    }
+
+    /// Reads a length-prefixed opaque byte string, enforcing `max`
+    /// before any allocation happens.
+    pub fn take_bytes(&mut self, what: &'static str, max: usize) -> Result<Vec<u8>, WireError> {
+        let len = self.take_len(what, max)?;
+        Ok(self.take(len)?.to_vec())
     }
 }
 

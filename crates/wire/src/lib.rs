@@ -37,7 +37,7 @@ pub use frame::{
 };
 pub use message::{
     ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,
-    SnapshotReply, StatsReply, MAX_BATCH, MAX_HOSTS, MAX_POINTS,
+    SnapshotReply, StatsReply, WalChunkReply, MAX_BATCH, MAX_HOSTS, MAX_POINTS, MAX_WAL_CHUNK,
 };
 
 /// Frame magic: `"NW"` in big-endian byte order on the wire.

@@ -14,6 +14,10 @@ pub const MAX_HOSTS: usize = 4096;
 /// measurements is 8 640).
 pub const MAX_POINTS: usize = 65_536;
 
+/// Most WAL bytes one replication chunk may carry (64 KiB — well under
+/// [`crate::MAX_FRAME`], so a chunk frame always fits).
+pub const MAX_WAL_CHUNK: usize = 64 * 1024;
+
 /// A query a client sends to the forecast server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -39,6 +43,17 @@ pub enum Request {
     /// Several requests answered in one round trip, in order. Nested
     /// batches are rejected at decode time.
     Batch(Vec<Request>),
+    /// The replication pull: "stream me the primary's WAL from this
+    /// byte offset". The server replies with a [`Response::WalChunk`]
+    /// of at most `max` bytes, ending on a record boundary.
+    WalSince {
+        /// Byte offset into the primary's WAL (the replica's applied
+        /// high-water mark).
+        offset: u64,
+        /// Most chunk bytes wanted (server clamps to
+        /// [`MAX_WAL_CHUNK`]).
+        max: u32,
+    },
 }
 
 impl Request {
@@ -81,6 +96,11 @@ impl Request {
                     item.encode_into(w);
                 }
             }
+            Request::WalSince { offset, max } => {
+                w.put_u8(6);
+                w.put_u64(*offset);
+                w.put_u32(*max);
+            }
         }
     }
 
@@ -115,6 +135,10 @@ impl Request {
                 }
                 Ok(Request::Batch(items))
             }
+            6 => Ok(Request::WalSince {
+                offset: r.take_u64()?,
+                max: r.take_u32()?,
+            }),
             tag => Err(WireError::UnknownTag {
                 what: "request",
                 tag,
@@ -298,6 +322,29 @@ pub struct StatsReply {
     pub hosts: u32,
 }
 
+/// One replication chunk of the primary's WAL.
+///
+/// `bytes` always ends on a record boundary, so the replica can apply
+/// the chunk wholesale without buffering partial frames. A replica is
+/// fully caught up exactly when `offset + bytes.len() == total`; at
+/// that point its memory's global revision must equal `revision` (the
+/// byte-identity the replication tests pin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalChunkReply {
+    /// Byte offset this chunk starts at (echoes the request).
+    pub offset: u64,
+    /// Total WAL length on the primary when the chunk was cut.
+    pub total: u64,
+    /// The primary memory's global revision when the chunk was cut.
+    pub revision: u64,
+    /// The primary's simulation clock when the chunk was cut — what a
+    /// replica serves as "now" so staleness judgements match the
+    /// primary's.
+    pub now: f64,
+    /// Raw WAL record frames.
+    pub bytes: Vec<u8>,
+}
+
 /// A reply the forecast server sends back.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -316,6 +363,8 @@ pub enum Response {
     Batch(Vec<Response>),
     /// The request could not be answered.
     Error(ErrorReply),
+    /// Answer to [`Request::WalSince`].
+    WalChunk(WalChunkReply),
 }
 
 impl Response {
@@ -391,6 +440,18 @@ impl Response {
                 w.put_u8(e.code.tag());
                 w.put_str(&e.message);
             }
+            Response::WalChunk(c) => {
+                debug_assert!(
+                    c.bytes.len() <= MAX_WAL_CHUNK,
+                    "chunk exceeds protocol bound"
+                );
+                w.put_u8(7);
+                w.put_u64(c.offset);
+                w.put_u64(c.total);
+                w.put_u64(c.revision);
+                w.put_f64(c.now);
+                w.put_bytes(&c.bytes);
+            }
         }
     }
 
@@ -454,6 +515,13 @@ impl Response {
                 code: ErrorCode::from_tag(r.take_u8()?)?,
                 message: r.take_str()?,
             })),
+            7 => Ok(Response::WalChunk(WalChunkReply {
+                offset: r.take_u64()?,
+                total: r.take_u64()?,
+                revision: r.take_u64()?,
+                now: r.take_f64()?,
+                bytes: r.take_bytes("wal chunk", MAX_WAL_CHUNK)?,
+            })),
             tag => Err(WireError::UnknownTag {
                 what: "response",
                 tag,
@@ -498,6 +566,10 @@ mod tests {
                 },
                 Request::Stats,
             ]),
+            Request::WalSince {
+                offset: 123_456,
+                max: 65_536,
+            },
         ];
         for req in requests {
             let bytes = req.encode();
@@ -558,6 +630,20 @@ mod tests {
                 code: ErrorCode::UnknownHost,
                 message: "no such host: zardoz".into(),
             }),
+            Response::WalChunk(WalChunkReply {
+                offset: 72,
+                total: 1440,
+                revision: 99,
+                now: 120.0,
+                bytes: vec![0xAB; 33],
+            }),
+            Response::WalChunk(WalChunkReply {
+                offset: 0,
+                total: 0,
+                revision: 0,
+                now: 0.0,
+                bytes: Vec::new(),
+            }),
         ];
         for resp in responses {
             let bytes = resp.encode();
@@ -617,6 +703,25 @@ mod tests {
             Err(WireError::UnknownTag {
                 what: "error code",
                 tag: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_wal_chunk_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_f64(0.0);
+        w.put_u32(MAX_WAL_CHUNK as u32 + 1); // claims more than the bound
+        let bytes = w.finish();
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(WireError::LengthOutOfBounds {
+                what: "wal chunk",
+                ..
             })
         ));
     }

@@ -3,147 +3,15 @@
 //! The event-engine refactor must be invisible in the data: the same
 //! seeded scenario produces bit-identical Memory series, forecast CSV
 //! lines, and served wire bytes as the pre-refactor lockstep loops. The
-//! goldens below were recorded from the pre-refactor pipeline (commit
-//! d1793fb) and pin that equivalence; every engine configuration —
-//! thread counts, clocks, batch sizes — must keep reproducing them.
+//! goldens (in `tests/common`) were recorded from the pre-refactor
+//! pipeline (commit d1793fb) and pin that equivalence; every engine
+//! configuration — thread counts, clocks, batch sizes — must keep
+//! reproducing them.
 
-use nws::faults::{FaultPlan, FaultRates};
-use nws::grid::{GridMonitor, GridMonitorConfig, Metric, WeatherService};
-use nws::runtime::StepClock;
-use nws::server::{GridState, InMemoryTransport, Transport};
-use nws::sim::HostProfile;
-use nws::wire::Request;
-use std::sync::{Arc, Mutex};
+mod common;
 
-/// FNV-1a over an explicit byte stream: the fingerprint accumulator.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn str(&mut self, s: &str) {
-        self.bytes(s.as_bytes());
-    }
-}
-
-const METRICS: [Metric; 4] = [
-    Metric::CpuAvailabilityLoad,
-    Metric::CpuAvailabilityVmstat,
-    Metric::CpuAvailabilityHybrid,
-    Metric::LoadAverage,
-];
-
-/// Hashes every retained measurement bit, gap timestamp, drop count, and
-/// a forecast-CSV line per series, plus the fleet fault stats.
-fn grid_fingerprint(gm: &GridMonitor) -> u64 {
-    let mut h = Fnv::new();
-    let now = gm.now();
-    h.f64(now);
-    for p in HostProfile::all() {
-        for metric in METRICS {
-            let id = gm.registry().lookup(p.name(), metric).expect("registered");
-            h.u64(gm.memory().len(id) as u64);
-            gm.memory().with_series(id, |times, values| {
-                for (&t, &v) in times.iter().zip(values) {
-                    h.f64(t);
-                    h.f64(v);
-                }
-            });
-            for g in gm.memory().gaps(id) {
-                h.f64(g);
-            }
-            h.u64(gm.memory().dropped(id));
-            // One forecast-CSV line per series, hashed bit-for-bit.
-            let line = match gm.forecasts().forecast_at(id, now) {
-                None => format!("{},{:?},cold\n", p.name(), metric),
-                Some(a) => {
-                    let iv = a.interval.as_ref().map_or_else(
-                        || "-".to_string(),
-                        |iv| format!("{:016x}:{:016x}", iv.lo.to_bits(), iv.hi.to_bits()),
-                    );
-                    format!(
-                        "{},{:?},{:016x},{},{},{:016x},{:016x},{}\n",
-                        p.name(),
-                        metric,
-                        a.forecast.value.to_bits(),
-                        a.forecast.method,
-                        a.observations,
-                        a.staleness.to_bits(),
-                        a.confidence.to_bits(),
-                        iv
-                    )
-                }
-            };
-            h.str(&line);
-        }
-    }
-    let st = gm.fault_stats();
-    for v in [
-        st.slots,
-        st.delivered,
-        st.gaps,
-        st.outage_slots,
-        st.reboots,
-        st.probe_attempts_failed,
-        st.probes_abandoned,
-        st.fallback_cross,
-        st.delayed,
-        st.late_delivered,
-        st.late_dropped,
-    ] {
-        h.u64(v);
-    }
-    h.0
-}
-
-/// The fixed request script served against every scenario.
-fn request_script() -> Vec<Request> {
-    let hosts: Vec<String> = HostProfile::all()
-        .iter()
-        .map(|p| p.name().to_string())
-        .collect();
-    let mut seq = vec![Request::Snapshot, Request::BestHost];
-    for h in &hosts {
-        seq.push(Request::Forecast { host: h.clone() });
-        seq.push(Request::SeriesTail {
-            host: h.clone(),
-            n: 24,
-        });
-    }
-    seq.push(Request::Batch(
-        hosts
-            .iter()
-            .map(|h| Request::Forecast { host: h.clone() })
-            .collect(),
-    ));
-    seq.push(Request::Stats);
-    seq
-}
-
-/// Hashes the exact wire bytes the serving layer emits for the script.
-fn served_fingerprint(gm: GridMonitor) -> u64 {
-    let mut t = InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(gm))));
-    let mut h = Fnv::new();
-    for req in request_script() {
-        let (_, bytes) = t.call_raw(&req).expect("dispatch");
-        h.u64(bytes.len() as u64);
-        h.bytes(&bytes);
-    }
-    h.0
-}
+use common::*;
+use nws::grid::{Metric, WeatherService};
 
 /// Hashes both halves of the combined weather service: the CPU grid plus
 /// the network memories and bandwidth forecasts.
@@ -175,94 +43,12 @@ fn weather_fingerprint(ws: &WeatherService) -> u64 {
     h.0
 }
 
-const SEED: u64 = 4242;
-const STEPS: u64 = 120;
-
-/// The pre-refactor pipeline's fingerprints, recorded at commit d1793fb
-/// (lockstep `for host { measure; publish }` loops, manual tick
-/// interleaving, no engine). Every engine configuration must keep
-/// reproducing these exact bits.
-const GOLDEN_CLEAN_STATE: u64 = 0xaacf_b64a_5e5e_e354;
-const GOLDEN_CLEAN_SERVED: u64 = 0x8ce4_4a79_32c2_65e2;
-const GOLDEN_FAULT_STATE: u64 = 0xdbaa_fa67_5dbc_a4ac;
-const GOLDEN_FAULT_SERVED: u64 = 0x3948_2553_fb2c_3ced;
-const GOLDEN_WEATHER: u64 = 0x139c_5275_9273_0875;
-
-/// How one scenario paces and batches the engine.
-#[derive(Clone, Copy, Debug)]
-struct EngineSetup {
-    threads: usize,
-    batch_slots: usize,
-    /// `None` = virtual clock; `Some(q)` = a [`StepClock`] with quantum
-    /// `q` seconds.
-    step_quantum: Option<f64>,
-}
-
-impl EngineSetup {
-    const REFERENCE: EngineSetup = EngineSetup {
-        threads: 1,
-        batch_slots: 64,
-        step_quantum: None,
-    };
-}
-
-fn build_grid(faulted: bool, setup: EngineSetup) -> GridMonitor {
-    let plan = if faulted {
-        FaultPlan::seeded(17, FaultRates::uniform(0.12))
-    } else {
-        FaultPlan::none()
-    };
-    let config = GridMonitorConfig {
-        batch_slots: setup.batch_slots,
-        ..GridMonitorConfig::default()
-    };
-    match setup.step_quantum {
-        None => GridMonitor::with_faults(&HostProfile::all(), SEED, config, plan),
-        Some(q) => GridMonitor::with_clock(
-            &HostProfile::all(),
-            SEED,
-            config,
-            plan,
-            Box::new(StepClock::new(q)),
-        ),
-    }
-}
-
-/// Runs one scenario under a setup: (state fingerprint, served bytes
-/// fingerprint).
-fn scenario(setup: EngineSetup, faulted: bool) -> (u64, u64) {
-    nws::runtime::set_threads(Some(setup.threads));
-    let mut gm = build_grid(faulted, setup);
-    gm.run_steps(STEPS);
-    nws::runtime::set_threads(None);
-    let state = grid_fingerprint(&gm);
-    (state, served_fingerprint(gm))
-}
-
 fn weather_scenario(threads: usize) -> u64 {
     nws::runtime::set_threads(Some(threads));
     let mut ws = WeatherService::ucsd(7);
     ws.advance(3600.0);
     nws::runtime::set_threads(None);
     weather_fingerprint(&ws)
-}
-
-/// The full equivalence matrix: threads × batch window × clock, clean and
-/// faulted, all pinned to the pre-refactor goldens.
-fn setups() -> Vec<EngineSetup> {
-    let mut out = Vec::new();
-    for threads in [1, 4] {
-        for batch_slots in [1, 16, 64] {
-            for step_quantum in [None, Some(10.0)] {
-                out.push(EngineSetup {
-                    threads,
-                    batch_slots,
-                    step_quantum,
-                });
-            }
-        }
-    }
-    out
 }
 
 #[test]
