@@ -5,7 +5,7 @@
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3 fig4 ablation sweep robustness
 //!              sched datasched net loadstats faults perf serve fleet
-//!              durability all
+//!              durability load all
 //! ```
 //!
 //! Tables are printed with the paper's published value in parentheses next
@@ -119,6 +119,7 @@ fn parse_args() -> Args {
         "serve",
         "fleet",
         "durability",
+        "load",
         "all",
     ];
     for exp in &experiments {
@@ -144,7 +145,7 @@ fn usage(msg: &str) -> ! {
          experiments: table1 table2 table3 table4 table5 table6\n\
          \x20            fig1 fig2 fig3 fig4 ablation sweep robustness\n\
          \x20            sched datasched net loadstats faults perf serve fleet\n\
-         \x20            durability all"
+         \x20            durability load all"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -394,6 +395,13 @@ fn main() {
     if !run_all && args.experiments.contains("durability") {
         timed(&mut stages, "durability", || {
             run_durability(&cfg, args.quick, args.smoke)
+        });
+    }
+    // `load` saturates real sockets with open-loop traffic, so like
+    // `perf` it only runs when asked for by name.
+    if !run_all && args.experiments.contains("load") {
+        timed(&mut stages, "load", || {
+            run_load(&cfg, args.quick, args.smoke)
         });
     }
 
@@ -1323,6 +1331,562 @@ fn run_durability(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
     let mut avail_csv = String::from("requests,served,failovers,replica_synced\n");
     let _ = writeln!(avail_csv, "{requests},{served},{},true", client.failovers());
     write_artifact("durability_availability.csv", &avail_csv);
+}
+
+/// The `load` experiment: the coordinated-omission-free serving
+/// benchmark behind the committed `BENCH_serve.json`.
+///
+/// Phase 0 fingerprints the seeded inputs (arrival schedules, request
+/// mix, a serialized in-memory replay) into `results/load_sweep.csv` —
+/// deterministic columns only, so CI can byte-diff the file across
+/// thread counts. Phases 1-3 then measure: an open-loop rate sweep
+/// over TCP and the in-memory transport (latency charged from each
+/// request's precomputed virtual arrival, so server backlog cannot
+/// hide), a closed-loop comparison at the same mix, and a geometric
+/// binary search for the max sustainable rate under a p99 cap. Phase 4
+/// turns the adversarial personas loose on a tight-deadline server and
+/// asserts every defense trips; phase 5 replays the mix through a
+/// [`FailoverClient`] while a seeded [`CrashPlan`] picks the moment the
+/// primary dies, reporting availability and post-kill latency. All
+/// wall-clock numbers go to the JSON (and stdout) only.
+fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
+    use nws_faults::CrashPlan;
+    use nws_grid::{GridMonitorConfig, Wal};
+    use nws_loadgen::{
+        closed_loop, fnv1a, max_sustainable_rps, open_loop, personas, ArrivalSchedule,
+        InterArrival, LatencyHistogram, MixRatios, RateSearch, RequestStream,
+    };
+    use nws_server::{
+        ClientConfig, FailoverClient, GridState, InMemoryTransport, NwsClient, NwsServer,
+        ReplicaState, ServerConfig, Transport,
+    };
+    use nws_wire::{Request, Response};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Tier {
+        name: &'static str,
+        warm_steps: u64,
+        /// Offered rates for the open-loop sweep, requests/second.
+        rates: &'static [u64],
+        /// Requests per open-loop point.
+        n_open: usize,
+        workers: usize,
+        /// Requests per worker in the closed-loop phase.
+        n_closed_per_worker: usize,
+        search_iters: u32,
+        search_n: usize,
+        failover_requests: usize,
+    }
+    let tier = if smoke {
+        Tier {
+            name: "smoke",
+            warm_steps: 60,
+            rates: &[1000, 4000],
+            n_open: 400,
+            workers: 8,
+            n_closed_per_worker: 200,
+            search_iters: 3,
+            search_n: 200,
+            failover_requests: 40,
+        }
+    } else if quick {
+        Tier {
+            name: "quick",
+            warm_steps: 120,
+            rates: &[1000, 4000, 16000],
+            n_open: 800,
+            workers: 8,
+            n_closed_per_worker: 400,
+            search_iters: 5,
+            search_n: 400,
+            failover_requests: 80,
+        }
+    } else {
+        Tier {
+            name: "full",
+            warm_steps: 240,
+            rates: &[1000, 4000, 16000, 64000],
+            n_open: 2500,
+            workers: 8,
+            n_closed_per_worker: 1000,
+            search_iters: 7,
+            search_n: 1000,
+            failover_requests: 200,
+        }
+    };
+    let mix = MixRatios::default();
+    let tail_n = 16u32;
+    let batch_size = 4usize;
+    let heavy_shape = 1.5f64;
+    println!(
+        "\n== load: open-loop serving benchmark (tier {}, {} workers, rates {:?} rps) ==",
+        tier.name, tier.workers, tier.rates
+    );
+
+    let hosts: Vec<String> = HostProfile::all()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    let stream_seed = |label: &str| cfg.seed ^ fnv1a(label.as_bytes());
+    let us = |ns: u64| ns as f64 / 1e3;
+
+    // --- Phase 0: deterministic input fingerprints -> load_sweep.csv.
+    // Everything in this file is a pure function of the seed; CI diffs
+    // it byte-for-byte across --threads 1 and 4.
+    let mut csv = String::from("phase,name,n,detail,fingerprint\n");
+    let probe_rate = tier.rates[tier.rates.len() / 2];
+    for dist in [
+        InterArrival::poisson(probe_rate as f64),
+        InterArrival::heavy_tail(probe_rate as f64, heavy_shape),
+    ] {
+        let sched = ArrivalSchedule::generate(dist, stream_seed(dist.label()), tier.n_open);
+        let _ = writeln!(
+            csv,
+            "arrival,{},{},rate={probe_rate},{:#018x}",
+            dist.label(),
+            sched.len(),
+            sched.fingerprint()
+        );
+    }
+    {
+        let mut stream = RequestStream::new(stream_seed("mix"), &hosts, mix, tail_n, batch_size);
+        stream.take(tier.n_open);
+        let detail = stream
+            .counts()
+            .iter()
+            .map(|(kind, n)| format!("{}={n}", kind.label()))
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = writeln!(
+            csv,
+            "mix,stream,{},{detail},{:#018x}",
+            stream.drawn(),
+            stream.fingerprint()
+        );
+    }
+    {
+        // A serialized replay: the exact response bytes for a mixed
+        // request sequence against an identically warmed grid. Catches
+        // any thread-count leak anywhere in sense -> store -> serve.
+        let mut grid = nws_grid::GridMonitor::ucsd(cfg.seed);
+        grid.run_steps(tier.warm_steps);
+        let mut t = InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid))));
+        let mut stream = RequestStream::new(stream_seed("replay"), &hosts, mix, tail_n, batch_size);
+        let k = 256usize;
+        let mut fp = fnv1a(&[]);
+        for _ in 0..k {
+            let (_, bytes) = t
+                .call_raw(&stream.next_request())
+                .expect("in-memory replay");
+            let mut chained = fp.to_le_bytes().to_vec();
+            chained.extend_from_slice(&bytes);
+            fp = fnv1a(&chained);
+        }
+        let _ = writeln!(
+            csv,
+            "replay,in_memory,{k},warm={},{fp:#018x}",
+            tier.warm_steps
+        );
+    }
+
+    // --- Phase 1: open-loop rate sweep over both transports. One
+    // warmed grid behind a TCP server, an identically warmed twin
+    // behind the in-memory transport.
+    let mut grid_tcp = nws_grid::GridMonitor::ucsd(cfg.seed);
+    grid_tcp.run_steps(tier.warm_steps);
+    let mut grid_mem = nws_grid::GridMonitor::ucsd(cfg.seed);
+    grid_mem.run_steps(tier.warm_steps);
+    let server = NwsServer::spawn(
+        GridState::new(grid_tcp),
+        ServerConfig {
+            // Generous: probe transports from consecutive search
+            // iterations overlap while old sockets drain.
+            max_connections: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind localhost");
+    let addr = server.addr();
+    let mem_state = Arc::new(Mutex::new(GridState::new(grid_mem)));
+    let connect_tcp = |_: usize| -> NwsClient {
+        NwsClient::connect(addr, ClientConfig::default()).expect("connect load worker")
+    };
+    let connect_mem = |_: usize| InMemoryTransport::new(Arc::clone(&mem_state));
+
+    let mut open_entries: Vec<String> = Vec::new();
+    println!(
+        "  open loop ({} requests/point, latency from virtual arrival):",
+        tier.n_open
+    );
+    for transport in ["tcp", "in_memory"] {
+        let mut dists: Vec<(u64, InterArrival)> = tier
+            .rates
+            .iter()
+            .map(|&r| (r, InterArrival::poisson(r as f64)))
+            .collect();
+        dists.push((
+            probe_rate,
+            InterArrival::heavy_tail(probe_rate as f64, heavy_shape),
+        ));
+        for (rate, dist) in dists {
+            let label = format!("{transport}_{}_{rate}", dist.label());
+            let sched = ArrivalSchedule::generate(dist, stream_seed(dist.label()), tier.n_open);
+            let mut stream =
+                RequestStream::new(stream_seed(&label), &hosts, mix, tail_n, batch_size);
+            let requests = stream.take(tier.n_open);
+            let outcome = if transport == "tcp" {
+                let transports: Vec<NwsClient> = (0..tier.workers).map(connect_tcp).collect();
+                open_loop(transports, &sched, &requests)
+            } else {
+                let transports: Vec<InMemoryTransport> =
+                    (0..tier.workers).map(connect_mem).collect();
+                open_loop(transports, &sched, &requests)
+            };
+            assert_eq!(outcome.errors, 0, "{label}: errors under load");
+            assert_eq!(
+                outcome.completed, tier.n_open as u64,
+                "{label}: dropped requests"
+            );
+            let h = &outcome.hist;
+            println!(
+                "    {label:<28} offered {rate:>6} rps, achieved {:>8.0} rps, \
+                 latency us: p50 {:>9.1} p99 {:>9.1} p999 {:>9.1} max {:>9.1}",
+                outcome.achieved_rps(),
+                us(h.p50()),
+                us(h.p99()),
+                us(h.p999()),
+                us(h.max_ns()),
+            );
+            open_entries.push(format!(
+                "    {{ \"transport\": \"{transport}\", \"dist\": \"{}\", \
+                 \"offered_rps\": {rate}, \"requests\": {}, \
+                 \"achieved_rps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+                 \"p999_us\": {:.2}, \"max_us\": {:.2} }}",
+                dist.label(),
+                outcome.completed,
+                outcome.achieved_rps(),
+                us(h.p50()),
+                us(h.p99()),
+                us(h.p999()),
+                us(h.max_ns()),
+            ));
+            let _ = writeln!(
+                csv,
+                "open_loop,{label},{},sched={:#018x},{:#018x}",
+                tier.n_open,
+                sched.fingerprint(),
+                stream.fingerprint()
+            );
+        }
+    }
+
+    // --- Phase 2: closed-loop comparison at the same mix. The
+    // self-throttling baseline: the gap between these latencies and the
+    // open-loop curve at a comparable achieved rate is the delay
+    // coordinated omission used to hide.
+    let n_closed = tier.workers * tier.n_closed_per_worker;
+    let mut closed_entries: Vec<String> = Vec::new();
+    println!("  closed loop ({n_closed} requests, latency from send):");
+    for transport in ["tcp", "in_memory"] {
+        let label = format!("closed_{transport}");
+        let mut stream = RequestStream::new(stream_seed(&label), &hosts, mix, tail_n, batch_size);
+        let requests = stream.take(n_closed);
+        let outcome = if transport == "tcp" {
+            let transports: Vec<NwsClient> = (0..tier.workers).map(connect_tcp).collect();
+            closed_loop(transports, &requests)
+        } else {
+            let transports: Vec<InMemoryTransport> = (0..tier.workers).map(connect_mem).collect();
+            closed_loop(transports, &requests)
+        };
+        assert_eq!(outcome.errors, 0, "{label}: errors under load");
+        let h = &outcome.hist;
+        println!(
+            "    {label:<28} achieved {:>8.0} rps, latency us: p50 {:>9.1} \
+             p99 {:>9.1} p999 {:>9.1} max {:>9.1}",
+            outcome.achieved_rps(),
+            us(h.p50()),
+            us(h.p99()),
+            us(h.p999()),
+            us(h.max_ns()),
+        );
+        closed_entries.push(format!(
+            "    {{ \"transport\": \"{transport}\", \"requests\": {}, \
+             \"achieved_rps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+             \"p999_us\": {:.2}, \"max_us\": {:.2} }}",
+            outcome.completed,
+            outcome.achieved_rps(),
+            us(h.p50()),
+            us(h.p99()),
+            us(h.p999()),
+            us(h.max_ns()),
+        ));
+        let _ = writeln!(
+            csv,
+            "closed_loop,{transport},{n_closed},workers={},{:#018x}",
+            tier.workers,
+            stream.fingerprint()
+        );
+    }
+
+    // --- Phase 3: max sustainable rate, geometric bisection under a
+    // p99 cap. Rates probed depend on measured behavior, so this phase
+    // reports to JSON/stdout only — nothing lands in the CSV.
+    let search = RateSearch {
+        lo_rps: 500.0,
+        hi_rps: 131_072.0,
+        iterations: tier.search_iters,
+        requests: tier.search_n,
+        p99_cap: Duration::from_millis(20),
+        min_goodput: 0.9,
+    };
+    let mut search_entries: Vec<String> = Vec::new();
+    println!(
+        "  max sustainable rps (p99 cap {} ms, goodput floor {:.0}%):",
+        search.p99_cap.as_millis(),
+        search.min_goodput * 100.0
+    );
+    for transport in ["tcp", "in_memory"] {
+        let label = format!("search_{transport}");
+        let mut stream = RequestStream::new(stream_seed(&label), &hosts, mix, tail_n, batch_size);
+        let mut make_requests = |n: usize| stream.take(n);
+        let (best, probes) = if transport == "tcp" {
+            max_sustainable_rps(
+                connect_tcp,
+                tier.workers,
+                cfg.seed,
+                &mut make_requests,
+                search,
+            )
+        } else {
+            max_sustainable_rps(
+                connect_mem,
+                tier.workers,
+                cfg.seed,
+                &mut make_requests,
+                search,
+            )
+        };
+        let probe_json = probes
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{ \"offered_rps\": {:.0}, \"achieved_rps\": {:.0}, \
+                     \"p99_us\": {:.1}, \"sustainable\": {} }}",
+                    p.offered_rps,
+                    p.achieved_rps,
+                    us(p.p99_ns),
+                    p.sustainable
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "    {transport:<10} {best:>8.0} rps sustained ({} probes)",
+            probes.len()
+        );
+        search_entries.push(format!(
+            "    {{ \"transport\": \"{transport}\", \"best_rps\": {best:.0}, \
+             \"probes\": [{probe_json}] }}"
+        ));
+    }
+    drop(server);
+
+    // --- Phase 4: adversarial personas against a tight-deadline
+    // server, with a healthy client exchanging throughout. Every
+    // defense must trip, promptly, without collateral damage.
+    let mut persona_grid = nws_grid::GridMonitor::ucsd(cfg.seed);
+    persona_grid.run_steps(40);
+    let persona_server = NwsServer::spawn(
+        GridState::new(persona_grid),
+        ServerConfig {
+            read_timeout: Duration::from_millis(250),
+            request_deadline: Duration::from_millis(450),
+            max_connections: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind persona server");
+    let paddr = persona_server.addr();
+    let patience = Duration::from_secs(5);
+    let mut stats_frame = Vec::new();
+    nws_wire::encode_request_frame(&mut stats_frame, &Request::Stats);
+    let attackers = std::thread::spawn(move || {
+        let partial = std::thread::spawn(move || personas::partial_frame(paddr, patience));
+        let oversize = std::thread::spawn(move || personas::oversize_claim(paddr, patience));
+        let slow = std::thread::spawn(move || {
+            personas::slow_writer(paddr, &stats_frame, Duration::from_millis(75), patience)
+        });
+        [
+            partial.join().expect("partial_frame"),
+            oversize.join().expect("oversize_claim"),
+            slow.join().expect("slow_writer"),
+        ]
+    });
+    let mut healthy = NwsClient::connect(paddr, ClientConfig::default()).expect("connect healthy");
+    let mut healthy_calls = 0u64;
+    for _ in 0..25 {
+        healthy.stats().expect("healthy call during attack");
+        healthy_calls += 1;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let reports = attackers.join().expect("attacker thread");
+    let mut persona_detail = Vec::new();
+    for report in &reports {
+        let report = report.as_ref().expect("persona io");
+        assert!(
+            report.tripped,
+            "{} did not trip the server: {}",
+            report.name, report.detail
+        );
+        println!(
+            "  persona {:<16} tripped in {:>6.0} ms",
+            report.name,
+            report.elapsed.as_secs_f64() * 1e3
+        );
+        persona_detail.push(format!("{}=1", report.name));
+    }
+    healthy.stats().expect("healthy call after attack");
+    let persona_detail = persona_detail.join(";");
+    let _ = writeln!(
+        csv,
+        "personas,defenses,{},{persona_detail},{:#018x}",
+        reports.len(),
+        fnv1a(persona_detail.as_bytes())
+    );
+    drop(persona_server);
+
+    // --- Phase 5: the failover phase. Mix-driven load through a
+    // FailoverClient over primary + replica while a seeded CrashPlan
+    // picks the kill moment. Availability must hold at 100%.
+    let requests = tier.failover_requests;
+    let mut gm = nws_grid::GridMonitor::ucsd(cfg.seed);
+    gm.attach_journal(Wal::new());
+    gm.run_steps(tier.warm_steps.min(120));
+    let host_refs: Vec<&str> = HostProfile::all().iter().map(|p| p.name()).collect();
+    let mut primary = NwsServer::spawn(
+        GridState::new(gm),
+        ServerConfig {
+            max_connections: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind primary");
+    let mut feed = NwsClient::connect(primary.addr(), ClientConfig::default()).expect("connect");
+    let mut replica = ReplicaState::new(&host_refs, GridMonitorConfig::default());
+    replica.sync(&mut feed).expect("replicate over tcp");
+    drop(feed);
+    assert!(replica.synced(), "replica caught up to the primary");
+    let replica_server = NwsServer::spawn(
+        replica,
+        ServerConfig {
+            max_connections: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind replica");
+    let mut client = FailoverClient::new(
+        &[primary.addr(), replica_server.addr()],
+        ClientConfig {
+            io_timeout: Duration::from_millis(500),
+            retries: 0,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            ..ClientConfig::default()
+        },
+    );
+    let kill_at = CrashPlan::seeded(cfg.seed ^ 0x10AD)
+        .next_event()
+        .cut_at(requests)
+        .clamp(1, requests - 1);
+    let mut stream = RequestStream::new(stream_seed("failover"), &hosts, mix, tail_n, batch_size);
+    let failover_requests = stream.take(requests);
+    let mut hist = LatencyHistogram::new();
+    let mut served = 0usize;
+    let mut post_kill_ms = 0.0f64;
+    for (i, req) in failover_requests.iter().enumerate() {
+        if i == kill_at {
+            primary.shutdown();
+        }
+        let t0 = Instant::now();
+        let resp = client.call(req).expect("every request is served");
+        assert!(
+            !matches!(resp, Response::Error(_)),
+            "typed error through failover: {resp:?}"
+        );
+        let elapsed = t0.elapsed();
+        if i == kill_at {
+            post_kill_ms = elapsed.as_secs_f64() * 1e3;
+        }
+        hist.record(elapsed);
+        served += 1;
+    }
+    assert_eq!(served, requests, "availability through the kill is 100%");
+    assert!(client.failovers() >= 1, "the kill forced a failover");
+    println!(
+        "  failover: kill at request {kill_at}/{requests}, served {served}/{requests} \
+         ({} failover(s)); first post-kill {post_kill_ms:.2} ms, p50 {:.1} us, p99 {:.1} us",
+        client.failovers(),
+        us(hist.p50()),
+        us(hist.p99()),
+    );
+    let _ = writeln!(
+        csv,
+        "failover,primary_kill,{requests},kill_at={kill_at};served={served},{:#018x}",
+        stream.fingerprint()
+    );
+
+    write_artifact("load_sweep.csv", &csv);
+
+    // The serving baseline is tracked in version control, so like
+    // BENCH_perf.json it lands at the repository root.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"tier\": \"{}\",", tier.name);
+    let _ = writeln!(json, "  \"threads\": {},", nws_runtime::threads());
+    let _ = writeln!(json, "  \"workers\": {},", tier.workers);
+    let _ = writeln!(
+        json,
+        "  \"mix\": {{ \"forecast\": {}, \"snapshot\": {}, \"best_host\": {}, \
+         \"series_tail\": {}, \"batch\": {}, \"tail_n\": {tail_n}, \
+         \"batch_size\": {batch_size} }},",
+        mix.forecast, mix.snapshot, mix.best_host, mix.series_tail, mix.batch
+    );
+    let _ = writeln!(
+        json,
+        "  \"open_loop\": [\n{}\n  ],",
+        open_entries.join(",\n")
+    );
+    let _ = writeln!(
+        json,
+        "  \"closed_loop\": [\n{}\n  ],",
+        closed_entries.join(",\n")
+    );
+    let _ = writeln!(
+        json,
+        "  \"max_sustainable_rps\": [\n{}\n  ],",
+        search_entries.join(",\n")
+    );
+    let _ = writeln!(
+        json,
+        "  \"personas\": {{ \"count\": {}, \"tripped\": {}, \"healthy_calls\": {healthy_calls} }},",
+        reports.len(),
+        reports.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"failover\": {{ \"requests\": {requests}, \"kill_at\": {kill_at}, \
+         \"served\": {served}, \"failovers\": {}, \"post_kill_ms\": {post_kill_ms:.3}, \
+         \"p50_us\": {:.2}, \"p99_us\": {:.2} }}",
+        client.failovers(),
+        us(hist.p50()),
+        us(hist.p99())
+    );
+    json.push_str("}\n");
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("warning: cannot write BENCH_serve.json: {e}"),
+    }
 }
 
 /// The `serve` experiment: spins up the forecast-serving subsystem on a

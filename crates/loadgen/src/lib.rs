@@ -1,0 +1,50 @@
+//! Workload generator and latency harness for the serving tier.
+//!
+//! The serving experiments before this crate measured latency with a
+//! single closed-loop client: send, wait, measure, repeat. A closed
+//! loop is self-throttling — when the server stalls, the client stops
+//! sending, so the stall charges only one request with extra latency
+//! and the histogram stays rosy. That is *coordinated omission*. Real
+//! grid clients do not coordinate with the server: queries arrive on
+//! their own clock, bursty and heavy-tailed like the CPU availability
+//! signal the paper forecasts.
+//!
+//! This crate measures the server the way traffic actually hits it:
+//!
+//! - [`arrivals`] precomputes a virtual arrival timeline from a seeded
+//!   inter-arrival distribution (exponential, or Pareto for the
+//!   self-similar story) *before* any request is sent. The open-loop
+//!   runner charges each request from its virtual arrival time, so
+//!   queueing delay the server causes is measured, not hidden.
+//! - [`mix`] draws a deterministic stream of typed queries in
+//!   configurable ratios over the full vocabulary.
+//! - [`histogram`] is a dependency-free log-bucketed latency histogram
+//!   with bounded relative error, mergeable across workers.
+//! - [`runner`] drives any [`nws_server::Transport`] open-loop or
+//!   closed-loop and binary-searches the max sustainable request rate.
+//! - [`personas`] are adversarial clients — partial frames, oversize
+//!   length claims, byte-trickling slow writers — that must trip the
+//!   server's deadline and cap handling without hurting healthy peers.
+
+pub mod arrivals;
+pub mod histogram;
+pub mod mix;
+pub mod personas;
+pub mod runner;
+
+pub use arrivals::{ArrivalSchedule, InterArrival};
+pub use histogram::LatencyHistogram;
+pub use mix::{MixRatios, QueryKind, RequestStream};
+pub use personas::PersonaReport;
+pub use runner::{closed_loop, max_sustainable_rps, open_loop, LoadOutcome, RateProbe, RateSearch};
+
+/// FNV-1a over a byte slice: the repo's standard order-sensitive
+/// fingerprint for determinism checks in committed artifacts.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

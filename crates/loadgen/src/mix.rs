@@ -1,0 +1,297 @@
+//! Deterministic mixed-query streams.
+//!
+//! A load run should look like real traffic, not a loop of one query:
+//! cheap cached forecasts, whole-grid snapshots, best-host picks,
+//! history tails, and batches all hit different code paths and
+//! different lock hold times. [`RequestStream`] draws from that
+//! vocabulary in configurable integer ratios, seeded, so the exact
+//! same request sequence can be replayed on any transport or thread
+//! count and fingerprinted into committed artifacts.
+
+use crate::fnv1a;
+use nws_stats::Rng;
+use nws_wire::Request;
+
+/// The query vocabulary a stream draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// One-host forecast (the hot, cacheable path).
+    Forecast,
+    /// Whole-grid snapshot.
+    Snapshot,
+    /// Best-host selection.
+    BestHost,
+    /// Recent measurement history for one host.
+    SeriesTail,
+    /// A batch of forecasts in one frame.
+    Batch,
+}
+
+impl QueryKind {
+    /// All kinds, in ratio order.
+    pub const ALL: [QueryKind; 5] = [
+        QueryKind::Forecast,
+        QueryKind::Snapshot,
+        QueryKind::BestHost,
+        QueryKind::SeriesTail,
+        QueryKind::Batch,
+    ];
+
+    /// Short name for CSV rows and labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::Forecast => "forecast",
+            QueryKind::Snapshot => "snapshot",
+            QueryKind::BestHost => "best_host",
+            QueryKind::SeriesTail => "series_tail",
+            QueryKind::Batch => "batch",
+        }
+    }
+}
+
+/// Integer weights for each query kind. A weight of zero removes the
+/// kind from the mix entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixRatios {
+    /// Weight of [`QueryKind::Forecast`].
+    pub forecast: u32,
+    /// Weight of [`QueryKind::Snapshot`].
+    pub snapshot: u32,
+    /// Weight of [`QueryKind::BestHost`].
+    pub best_host: u32,
+    /// Weight of [`QueryKind::SeriesTail`].
+    pub series_tail: u32,
+    /// Weight of [`QueryKind::Batch`].
+    pub batch: u32,
+}
+
+impl Default for MixRatios {
+    /// Forecast-heavy, like a scheduler polling the grid: 60% point
+    /// forecasts, 10% snapshots, 10% best-host, 15% tails, 5% batches.
+    fn default() -> Self {
+        Self {
+            forecast: 60,
+            snapshot: 10,
+            best_host: 10,
+            series_tail: 15,
+            batch: 5,
+        }
+    }
+}
+
+impl MixRatios {
+    fn weights(&self) -> [u32; 5] {
+        [
+            self.forecast,
+            self.snapshot,
+            self.best_host,
+            self.series_tail,
+            self.batch,
+        ]
+    }
+
+    /// Total weight across all kinds.
+    pub fn total(&self) -> u32 {
+        self.weights().iter().sum()
+    }
+}
+
+/// A seeded generator of typed requests in the configured ratios.
+pub struct RequestStream {
+    rng: Rng,
+    hosts: Vec<String>,
+    ratios: MixRatios,
+    /// Points asked of each `SeriesTail`.
+    tail_n: u32,
+    /// Forecasts per `Batch` request.
+    batch_size: usize,
+    counts: [u64; 5],
+    /// Running FNV-1a over (kind tag, host index) draws, so a stream's
+    /// identity can be asserted without storing every request.
+    fingerprint: u64,
+    drawn: u64,
+}
+
+impl RequestStream {
+    /// Builds a stream over `hosts` (forecast/tail targets rotate
+    /// through them by seeded draw). Panics if `hosts` is empty or
+    /// every ratio is zero.
+    pub fn new(
+        seed: u64,
+        hosts: &[String],
+        ratios: MixRatios,
+        tail_n: u32,
+        batch_size: usize,
+    ) -> Self {
+        assert!(!hosts.is_empty(), "a mix needs at least one host");
+        assert!(ratios.total() > 0, "all mix ratios are zero");
+        assert!(batch_size > 0, "batch_size must be positive");
+        Self {
+            rng: Rng::new(seed).fork("loadgen.mix"),
+            hosts: hosts.to_vec(),
+            ratios,
+            tail_n,
+            batch_size,
+            counts: [0; 5],
+            fingerprint: fnv1a(&[]),
+            drawn: 0,
+        }
+    }
+
+    fn pick_kind(&mut self) -> QueryKind {
+        let weights = self.ratios.weights();
+        let mut roll = self.rng.below(u64::from(self.ratios.total()));
+        for (kind, &w) in QueryKind::ALL.iter().zip(&weights) {
+            if roll < u64::from(w) {
+                return *kind;
+            }
+            roll -= u64::from(w);
+        }
+        unreachable!("roll below total weight always lands in a band")
+    }
+
+    fn pick_host(&mut self) -> usize {
+        self.rng.below(self.hosts.len() as u64) as usize
+    }
+
+    fn note(&mut self, kind: QueryKind, host_idx: usize) {
+        let mut bytes = [0u8; 9];
+        bytes[0] = kind as u8;
+        bytes[1..].copy_from_slice(&(host_idx as u64).to_le_bytes());
+        // Chain the running fingerprint with this draw.
+        let mut chained = self.fingerprint.to_le_bytes().to_vec();
+        chained.extend_from_slice(&bytes);
+        self.fingerprint = fnv1a(&chained);
+    }
+
+    /// Draws the next request in the stream.
+    pub fn next_request(&mut self) -> Request {
+        let kind = self.pick_kind();
+        let idx = QueryKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("known kind");
+        self.counts[idx] += 1;
+        self.drawn += 1;
+        match kind {
+            QueryKind::Forecast => {
+                let h = self.pick_host();
+                self.note(kind, h);
+                Request::Forecast {
+                    host: self.hosts[h].clone(),
+                }
+            }
+            QueryKind::Snapshot => {
+                self.note(kind, 0);
+                Request::Snapshot
+            }
+            QueryKind::BestHost => {
+                self.note(kind, 0);
+                Request::BestHost
+            }
+            QueryKind::SeriesTail => {
+                let h = self.pick_host();
+                self.note(kind, h);
+                Request::SeriesTail {
+                    host: self.hosts[h].clone(),
+                    n: self.tail_n,
+                }
+            }
+            QueryKind::Batch => {
+                let mut items = Vec::with_capacity(self.batch_size);
+                for _ in 0..self.batch_size {
+                    let h = self.pick_host();
+                    self.note(kind, h);
+                    items.push(Request::Forecast {
+                        host: self.hosts[h].clone(),
+                    });
+                }
+                Request::Batch(items)
+            }
+        }
+    }
+
+    /// Draws `n` requests.
+    pub fn take(&mut self, n: usize) -> Vec<Request> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+
+    /// How many of each kind have been drawn, in [`QueryKind::ALL`] order.
+    pub fn counts(&self) -> [(QueryKind, u64); 5] {
+        let mut out = [(QueryKind::Forecast, 0); 5];
+        for (i, &kind) in QueryKind::ALL.iter().enumerate() {
+            out[i] = (kind, self.counts[i]);
+        }
+        out
+    }
+
+    /// Total requests drawn.
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Order-sensitive fingerprint of every draw so far.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts() -> Vec<String> {
+        vec!["thing1".into(), "thing2".into(), "gremlin".into()]
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let mut a = RequestStream::new(5, &hosts(), MixRatios::default(), 16, 4);
+        let mut b = RequestStream::new(5, &hosts(), MixRatios::default(), 16, 4);
+        assert_eq!(a.take(300), b.take(300));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = RequestStream::new(6, &hosts(), MixRatios::default(), 16, 4);
+        c.take(300);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn ratios_are_respected_within_tolerance() {
+        let ratios = MixRatios::default();
+        let mut s = RequestStream::new(42, &hosts(), ratios, 16, 4);
+        let n = 20_000;
+        s.take(n);
+        let total = ratios.total() as f64;
+        let weights = [
+            ratios.forecast,
+            ratios.snapshot,
+            ratios.best_host,
+            ratios.series_tail,
+            ratios.batch,
+        ];
+        for ((kind, got), &w) in s.counts().iter().zip(&weights) {
+            let want = n as f64 * f64::from(w) / total;
+            assert!(
+                (*got as f64 - want).abs() < want * 0.15 + 20.0,
+                "{}: got {got}, want ≈{want}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_removes_a_kind() {
+        let ratios = MixRatios {
+            batch: 0,
+            snapshot: 0,
+            ..MixRatios::default()
+        };
+        let mut s = RequestStream::new(9, &hosts(), ratios, 8, 4);
+        for req in s.take(1000) {
+            assert!(
+                !matches!(req, Request::Batch(_) | Request::Snapshot),
+                "zero-weight kind drawn: {req:?}"
+            );
+        }
+    }
+}

@@ -105,6 +105,16 @@ impl Transport for FailoverClient {
         for step in 0..n {
             let idx = (start + step) % n;
             match self.try_endpoint(idx, req) {
+                Ok((Response::Error(e), _)) if e.code == nws_wire::ErrorCode::Overloaded => {
+                    // The server is at capacity and closes right after
+                    // the refusal frame — drop the connection and let a
+                    // replica absorb the call. Only if every endpoint
+                    // is saturated does the caller see the overload.
+                    let ep = &mut self.endpoints[idx];
+                    ep.client = None;
+                    ep.consecutive_failures += 1;
+                    last_err = Some(ServeError::Remote(e));
+                }
                 Ok(ok) => {
                     self.endpoints[idx].consecutive_failures = 0;
                     if idx != start {
@@ -202,6 +212,32 @@ mod tests {
             other => panic!("wrong result: {other:?}"),
         }
         assert!(client.health().iter().all(|&f| f >= 1));
+    }
+
+    #[test]
+    fn overloaded_primary_fails_over_to_the_replica() {
+        let mut grid = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Thing2],
+            31,
+            GridMonitorConfig::default(),
+        );
+        grid.run_steps(40);
+        // A primary with no capacity refuses everything with a typed
+        // Overloaded; the client should absorb that on the replica.
+        let primary = NwsServer::spawn(
+            GridState::new(grid),
+            ServerConfig {
+                max_connections: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let replica = warm_server();
+        let mut client = FailoverClient::new(&[primary.addr(), replica.addr()], quick_config());
+        let fc = client.forecast("thing1").expect("served by the replica");
+        assert!((0.0..=1.0).contains(&fc.value));
+        assert_eq!(client.failovers(), 1);
+        assert_eq!(client.preferred(), replica.addr());
     }
 
     #[test]

@@ -12,12 +12,12 @@ use crate::state::{Dispatch, GridState};
 use nws_wire::{
     encode_response_frame, read_request, write_response, ErrorCode, ErrorReply, Response, WireError,
 };
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables for [`NwsServer`].
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +27,12 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// How long a single response write may take.
     pub write_timeout: Duration,
+    /// Wall-clock budget for receiving one complete request frame.
+    /// `read_timeout` bounds each read(2), so a peer trickling one
+    /// byte per timeout window could pin a handler thread forever;
+    /// this deadline caps the whole frame. Keep it at or above
+    /// `read_timeout` or idle keep-alive connections will be cut early.
+    pub request_deadline: Duration,
     /// Connections served concurrently; excess connections are
     /// answered and closed immediately.
     pub max_connections: usize,
@@ -37,6 +43,7 @@ impl Default for ServerConfig {
         Self {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
             // Bound in-flight work by the runtime's configured
             // parallelism (never below two, so one slow client can't
             // starve the server in single-threaded runs).
@@ -45,12 +52,25 @@ impl Default for ServerConfig {
     }
 }
 
+/// Accept-loop counters, shared with the server handle so a load
+/// harness can watch admission behavior while traffic runs.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Connections admitted to a handler thread.
+    accepted: AtomicU64,
+    /// Connections turned away at the cap with a typed `Overloaded`.
+    refused: AtomicU64,
+    /// Handler threads live right now.
+    active: AtomicUsize,
+}
+
 /// A running forecast server bound to a local port, generic over what
 /// it serves (the primary grid by default).
 pub struct NwsServer<D: Dispatch + 'static = GridState> {
     addr: SocketAddr,
     state: Arc<Mutex<D>>,
     shutdown: Arc<AtomicBool>,
+    counters: Arc<ServeCounters>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -69,15 +89,18 @@ impl<D: Dispatch + 'static> NwsServer<D> {
         // forever in accept(2).
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServeCounters::default());
         let accept_thread = {
             let state = Arc::clone(&state);
             let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || accept_loop(listener, state, shutdown, config))
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || accept_loop(listener, state, shutdown, counters, config))
         };
         Ok(Self {
             addr,
             state,
             shutdown,
+            counters,
             accept_thread: Some(accept_thread),
         })
     }
@@ -91,6 +114,21 @@ impl<D: Dispatch + 'static> NwsServer<D> {
     /// while the server runs.
     pub fn state(&self) -> &Arc<Mutex<D>> {
         &self.state
+    }
+
+    /// Connections admitted to a handler thread so far.
+    pub fn accepted(&self) -> u64 {
+        self.counters.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Connections turned away at the cap with a typed `Overloaded`.
+    pub fn refused(&self) -> u64 {
+        self.counters.refused.load(Ordering::SeqCst)
+    }
+
+    /// Handler threads serving connections right now.
+    pub fn active_connections(&self) -> usize {
+        self.counters.active.load(Ordering::SeqCst)
     }
 
     /// Stops accepting and joins the accept thread. Handler threads
@@ -115,24 +153,29 @@ fn accept_loop<D: Dispatch + 'static>(
     listener: TcpListener,
     state: Arc<Mutex<D>>,
     shutdown: Arc<AtomicBool>,
+    counters: Arc<ServeCounters>,
     config: ServerConfig,
 ) {
-    let active = Arc::new(AtomicUsize::new(0));
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                if active.load(Ordering::SeqCst) >= config.max_connections {
-                    // Over the in-flight bound: refuse politely.
-                    refuse(stream, config);
+                if counters.active.load(Ordering::SeqCst) >= config.max_connections {
+                    // Over the in-flight bound: refuse politely, but
+                    // never from this thread — a peer that connects and
+                    // then refuses to read could otherwise stall the
+                    // accept loop for a full write timeout.
+                    counters.refused.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || refuse(stream));
                     continue;
                 }
-                active.fetch_add(1, Ordering::SeqCst);
+                counters.accepted.fetch_add(1, Ordering::SeqCst);
+                counters.active.fetch_add(1, Ordering::SeqCst);
                 let state = Arc::clone(&state);
-                let active = Arc::clone(&active);
+                let counters = Arc::clone(&counters);
                 let shutdown = Arc::clone(&shutdown);
                 std::thread::spawn(move || {
                     handle_conn(stream, state, shutdown, config);
-                    active.fetch_sub(1, Ordering::SeqCst);
+                    counters.active.fetch_sub(1, Ordering::SeqCst);
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -143,16 +186,61 @@ fn accept_loop<D: Dispatch + 'static>(
     }
 }
 
-/// Answers one over-capacity connection with a typed error, then closes.
-fn refuse(stream: TcpStream, config: ServerConfig) {
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
+/// Answers one over-capacity connection with a typed `Overloaded`
+/// frame, then closes. Runs on a short-lived detached thread with its
+/// own tight write deadline: the refusal is best-effort, and the close
+/// is the real signal.
+fn refuse(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let mut w = BufWriter::new(stream);
     let resp = Response::Error(ErrorReply {
-        code: ErrorCode::BadRequest,
+        code: ErrorCode::Overloaded,
         message: "server at connection capacity".to_string(),
     });
     if write_response(&mut w, &resp).is_ok() {
         let _ = w.flush();
+    }
+}
+
+/// A [`TcpStream`] reader that layers a per-request wall-clock
+/// deadline on top of the per-read timeout. Each `read` narrows the
+/// socket timeout to whatever is left of the armed budget, so a peer
+/// trickling a frame one byte at a time runs out of wall clock instead
+/// of resetting the idle timer with every byte.
+struct DeadlineStream {
+    stream: TcpStream,
+    per_read: Duration,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    fn new(stream: TcpStream, per_read: Duration) -> Self {
+        Self {
+            stream,
+            per_read,
+            deadline: Instant::now(),
+        }
+    }
+
+    /// Starts a fresh budget; called at each request boundary.
+    fn arm(&mut self, budget: Duration) {
+        self.deadline = Instant::now() + budget;
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        }
+        // Never pass a zero timeout: that would mean "block forever".
+        let slice = remaining.min(self.per_read).max(Duration::from_millis(1));
+        self.stream.set_read_timeout(Some(slice))?;
+        self.stream.read(buf)
     }
 }
 
@@ -165,10 +253,9 @@ fn handle_conn<D: Dispatch>(
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
 ) {
-    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
-        || stream
-            .set_write_timeout(Some(config.write_timeout))
-            .is_err()
+    if stream
+        .set_write_timeout(Some(config.write_timeout))
+        .is_err()
     {
         return;
     }
@@ -176,12 +263,17 @@ fn handle_conn<D: Dispatch>(
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(reader_stream);
+    let mut reader = BufReader::new(DeadlineStream::new(reader_stream, config.read_timeout));
     let mut writer = BufWriter::new(stream);
     // One encode scratch per connection: every reply frame is built in
     // this buffer, so steady-state serving does not allocate per reply.
     let mut scratch = Vec::new();
     loop {
+        // Arm the whole-frame budget at the request boundary. An idle
+        // keep-alive peer is still cut by the per-read timeout first
+        // (the deadline is the larger of the two by default); only a
+        // byte-trickling writer feels the difference.
+        reader.get_mut().arm(config.request_deadline);
         let req = match read_request(&mut reader) {
             Ok(req) => req,
             Err(WireError::Truncated) | Err(WireError::Io(_)) => {
@@ -288,11 +380,103 @@ mod tests {
         .expect("connect");
         match client.call(&Request::Stats) {
             Ok(Response::Error(e)) => {
-                assert_eq!(e.code, ErrorCode::BadRequest);
+                assert_eq!(e.code, ErrorCode::Overloaded);
                 assert!(e.message.contains("capacity"));
             }
             other => panic!("wrong result: {other:?}"),
         }
+        assert!(server.refused() >= 1);
+        assert_eq!(server.accepted(), 0);
+    }
+
+    #[test]
+    fn refusal_is_prompt_even_against_a_peer_that_never_reads() {
+        let server = warm_server(ServerConfig {
+            max_connections: 0,
+            ..ServerConfig::default()
+        });
+        // A hostile peer: connects, never reads its refusal. With the
+        // refusal on a detached thread, the accept loop must keep
+        // serving other refusals promptly instead of blocking on this
+        // socket's write path.
+        let _hostile = TcpStream::connect(server.addr()).expect("connect");
+        std::thread::sleep(Duration::from_millis(50));
+        let started = Instant::now();
+        let mut client = NwsClient::connect(
+            server.addr(),
+            ClientConfig {
+                retries: 0,
+                io_timeout: Duration::from_secs(2),
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect");
+        match client.call(&Request::Stats) {
+            Ok(Response::Error(e)) => assert_eq!(e.code, ErrorCode::Overloaded),
+            other => panic!("wrong result: {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "refusal took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn connection_churn_under_a_tight_cap() {
+        let server = warm_server(ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        });
+        let quick = ClientConfig {
+            retries: 0,
+            io_timeout: Duration::from_secs(2),
+            ..ClientConfig::default()
+        };
+        // Two idle holders pin the cap.
+        let hold_a = NwsClient::connect(server.addr(), quick).expect("holder a");
+        let mut hold_b = NwsClient::connect(server.addr(), quick).expect("holder b");
+        hold_b.stats().expect("holders are live");
+        std::thread::sleep(Duration::from_millis(50));
+        // A third connection is refused with the typed overload close.
+        let mut third = NwsClient::connect(server.addr(), quick).expect("connect");
+        match third.call(&Request::Stats) {
+            Ok(Response::Error(e)) => assert_eq!(e.code, ErrorCode::Overloaded),
+            other => panic!("wrong result: {other:?}"),
+        }
+        // Releasing a holder frees a slot; fresh connections serve again.
+        drop(hold_a);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let mut retry = NwsClient::connect(server.addr(), quick).expect("connect");
+            match retry.call(&Request::Stats) {
+                Ok(Response::Stats(_)) => break,
+                Ok(Response::Error(e)) if e.code == ErrorCode::Overloaded => {
+                    // The freed slot may lag the socket close a moment.
+                    assert!(Instant::now() < deadline, "slot never freed");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("wrong result: {other:?}"),
+            }
+        }
+        // Rapid sequential churn: every connect-call-drop cycle serves.
+        for _ in 0..20 {
+            let mut c = NwsClient::connect(server.addr(), quick).expect("connect");
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                match c.call(&Request::Stats) {
+                    Ok(Response::Stats(_)) => break,
+                    Ok(Response::Error(e)) if e.code == ErrorCode::Overloaded => {
+                        assert!(Instant::now() < deadline, "churn wedged the server");
+                        std::thread::sleep(Duration::from_millis(10));
+                        c = NwsClient::connect(server.addr(), quick).expect("reconnect");
+                    }
+                    other => panic!("wrong result: {other:?}"),
+                }
+            }
+        }
+        assert!(server.accepted() >= 20, "churn cycles were served");
+        assert!(server.refused() >= 1, "the cap actually fired");
     }
 
     #[test]

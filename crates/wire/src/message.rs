@@ -158,6 +158,10 @@ pub enum ErrorCode {
     /// The request was structurally valid but unserviceable (e.g. an
     /// oversized batch the server refuses to expand).
     BadRequest,
+    /// The server is at its connection or load cap; try a replica or
+    /// come back later. Unlike `BadRequest`, the request itself was
+    /// fine — retrying elsewhere is the right move.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -166,6 +170,7 @@ impl ErrorCode {
             ErrorCode::UnknownHost => 0,
             ErrorCode::ColdForecast => 1,
             ErrorCode::BadRequest => 2,
+            ErrorCode::Overloaded => 3,
         }
     }
 
@@ -174,6 +179,7 @@ impl ErrorCode {
             0 => Ok(ErrorCode::UnknownHost),
             1 => Ok(ErrorCode::ColdForecast),
             2 => Ok(ErrorCode::BadRequest),
+            3 => Ok(ErrorCode::Overloaded),
             tag => Err(WireError::UnknownTag {
                 what: "error code",
                 tag,
@@ -629,6 +635,10 @@ mod tests {
             Response::Error(ErrorReply {
                 code: ErrorCode::UnknownHost,
                 message: "no such host: zardoz".into(),
+            }),
+            Response::Error(ErrorReply {
+                code: ErrorCode::Overloaded,
+                message: "server at connection capacity".into(),
             }),
             Response::WalChunk(WalChunkReply {
                 offset: 72,

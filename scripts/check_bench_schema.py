@@ -32,6 +32,20 @@ REQUIRED_PERF_SECTIONS = (
     "serve",
 )
 
+# Sections every BENCH_serve.json (the `repro load` artifact) must
+# carry. Keyed on the presence of "open_loop" so the perf artifact and
+# other benchmark files pass through untouched.
+REQUIRED_SERVE_SECTIONS = (
+    "tier",
+    "workers",
+    "mix",
+    "open_loop",
+    "closed_loop",
+    "max_sustainable_rps",
+    "personas",
+    "failover",
+)
+
 
 def shape(node, path="$"):
     """The structure of a JSON value as a set of (path, kind) pairs."""
@@ -67,6 +81,10 @@ def main():
     for name, doc in ((baseline_path, baseline_doc), (candidate_path, candidate_doc)):
         if isinstance(doc, dict) and "engine" in doc:
             absent = [s for s in REQUIRED_PERF_SECTIONS if s not in doc]
+            if absent:
+                sys.exit(f"{name}: missing required sections: {', '.join(absent)}")
+        if isinstance(doc, dict) and "open_loop" in doc:
+            absent = [s for s in REQUIRED_SERVE_SECTIONS if s not in doc]
             if absent:
                 sys.exit(f"{name}: missing required sections: {', '.join(absent)}")
 

@@ -32,11 +32,15 @@
 //! - [`server`] — the serving subsystem itself: TCP server, typed
 //!   client with retry-and-reconnect, revision-validated query cache,
 //!   and a socket-free in-memory transport for determinism tests.
+//! - [`loadgen`] — coordinated-omission-free workload generator and
+//!   latency harness: open-loop arrival schedules, mixed query
+//!   streams, log-bucketed histograms, and adversarial personas.
 
 pub use nws_core as core;
 pub use nws_faults as faults;
 pub use nws_forecast as forecast;
 pub use nws_grid as grid;
+pub use nws_loadgen as loadgen;
 pub use nws_net as net;
 pub use nws_runtime as runtime;
 pub use nws_sched as sched;
