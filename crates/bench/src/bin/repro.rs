@@ -53,6 +53,9 @@ struct Args {
     smoke: bool,
     seed: Option<u64>,
     threads: Option<usize>,
+    /// Which socket transport the `load` experiment drives: "threaded",
+    /// "reactor", or "all" (both, the default — and what CI diffs).
+    transport: String,
     experiments: BTreeSet<String>,
 }
 
@@ -61,6 +64,7 @@ fn parse_args() -> Args {
     let mut smoke = false;
     let mut seed = None;
     let mut threads = None;
+    let mut transport = String::from("all");
     let mut experiments = BTreeSet::new();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -85,6 +89,15 @@ fn parse_args() -> Args {
                     usage("thread count must be positive");
                 }
                 threads = Some(n);
+            }
+            "--transport" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage("--transport needs a value"));
+                if !["threaded", "reactor", "all"].contains(&v.as_str()) {
+                    usage("transport must be threaded, reactor, or all");
+                }
+                transport = v;
             }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
@@ -132,6 +145,7 @@ fn parse_args() -> Args {
         smoke,
         seed,
         threads,
+        transport,
         experiments,
     }
 }
@@ -141,7 +155,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: repro [--quick] [--smoke] [--seed N] [--threads N] <experiment>...\n\
+        "usage: repro [--quick] [--smoke] [--seed N] [--threads N] \
+         [--transport threaded|reactor|all] <experiment>...\n\
          experiments: table1 table2 table3 table4 table5 table6\n\
          \x20            fig1 fig2 fig3 fig4 ablation sweep robustness\n\
          \x20            sched datasched net loadstats faults perf serve fleet\n\
@@ -401,7 +416,7 @@ fn main() {
     // `perf` it only runs when asked for by name.
     if !run_all && args.experiments.contains("load") {
         timed(&mut stages, "load", || {
-            run_load(&cfg, args.quick, args.smoke)
+            run_load(&cfg, args.quick, args.smoke, &args.transport)
         });
     }
 
@@ -1339,28 +1354,39 @@ fn run_durability(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
 /// Phase 0 fingerprints the seeded inputs (arrival schedules, request
 /// mix, a serialized in-memory replay) into `results/load_sweep.csv` —
 /// deterministic columns only, so CI can byte-diff the file across
-/// thread counts. Phases 1-3 then measure: an open-loop rate sweep
-/// over TCP and the in-memory transport (latency charged from each
-/// request's precomputed virtual arrival, so server backlog cannot
-/// hide), a closed-loop comparison at the same mix, and a geometric
-/// binary search for the max sustainable rate under a p99 cap. Phase 4
-/// turns the adversarial personas loose on a tight-deadline server and
-/// asserts every defense trips; phase 5 replays the mix through a
+/// thread counts (measured `soak_series` rows are the one exception;
+/// CI filters them by prefix). Phases 1-3 then measure: an open-loop
+/// rate sweep over the threaded TCP server, the epoll reactor, and
+/// the in-memory transport (latency charged from each request's
+/// precomputed virtual arrival, so server backlog cannot hide), a
+/// closed-loop comparison at the same mix, and a geometric binary
+/// search for the max sustainable rate under a p99 cap. Phase 4 soaks
+/// the same open-loop schedule into fixed time windows (a p50/p99
+/// series over time), phase 5 sweeps the connection-churn rate
+/// (connects/second, the accept-path axis), and phase 6 piles idle
+/// connections onto the reactor until the threaded server's cap looks
+/// quaint, recording p99 versus connection count. Phase 7 turns the
+/// adversarial personas loose on a tight-deadline server and asserts
+/// every defense trips; phase 8 replays the mix through a
 /// [`FailoverClient`] while a seeded [`CrashPlan`] picks the moment the
 /// primary dies, reporting availability and post-kill latency. All
 /// wall-clock numbers go to the JSON (and stdout) only.
-fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
+///
+/// `transport_axis` ("threaded", "reactor", or "all") selects which
+/// socket transports phases 1-5 drive; the in-memory baseline always
+/// runs.
+fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool, transport_axis: &str) {
     use nws_faults::CrashPlan;
     use nws_grid::{GridMonitorConfig, Wal};
     use nws_loadgen::{
-        closed_loop, fnv1a, max_sustainable_rps, open_loop, personas, ArrivalSchedule,
-        InterArrival, LatencyHistogram, MixRatios, RateSearch, RequestStream,
+        churn, closed_loop, fnv1a, max_sustainable_rps, open_loop, personas, soak, ArrivalSchedule,
+        ChurnConnect, InterArrival, LatencyHistogram, MixRatios, RateSearch, RequestStream,
     };
     use nws_server::{
         ClientConfig, FailoverClient, GridState, InMemoryTransport, NwsClient, NwsServer,
-        ReplicaState, ServerConfig, Transport,
+        ReactorConfig, ReactorServer, ReplicaState, ServerConfig, Transport,
     };
-    use nws_wire::{Request, Response};
+    use nws_wire::{ErrorCode, Request, Response};
     use std::sync::{Arc, Mutex};
     use std::time::{Duration, Instant};
 
@@ -1377,6 +1403,18 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
         search_iters: u32,
         search_n: usize,
         failover_requests: usize,
+        /// Soak window width; the schedule length over this gives the
+        /// number of p50/p99 rows in the time series.
+        soak_window_ms: u64,
+        /// Offered connection-arrival rates for the churn sweep,
+        /// connects/second.
+        churn_cps: &'static [u64],
+        /// Connection arrivals per churn point.
+        churn_conns: usize,
+        /// Idle connections the reactor must hold in phase 6.
+        conc_target: usize,
+        /// Probe requests per concurrency milestone.
+        conc_probe: usize,
     }
     let tier = if smoke {
         Tier {
@@ -1389,6 +1427,11 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
             search_iters: 3,
             search_n: 200,
             failover_requests: 40,
+            soak_window_ms: 25,
+            churn_cps: &[500],
+            churn_conns: 80,
+            conc_target: 150,
+            conc_probe: 100,
         }
     } else if quick {
         Tier {
@@ -1401,6 +1444,11 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
             search_iters: 5,
             search_n: 400,
             failover_requests: 80,
+            soak_window_ms: 50,
+            churn_cps: &[250, 1000],
+            churn_conns: 200,
+            conc_target: 400,
+            conc_probe: 200,
         }
     } else {
         Tier {
@@ -1413,6 +1461,11 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
             search_iters: 7,
             search_n: 1000,
             failover_requests: 200,
+            soak_window_ms: 125,
+            churn_cps: &[250, 1000],
+            churn_conns: 400,
+            conc_target: 1000,
+            conc_probe: 300,
         }
     };
     let mix = MixRatios::default();
@@ -1465,7 +1518,8 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
             stream.fingerprint()
         );
     }
-    {
+    let replay_k = 256usize;
+    let replay_fp = {
         // A serialized replay: the exact response bytes for a mixed
         // request sequence against an identically warmed grid. Catches
         // any thread-count leak anywhere in sense -> store -> serve.
@@ -1473,9 +1527,8 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
         grid.run_steps(tier.warm_steps);
         let mut t = InMemoryTransport::new(Arc::new(Mutex::new(GridState::new(grid))));
         let mut stream = RequestStream::new(stream_seed("replay"), &hosts, mix, tail_n, batch_size);
-        let k = 256usize;
         let mut fp = fnv1a(&[]);
-        for _ in 0..k {
+        for _ in 0..replay_k {
             let (_, bytes) = t
                 .call_raw(&stream.next_request())
                 .expect("in-memory replay");
@@ -1485,41 +1538,87 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
         }
         let _ = writeln!(
             csv,
-            "replay,in_memory,{k},warm={},{fp:#018x}",
+            "replay,in_memory,{replay_k},warm={},{fp:#018x}",
             tier.warm_steps
         );
-    }
+        fp
+    };
 
-    // --- Phase 1: open-loop rate sweep over both transports. One
-    // warmed grid behind a TCP server, an identically warmed twin
-    // behind the in-memory transport.
+    // --- Phase 1: open-loop rate sweep over the transports. One
+    // warmed grid behind the threaded TCP server, identically warmed
+    // twins behind the epoll reactor and the in-memory transport.
+    let socket_transports: &[&str] = match transport_axis {
+        "threaded" => &["tcp"],
+        "reactor" => &["reactor"],
+        _ => &["tcp", "reactor"],
+    };
+    let mut sweep_transports: Vec<&str> = socket_transports.to_vec();
+    sweep_transports.push("in_memory");
+    let load_server_config = ServerConfig {
+        // Generous: probe transports from consecutive search
+        // iterations overlap while old sockets drain.
+        max_connections: 64,
+        ..ServerConfig::default()
+    };
     let mut grid_tcp = nws_grid::GridMonitor::ucsd(cfg.seed);
     grid_tcp.run_steps(tier.warm_steps);
     let mut grid_mem = nws_grid::GridMonitor::ucsd(cfg.seed);
     grid_mem.run_steps(tier.warm_steps);
-    let server = NwsServer::spawn(
-        GridState::new(grid_tcp),
-        ServerConfig {
-            // Generous: probe transports from consecutive search
-            // iterations overlap while old sockets drain.
-            max_connections: 64,
-            ..ServerConfig::default()
+    let mut grid_reactor = nws_grid::GridMonitor::ucsd(cfg.seed);
+    grid_reactor.run_steps(tier.warm_steps);
+    let server =
+        NwsServer::spawn(GridState::new(grid_tcp), load_server_config).expect("bind localhost");
+    let addr = server.addr();
+    let reactor_server = ReactorServer::spawn(
+        GridState::new(grid_reactor),
+        ReactorConfig {
+            server: load_server_config,
+            ..ReactorConfig::default()
         },
     )
-    .expect("bind localhost");
-    let addr = server.addr();
+    .expect("bind reactor");
+    let raddr = reactor_server.addr();
     let mem_state = Arc::new(Mutex::new(GridState::new(grid_mem)));
     let connect_tcp = |_: usize| -> NwsClient {
         NwsClient::connect(addr, ClientConfig::default()).expect("connect load worker")
     };
+    let connect_reactor = |_: usize| -> NwsClient {
+        NwsClient::connect(raddr, ClientConfig::default()).expect("connect reactor worker")
+    };
     let connect_mem = |_: usize| InMemoryTransport::new(Arc::clone(&mem_state));
+
+    // Byte-identity pin: the phase-0 replay stream again, this time
+    // through the reactor's sockets. The chained fingerprint must match
+    // the in-memory row exactly — one wire image, whatever the
+    // transport — and the row lands in the CSV, so CI's cross-thread
+    // byte-diff also pins it across event-loop counts.
+    {
+        let mut t = connect_reactor(0);
+        let mut stream = RequestStream::new(stream_seed("replay"), &hosts, mix, tail_n, batch_size);
+        let mut fp = fnv1a(&[]);
+        for _ in 0..replay_k {
+            let (_, bytes) = t.call_raw(&stream.next_request()).expect("reactor replay");
+            let mut chained = fp.to_le_bytes().to_vec();
+            chained.extend_from_slice(&bytes);
+            fp = fnv1a(&chained);
+        }
+        assert_eq!(
+            fp, replay_fp,
+            "reactor reply bytes diverge from the in-memory transport"
+        );
+        let _ = writeln!(
+            csv,
+            "replay,reactor,{replay_k},warm={},{fp:#018x}",
+            tier.warm_steps
+        );
+    }
 
     let mut open_entries: Vec<String> = Vec::new();
     println!(
         "  open loop ({} requests/point, latency from virtual arrival):",
         tier.n_open
     );
-    for transport in ["tcp", "in_memory"] {
+    for transport in sweep_transports.iter().copied() {
         let mut dists: Vec<(u64, InterArrival)> = tier
             .rates
             .iter()
@@ -1535,13 +1634,21 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
             let mut stream =
                 RequestStream::new(stream_seed(&label), &hosts, mix, tail_n, batch_size);
             let requests = stream.take(tier.n_open);
-            let outcome = if transport == "tcp" {
-                let transports: Vec<NwsClient> = (0..tier.workers).map(connect_tcp).collect();
-                open_loop(transports, &sched, &requests)
-            } else {
-                let transports: Vec<InMemoryTransport> =
-                    (0..tier.workers).map(connect_mem).collect();
-                open_loop(transports, &sched, &requests)
+            let outcome = match transport {
+                "tcp" => {
+                    let transports: Vec<NwsClient> = (0..tier.workers).map(connect_tcp).collect();
+                    open_loop(transports, &sched, &requests)
+                }
+                "reactor" => {
+                    let transports: Vec<NwsClient> =
+                        (0..tier.workers).map(connect_reactor).collect();
+                    open_loop(transports, &sched, &requests)
+                }
+                _ => {
+                    let transports: Vec<InMemoryTransport> =
+                        (0..tier.workers).map(connect_mem).collect();
+                    open_loop(transports, &sched, &requests)
+                }
             };
             assert_eq!(outcome.errors, 0, "{label}: errors under load");
             assert_eq!(
@@ -1588,16 +1695,24 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
     let n_closed = tier.workers * tier.n_closed_per_worker;
     let mut closed_entries: Vec<String> = Vec::new();
     println!("  closed loop ({n_closed} requests, latency from send):");
-    for transport in ["tcp", "in_memory"] {
+    for transport in sweep_transports.iter().copied() {
         let label = format!("closed_{transport}");
         let mut stream = RequestStream::new(stream_seed(&label), &hosts, mix, tail_n, batch_size);
         let requests = stream.take(n_closed);
-        let outcome = if transport == "tcp" {
-            let transports: Vec<NwsClient> = (0..tier.workers).map(connect_tcp).collect();
-            closed_loop(transports, &requests)
-        } else {
-            let transports: Vec<InMemoryTransport> = (0..tier.workers).map(connect_mem).collect();
-            closed_loop(transports, &requests)
+        let outcome = match transport {
+            "tcp" => {
+                let transports: Vec<NwsClient> = (0..tier.workers).map(connect_tcp).collect();
+                closed_loop(transports, &requests)
+            }
+            "reactor" => {
+                let transports: Vec<NwsClient> = (0..tier.workers).map(connect_reactor).collect();
+                closed_loop(transports, &requests)
+            }
+            _ => {
+                let transports: Vec<InMemoryTransport> =
+                    (0..tier.workers).map(connect_mem).collect();
+                closed_loop(transports, &requests)
+            }
         };
         assert_eq!(outcome.errors, 0, "{label}: errors under load");
         let h = &outcome.hist;
@@ -1646,27 +1761,35 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
         search.p99_cap.as_millis(),
         search.min_goodput * 100.0
     );
-    for transport in ["tcp", "in_memory"] {
+    let mut best_by_transport: Vec<(&str, f64)> = Vec::new();
+    for transport in sweep_transports.iter().copied() {
         let label = format!("search_{transport}");
         let mut stream = RequestStream::new(stream_seed(&label), &hosts, mix, tail_n, batch_size);
         let mut make_requests = |n: usize| stream.take(n);
-        let (best, probes) = if transport == "tcp" {
-            max_sustainable_rps(
+        let (best, probes) = match transport {
+            "tcp" => max_sustainable_rps(
                 connect_tcp,
                 tier.workers,
                 cfg.seed,
                 &mut make_requests,
                 search,
-            )
-        } else {
-            max_sustainable_rps(
+            ),
+            "reactor" => max_sustainable_rps(
+                connect_reactor,
+                tier.workers,
+                cfg.seed,
+                &mut make_requests,
+                search,
+            ),
+            _ => max_sustainable_rps(
                 connect_mem,
                 tier.workers,
                 cfg.seed,
                 &mut make_requests,
                 search,
-            )
+            ),
         };
+        best_by_transport.push((transport, best));
         let probe_json = probes
             .iter()
             .map(|p| {
@@ -1690,9 +1813,300 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
              \"probes\": [{probe_json}] }}"
         ));
     }
-    drop(server);
+    if let (Some(&(_, threaded_best)), Some(&(_, reactor_best))) = (
+        best_by_transport.iter().find(|(t, _)| *t == "tcp"),
+        best_by_transport.iter().find(|(t, _)| *t == "reactor"),
+    ) {
+        println!(
+            "    reactor/threaded sustainable-rate ratio: {:.2}x",
+            reactor_best / threaded_best.max(1.0)
+        );
+    }
 
-    // --- Phase 4: adversarial personas against a tight-deadline
+    // --- Phase 4: sustained soak. The same open-loop discipline, but
+    // every latency lands in a fixed time window keyed by its virtual
+    // arrival, producing a p50/p99 series over time. Window populations
+    // are a pure function of the schedule, so the partition row is
+    // deterministic and lands in the cross-thread CSV diff; the
+    // measured per-window `soak_series` rows are the one CSV exception
+    // and CI filters them by prefix.
+    let soak_n = tier.n_open * 2;
+    let soak_rate = probe_rate;
+    let soak_window = Duration::from_millis(tier.soak_window_ms);
+    let mut soak_entries: Vec<String> = Vec::new();
+    println!(
+        "  soak ({soak_n} requests at {soak_rate} rps, {} ms windows):",
+        tier.soak_window_ms
+    );
+    for transport in sweep_transports.iter().copied() {
+        let label = format!("soak_{transport}");
+        let sched = ArrivalSchedule::generate(
+            InterArrival::poisson(soak_rate as f64),
+            stream_seed(&label),
+            soak_n,
+        );
+        let mut stream = RequestStream::new(stream_seed(&label), &hosts, mix, tail_n, batch_size);
+        let requests = stream.take(soak_n);
+        let outcome = match transport {
+            "tcp" => {
+                let transports: Vec<NwsClient> = (0..tier.workers).map(connect_tcp).collect();
+                soak(transports, &sched, &requests, soak_window)
+            }
+            "reactor" => {
+                let transports: Vec<NwsClient> = (0..tier.workers).map(connect_reactor).collect();
+                soak(transports, &sched, &requests, soak_window)
+            }
+            _ => {
+                let transports: Vec<InMemoryTransport> =
+                    (0..tier.workers).map(connect_mem).collect();
+                soak(transports, &sched, &requests, soak_window)
+            }
+        };
+        assert_eq!(outcome.errors, 0, "{label}: errors under soak");
+        assert_eq!(
+            outcome.completed, soak_n as u64,
+            "{label}: dropped requests"
+        );
+        println!(
+            "    {label:<28} {} windows, whole-run p50 {:>9.1} us p99 {:>9.1} us",
+            outcome.windows.len(),
+            us(outcome.hist.p50()),
+            us(outcome.hist.p99()),
+        );
+        let _ = writeln!(
+            csv,
+            "soak,{label},{soak_n},window_ms={};windows={},{:#018x}",
+            tier.soak_window_ms,
+            outcome.windows.len(),
+            sched.fingerprint()
+        );
+        for w in &outcome.windows {
+            let _ = writeln!(
+                csv,
+                "soak_series,{label}_w{},{},p50_us={:.1};p99_us={:.1};errors={},-",
+                w.index,
+                w.completed,
+                us(w.hist.p50()),
+                us(w.hist.p99()),
+                w.errors
+            );
+        }
+        let windows_json = outcome
+            .windows
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{ \"index\": {}, \"completed\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2} }}",
+                    w.index,
+                    w.completed,
+                    us(w.hist.p50()),
+                    us(w.hist.p99())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        soak_entries.push(format!(
+            "    {{ \"transport\": \"{transport}\", \"requests\": {soak_n}, \
+             \"offered_rps\": {soak_rate}, \"window_ms\": {}, \"p50_us\": {:.2}, \
+             \"p99_us\": {:.2}, \"windows\": [{windows_json}] }}",
+            tier.soak_window_ms,
+            us(outcome.hist.p50()),
+            us(outcome.hist.p99()),
+        ));
+    }
+
+    // --- Phase 5: connection churn. Requests/second holds a fixed set
+    // of connections open; this sweeps the *other* axis, connects per
+    // second, because accept-path work (socket setup, admission,
+    // reactor registration) happens per connection. Arrivals are
+    // open-loop from a seeded schedule; each connection asks a short
+    // burst and hangs up.
+    let churn_per_conn = 4usize;
+    let mut churn_entries: Vec<String> = Vec::new();
+    println!(
+        "  connection churn ({} arrivals/point, {churn_per_conn} requests/connection):",
+        tier.churn_conns
+    );
+    for transport in socket_transports.iter().copied() {
+        for &cps in tier.churn_cps {
+            let label = format!("churn_{transport}_{cps}");
+            let sched = ArrivalSchedule::generate(
+                InterArrival::poisson(cps as f64),
+                stream_seed(&label),
+                tier.churn_conns,
+            );
+            let mut stream =
+                RequestStream::new(stream_seed(&label), &hosts, mix, tail_n, batch_size);
+            let pool = stream.take(tier.churn_conns * churn_per_conn);
+            let outcome = match transport {
+                "tcp" => churn(
+                    &|_| match NwsClient::connect(addr, ClientConfig::default()) {
+                        Ok(c) => ChurnConnect::Serve(c),
+                        Err(_) => ChurnConnect::Failed,
+                    },
+                    tier.workers,
+                    &sched,
+                    &pool,
+                    churn_per_conn,
+                ),
+                _ => churn(
+                    &|_| match NwsClient::connect(raddr, ClientConfig::default()) {
+                        Ok(c) => ChurnConnect::Serve(c),
+                        Err(_) => ChurnConnect::Failed,
+                    },
+                    tier.workers,
+                    &sched,
+                    &pool,
+                    churn_per_conn,
+                ),
+            };
+            assert_eq!(outcome.attempted, tier.churn_conns as u64);
+            assert_eq!(outcome.failed, 0, "{label}: socket-level failures");
+            assert_eq!(outcome.errors, 0, "{label}: typed errors mid-burst");
+            assert_eq!(
+                outcome.served + outcome.refused,
+                tier.churn_conns as u64,
+                "{label}: every arrival served or refused"
+            );
+            println!(
+                "    {label:<28} offered {cps:>5} cps, achieved {:>7.0} cps, \
+                 served {}, refused {}, first-reply us: p50 {:>9.1} p99 {:>9.1}",
+                outcome.achieved_cps(),
+                outcome.served,
+                outcome.refused,
+                us(outcome.first_reply.p50()),
+                us(outcome.first_reply.p99()),
+            );
+            let _ = writeln!(
+                csv,
+                "churn,{label},{},cps={cps};per_conn={churn_per_conn},{:#018x}",
+                tier.churn_conns,
+                sched.fingerprint()
+            );
+            churn_entries.push(format!(
+                "    {{ \"transport\": \"{transport}\", \"offered_cps\": {cps}, \
+                 \"connections\": {}, \"served\": {}, \"refused\": {}, \
+                 \"achieved_cps\": {:.1}, \"first_reply_p50_us\": {:.2}, \
+                 \"first_reply_p99_us\": {:.2}, \"request_p99_us\": {:.2} }}",
+                tier.churn_conns,
+                outcome.served,
+                outcome.refused,
+                outcome.achieved_cps(),
+                us(outcome.first_reply.p50()),
+                us(outcome.first_reply.p99()),
+                us(outcome.requests.p99()),
+            ));
+        }
+    }
+    drop(server);
+    drop(reactor_server);
+
+    // --- Phase 6: idle-connection capacity. The threaded server
+    // spends a thread per connection, so its cap is the thread budget;
+    // the reactor spends a slab slot. Hold the target number of idle
+    // connections open on the reactor and probe request latency at
+    // milestones along the way — the series is the p99-versus-
+    // connection-count curve. Values depend on the machine and thread
+    // count, so this phase reports to JSON/stdout only.
+    println!(
+        "  idle-connection capacity (target {} connections):",
+        tier.conc_target
+    );
+    let mut conc_grid = nws_grid::GridMonitor::ucsd(cfg.seed);
+    conc_grid.run_steps(tier.warm_steps.min(120));
+    let threaded_cap = ServerConfig::default().max_connections;
+    let threaded_small = NwsServer::spawn(GridState::new(conc_grid), ServerConfig::default())
+        .expect("bind threaded cap probe");
+    let mut threaded_refused_at = 0usize;
+    let mut held_threaded: Vec<NwsClient> = Vec::new();
+    for i in 0..threaded_cap + 24 {
+        let mut c = NwsClient::connect(threaded_small.addr(), ClientConfig::default())
+            .expect("connect threaded probe");
+        match Transport::call(&mut c, &Request::Stats) {
+            Ok(Response::Error(e)) if e.code == ErrorCode::Overloaded => {
+                threaded_refused_at = i + 1;
+                break;
+            }
+            Ok(_) => held_threaded.push(c),
+            Err(_) => {
+                threaded_refused_at = i + 1;
+                break;
+            }
+        }
+    }
+    assert!(
+        threaded_refused_at > 0,
+        "threaded server never refused within cap+24 connections"
+    );
+    println!("    threaded (cap {threaded_cap}): refused connection #{threaded_refused_at}");
+    drop(held_threaded);
+    drop(threaded_small);
+    let mut conc_grid = nws_grid::GridMonitor::ucsd(cfg.seed);
+    conc_grid.run_steps(tier.warm_steps.min(120));
+    let conc_server = ReactorServer::spawn(
+        GridState::new(conc_grid),
+        ReactorConfig {
+            server: ServerConfig {
+                max_connections: tier.conc_target + 64,
+                // Held connections sit idle between probes; keep the
+                // idle cut well past the phase's runtime.
+                read_timeout: Duration::from_secs(60),
+                request_deadline: Duration::from_secs(120),
+                ..ServerConfig::default()
+            },
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("bind reactor capacity server");
+    let caddr = conc_server.addr();
+    let milestones = [
+        tier.conc_target / 10,
+        tier.conc_target / 2,
+        tier.conc_target,
+    ];
+    let mut held: Vec<NwsClient> = Vec::with_capacity(tier.conc_target);
+    let mut conc_points: Vec<String> = Vec::new();
+    for &m in &milestones {
+        while held.len() < m {
+            let mut c =
+                NwsClient::connect(caddr, ClientConfig::default()).expect("connect idle client");
+            let resp = Transport::call(&mut c, &Request::Stats).expect("stats on new connection");
+            assert!(
+                !matches!(resp, Response::Error(_)),
+                "reactor refused connection #{} below its cap: {resp:?}",
+                held.len() + 1
+            );
+            held.push(c);
+        }
+        let mut hist = LatencyHistogram::new();
+        let probe = &mut held[0];
+        for _ in 0..tier.conc_probe {
+            let t0 = Instant::now();
+            let resp = Transport::call(probe, &Request::Stats).expect("probe stats");
+            assert!(!matches!(resp, Response::Error(_)), "probe got typed error");
+            hist.record(t0.elapsed());
+        }
+        println!(
+            "    reactor: {m:>5} idle connections held, probe p50 {:>7.1} us p99 {:>7.1} us",
+            us(hist.p50()),
+            us(hist.p99()),
+        );
+        conc_points.push(format!(
+            "{{ \"connections\": {m}, \"p50_us\": {:.2}, \"p99_us\": {:.2} }}",
+            us(hist.p50()),
+            us(hist.p99())
+        ));
+    }
+    assert_eq!(
+        held.len(),
+        tier.conc_target,
+        "reactor held the full connection target"
+    );
+    let conc_active = conc_server.active_connections();
+    drop(held);
+    drop(conc_server);
+
+    // --- Phase 7: adversarial personas against a tight-deadline
     // server, with a healthy client exchanging throughout. Every
     // defense must trip, promptly, without collateral damage.
     let mut persona_grid = nws_grid::GridMonitor::ucsd(cfg.seed);
@@ -1756,7 +2170,7 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
     );
     drop(persona_server);
 
-    // --- Phase 5: the failover phase. Mix-driven load through a
+    // --- Phase 8: the failover phase. Mix-driven load through a
     // FailoverClient over primary + replica while a seeded CrashPlan
     // picks the kill moment. Availability must hold at 100%.
     let requests = tier.failover_requests;
@@ -1866,6 +2280,16 @@ fn run_load(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
         json,
         "  \"max_sustainable_rps\": [\n{}\n  ],",
         search_entries.join(",\n")
+    );
+    let _ = writeln!(json, "  \"soak\": [\n{}\n  ],", soak_entries.join(",\n"));
+    let _ = writeln!(json, "  \"churn\": [\n{}\n  ],", churn_entries.join(",\n"));
+    let _ = writeln!(
+        json,
+        "  \"concurrency\": {{ \"threaded_cap\": {threaded_cap}, \
+         \"threaded_refused_at\": {threaded_refused_at}, \"reactor_held\": {}, \
+         \"reactor_active\": {conc_active}, \"points\": [{}] }},",
+        tier.conc_target,
+        conc_points.join(", ")
     );
     let _ = writeln!(
         json,

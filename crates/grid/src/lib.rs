@@ -43,6 +43,7 @@ pub use monitor::{GridMonitor, GridMonitorConfig, GridSnapshot, HostReport};
 pub use registry::{Metric, Registry, ResourceId, ResourceInfo};
 pub use service::{ForecastAnswer, ForecastService};
 pub use wal::{
-    recover_memory, RecoveryReport, RecoverySource, Replay, SnapshotStore, Wal, WalError, WalRecord,
+    recover_memory, recover_memory_rotated, CheckpointReport, RecoveryReport, RecoverySource,
+    Replay, SnapshotStore, Wal, WalError, WalRecord,
 };
 pub use weather::{WeatherService, WeatherServiceConfig};

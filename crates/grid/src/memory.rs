@@ -195,6 +195,36 @@ impl Memory {
         self.journal.as_mut()
     }
 
+    /// Checkpoints the memory: writes snapshot `seq` to `store`
+    /// atomically, then rotates the attached journal up to the offset
+    /// the snapshot covers. This is the loop that bounds WAL growth —
+    /// everything the snapshot captures leaves the journal, everything
+    /// after it stays replayable. Without an attached journal the
+    /// snapshot is still written (covering offset 0) and nothing
+    /// rotates.
+    ///
+    /// Rotation only happens after the snapshot has been durably
+    /// renamed into place, so a crash between the two steps costs disk
+    /// space, never recoverability.
+    pub fn checkpoint(
+        &mut self,
+        store: &crate::wal::SnapshotStore,
+        seq: u64,
+    ) -> Result<crate::wal::CheckpointReport, crate::wal::WalError> {
+        let snapshot = self.snapshot_bytes();
+        let covered = self.journal.as_ref().map_or(0, |w| w.len());
+        let snapshot_path = store.save(seq, &snapshot)?;
+        let rotated = match self.journal.as_mut() {
+            Some(wal) => wal.rotate(covered)?,
+            None => 0,
+        };
+        Ok(crate::wal::CheckpointReport {
+            snapshot_path,
+            covered: covered as u64,
+            rotated: rotated as u64,
+        })
+    }
+
     /// The memory's sizing configuration.
     pub fn config(&self) -> MemoryConfig {
         self.config

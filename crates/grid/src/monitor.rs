@@ -479,6 +479,16 @@ impl GridMonitor {
         self.memory.journal()
     }
 
+    /// Checkpoints the memory into `store` and rotates the journal up
+    /// to the snapshot's covered offset — see [`Memory::checkpoint`].
+    pub fn checkpoint(
+        &mut self,
+        store: &crate::wal::SnapshotStore,
+        seq: u64,
+    ) -> Result<crate::wal::CheckpointReport, crate::wal::WalError> {
+        self.memory.checkpoint(store, seq)
+    }
+
     /// The forecast service.
     pub fn forecasts(&self) -> &ForecastService {
         &self.service

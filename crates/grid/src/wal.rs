@@ -327,10 +327,26 @@ pub fn replay(bytes: &[u8], from: usize, mut f: impl FnMut(&WalRecord)) -> Repla
 /// File-mirror write errors are sticky and surfaced via
 /// [`Wal::io_error`] / [`Wal::flush`] rather than panicking the ingest
 /// path; the in-memory journal stays authoritative.
+///
+/// # Rotation
+///
+/// Offsets are *absolute* and never reused: [`Wal::len`] is the total
+/// bytes ever journaled, and [`Wal::rotate`] discards a prefix the
+/// latest snapshot already covers without renumbering anything —
+/// [`Wal::start_offset`] moves forward, replication offsets stay
+/// valid, and a request for a rotated-away offset is distinguishable
+/// from a bad one. This is what bounds journal growth: snapshot, then
+/// rotate up to the offset the snapshot covers
+/// ([`Memory::checkpoint`](crate::Memory::checkpoint) does both).
 #[derive(Debug, Default)]
 pub struct Wal {
+    /// Retained journal bytes: the suffix from `base` on.
     bytes: Vec<u8>,
+    /// Absolute offset of `bytes[0]` — 0 until the first rotation.
+    base: usize,
     file: Option<BufWriter<File>>,
+    /// The file mirror's path, kept for rotation rewrites.
+    path: Option<PathBuf>,
     io_error: Option<std::io::ErrorKind>,
 }
 
@@ -342,10 +358,13 @@ impl Wal {
 
     /// A journal mirrored to a file (created or truncated).
     pub fn with_file(path: impl AsRef<Path>) -> Result<Self, WalError> {
-        let file = File::create(path)?;
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
         Ok(Self {
             bytes: Vec::new(),
+            base: 0,
             file: Some(BufWriter::new(file)),
+            path: Some(path),
             io_error: None,
         })
     }
@@ -362,41 +381,97 @@ impl Wal {
         }
     }
 
-    /// Total journal length in bytes (the replication high-water mark).
+    /// Total bytes ever journaled — the absolute end offset and the
+    /// replication high-water mark. Unaffected by rotation.
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.base + self.bytes.len()
     }
 
-    /// True when nothing has been journaled.
+    /// True when nothing has ever been journaled.
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.len() == 0
     }
 
-    /// The full journal bytes.
+    /// The absolute offset of the oldest retained byte — 0 until the
+    /// first [`Wal::rotate`]. Offsets below this have been rotated away
+    /// and can no longer be served.
+    pub fn start_offset(&self) -> usize {
+        self.base
+    }
+
+    /// The retained journal bytes (the suffix from
+    /// [`Wal::start_offset`] on; the whole journal until a rotation).
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
     }
 
-    /// A chunk of the journal starting at `offset`, at most `max` bytes,
-    /// always ending on a record boundary so the receiver never sees a
-    /// torn frame. Empty when `offset` is at (or past) the end. A `max`
+    /// A chunk of the journal starting at absolute `offset`, at most
+    /// `max` bytes, always ending on a record boundary so the receiver
+    /// never sees a torn frame. Empty when `offset` is at (or past) the
+    /// end, or before [`Wal::start_offset`] (callers that care
+    /// distinguish rotated-away offsets *before* asking). A `max`
     /// smaller than the first frame still yields that one frame, so
     /// streaming always makes progress.
     pub fn chunk(&self, offset: usize, max: usize) -> &[u8] {
-        if offset >= self.bytes.len() {
+        if offset < self.base {
             return &[];
         }
-        let mut end = offset;
+        let local = offset - self.base;
+        if local >= self.bytes.len() {
+            return &[];
+        }
+        let mut end = local;
         while let Ok((_, next)) = WalRecord::decode_at(&self.bytes, end) {
-            if next - offset > max && end > offset {
+            if next - local > max && end > local {
                 break;
             }
             end = next;
-            if next - offset >= max {
+            if next - local >= max {
                 break;
             }
         }
-        &self.bytes[offset..end]
+        &self.bytes[local..end]
+    }
+
+    /// Discards journaled bytes before absolute offset `upto` (snapped
+    /// down to a record boundary), returning how many bytes were
+    /// dropped. Offsets stay absolute — [`Wal::len`] does not move,
+    /// [`Wal::start_offset`] advances — so replication readers past the
+    /// cut are unaffected.
+    ///
+    /// With a file mirror attached, the retained suffix is rewritten
+    /// atomically (temp file + rename), so a crash mid-rotation leaves
+    /// either the old file or the new one. The rewrite comes from the
+    /// authoritative in-memory journal, so it also clears any sticky
+    /// [`Wal::io_error`] from earlier mirror writes.
+    ///
+    /// Call with the WAL offset a just-saved snapshot covers — that is
+    /// exactly the prefix recovery no longer needs.
+    pub fn rotate(&mut self, upto: usize) -> Result<usize, WalError> {
+        let target = upto.clamp(self.base, self.len()) - self.base;
+        // Snap down to a record boundary so retained bytes always
+        // decode from their start.
+        let mut cut = 0;
+        while cut < target {
+            match WalRecord::decode_at(&self.bytes, cut) {
+                Ok((_, next)) if next <= target => cut = next,
+                _ => break,
+            }
+        }
+        if cut == 0 {
+            return Ok(0);
+        }
+        if let (Some(path), Some(_)) = (&self.path, &self.file) {
+            let tmp = path.with_extension("rotate-tmp");
+            std::fs::write(&tmp, &self.bytes[cut..])?;
+            std::fs::rename(&tmp, path)?;
+            let file = std::fs::OpenOptions::new().append(true).open(path)?;
+            self.file = Some(BufWriter::new(file));
+            self.io_error = None;
+        }
+        self.bytes.drain(..cut);
+        self.base += cut;
+        Ok(cut)
     }
 
     /// The first file-mirror write error, if any occurred.
@@ -547,17 +622,43 @@ pub fn recover_memory(
     config: MemoryConfig,
     snapshot: Option<&[u8]>,
     wal: &[u8],
+    on_record: impl FnMut(&WalRecord),
+) -> (Memory, RecoveryReport) {
+    recover_memory_rotated(config, snapshot, wal, 0, on_record)
+}
+
+/// [`recover_memory`] for a rotated journal: `wal` holds the bytes
+/// from absolute offset `wal_base` on (what [`Wal::bytes`] retains
+/// after [`Wal::rotate`]), and the snapshot's covered offset is
+/// interpreted absolutely.
+///
+/// A rotated journal makes a genesis replay impossible — the early
+/// records are gone by design, because a snapshot covered them. So
+/// when `wal_base > 0` a usable snapshot covering at least `wal_base`
+/// is *required*: anything else is reported as a snapshot error and
+/// the WAL is left unreplayed rather than silently rebuilding wrong
+/// state from the middle of history.
+pub fn recover_memory_rotated(
+    config: MemoryConfig,
+    snapshot: Option<&[u8]>,
+    wal: &[u8],
+    wal_base: usize,
     mut on_record: impl FnMut(&WalRecord),
 ) -> (Memory, RecoveryReport) {
+    let wal_end = wal_base + wal.len();
     let mut snapshot_error = None;
     let (mut memory, source) = match snapshot {
         Some(bytes) => match Memory::from_snapshot(bytes) {
-            Ok((m, off)) if off as usize <= wal.len() => (
+            Ok((m, off)) if (wal_base..=wal_end).contains(&(off as usize)) => (
                 m,
                 RecoverySource::Snapshot {
                     wal_offset: off as usize,
                 },
             ),
+            Ok((_, off)) if (off as usize) < wal_base => {
+                snapshot_error = Some(WalError::Snapshot("snapshot predates the rotated wal"));
+                (Memory::new(config), RecoverySource::Genesis)
+            }
             Ok(_) => {
                 snapshot_error = Some(WalError::Snapshot("snapshot is ahead of the wal"));
                 (Memory::new(config), RecoverySource::Genesis)
@@ -569,8 +670,23 @@ pub fn recover_memory(
         },
         None => (Memory::new(config), RecoverySource::Genesis),
     };
+    if source == RecoverySource::Genesis && wal_base > 0 {
+        // The log's beginning was rotated away; replaying the suffix
+        // from an empty memory would fabricate state. Refuse.
+        return (
+            memory,
+            RecoveryReport {
+                source,
+                snapshot_error: snapshot_error
+                    .or(Some(WalError::Snapshot("rotated wal requires a snapshot"))),
+                replayed: 0,
+                valid_wal_len: wal_base,
+                tail_error: None,
+            },
+        );
+    }
     let from = match source {
-        RecoverySource::Snapshot { wal_offset } => wal_offset,
+        RecoverySource::Snapshot { wal_offset } => wal_offset - wal_base,
         RecoverySource::Genesis => 0,
     };
     let scan = replay(wal, from, |rec| {
@@ -583,10 +699,26 @@ pub fn recover_memory(
             source,
             snapshot_error,
             replayed: scan.records,
-            valid_wal_len: scan.end,
+            valid_wal_len: wal_base + scan.end,
             tail_error: scan.error,
         },
     )
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+
+/// What one [`Memory::checkpoint`](crate::Memory::checkpoint) did: the
+/// snapshot it wrote and the journal prefix the rotation reclaimed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Where the snapshot landed.
+    pub snapshot_path: PathBuf,
+    /// Absolute WAL offset the snapshot covers (recovery replays from
+    /// here).
+    pub covered: u64,
+    /// Journal bytes the rotation dropped.
+    pub rotated: u64,
 }
 
 #[cfg(test)]
@@ -736,6 +868,146 @@ mod tests {
         assert_eq!(bytes, vec![5u8; 4]);
         assert_eq!(store.sequences().expect("listable").len(), 2, "pruned");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_keeps_absolute_offsets_and_boundaries() {
+        let mut wal = Wal::new();
+        let mut offsets = vec![0usize];
+        for i in 0..10u64 {
+            wal.log(&WalRecord::Append {
+                id: rid(i),
+                time: i as f64,
+                value: 0.5,
+            });
+            offsets.push(wal.len());
+        }
+        let total = wal.len();
+        let all = wal.bytes().to_vec();
+        // Rotate to a mid-record offset: snaps down to the boundary.
+        let dropped = wal.rotate(offsets[4] + 3).expect("in-memory rotate");
+        assert_eq!(dropped, offsets[4]);
+        assert_eq!(wal.start_offset(), offsets[4]);
+        assert_eq!(wal.len(), total, "absolute end never moves");
+        assert_eq!(wal.bytes(), &all[offsets[4]..]);
+        // Chunks at surviving offsets serve identical bytes.
+        for &at in &offsets[4..10] {
+            assert_eq!(wal.chunk(at, 1 << 20), &all[at..]);
+        }
+        // Rotated-away offsets serve nothing (the server layer turns
+        // this into a typed error before asking).
+        assert!(wal.chunk(0, 1 << 20).is_empty());
+        // Rotating backwards is a no-op.
+        assert_eq!(wal.rotate(0).expect("noop"), 0);
+        assert_eq!(wal.start_offset(), offsets[4]);
+        // Rotating past the end clamps to the end.
+        let dropped = wal.rotate(total + 999).expect("clamp");
+        assert_eq!(dropped, total - offsets[4]);
+        assert_eq!(wal.start_offset(), total);
+        assert!(wal.bytes().is_empty());
+        assert_eq!(wal.len(), total);
+    }
+
+    #[test]
+    fn rotation_rewrites_the_file_mirror_atomically() {
+        let dir = std::env::temp_dir().join(format!("nws-wal-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("grid.wal");
+        let mut wal = Wal::with_file(&path).expect("creatable");
+        let mut boundary = 0;
+        for i in 0..20u64 {
+            wal.log(&WalRecord::Append {
+                id: rid(1),
+                time: i as f64,
+                value: 0.5,
+            });
+            if i == 11 {
+                boundary = wal.len();
+            }
+        }
+        wal.rotate(boundary).expect("file rotate");
+        wal.sync().expect("durable");
+        let disk = std::fs::read(&path).expect("readable");
+        assert_eq!(disk, wal.bytes(), "file holds exactly the suffix");
+        // Appends after rotation land in the rewritten file.
+        wal.log(&WalRecord::Drop { id: rid(9) });
+        wal.sync().expect("durable");
+        let disk = std::fs::read(&path).expect("readable");
+        assert_eq!(disk, wal.bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_rotates_and_recovery_replays_the_suffix() {
+        let dir = std::env::temp_dir().join(format!("nws-checkpoint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::new(&dir, 2).expect("creatable");
+        let config = MemoryConfig { retain: 8 };
+        // Golden: the same stream with no checkpoints.
+        let mut golden = Memory::new(config);
+        let mut live = Memory::new(config);
+        live.attach_journal(Wal::new());
+        let mut seq = 0;
+        for i in 0..60 {
+            golden.store(rid(i % 3), i as f64, 0.25);
+            live.store(rid(i % 3), i as f64, 0.25);
+            if i % 20 == 19 {
+                seq += 1;
+                let report = live.checkpoint(&store, seq).expect("checkpoint");
+                assert_eq!(
+                    report.covered,
+                    live.journal().expect("attached").len() as u64
+                );
+                assert!(report.rotated > 0, "each checkpoint reclaims bytes");
+            }
+        }
+        // More records after the last checkpoint: the replay suffix.
+        for i in 60..70 {
+            golden.store(rid(i % 3), i as f64, 0.25);
+            live.store(rid(i % 3), i as f64, 0.25);
+        }
+        let wal = live.journal().expect("attached");
+        assert!(
+            wal.start_offset() > 0 && wal.bytes().len() < wal.len(),
+            "growth is bounded: the journal retains a suffix only"
+        );
+        let (_, snap) = store.load_newest().expect("readable").expect("saved");
+        let (recovered, report) =
+            recover_memory_rotated(config, Some(&snap), wal.bytes(), wal.start_offset(), |_| {});
+        assert!(matches!(report.source, RecoverySource::Snapshot { .. }));
+        assert_eq!(report.tail_error, None);
+        assert_eq!(recovered.fingerprint(), golden.fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotated_wal_without_a_snapshot_refuses_to_recover() {
+        let mut wal = Wal::new();
+        for i in 0..6u64 {
+            wal.log(&WalRecord::Append {
+                id: rid(1),
+                time: i as f64,
+                value: 0.5,
+            });
+        }
+        let cut = wal.len() / 2;
+        wal.rotate(cut).expect("rotate");
+        let (m, report) = recover_memory_rotated(
+            MemoryConfig { retain: 8 },
+            None,
+            wal.bytes(),
+            wal.start_offset(),
+            |_| {},
+        );
+        assert_eq!(report.replayed, 0, "no fabricated mid-history state");
+        assert_eq!(
+            report.snapshot_error,
+            Some(WalError::Snapshot("rotated wal requires a snapshot"))
+        );
+        assert_eq!(
+            m.fingerprint(),
+            Memory::new(MemoryConfig { retain: 8 }).fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Connection-churn sweeps: how fast can clients *arrive*?
+//!
+//! Request-rate sweeps hold a fixed set of connections open and vary
+//! requests per second. Real grid clients also come and go — a
+//! scheduler process connects, asks a few questions, and disconnects —
+//! so there is a second axis: **connects per second**. Accept-path
+//! work (socket setup, admission, registration with the reactor)
+//! happens per connection, not per request, and only a churn sweep
+//! exercises it.
+//!
+//! The runner drives connection arrivals open-loop from a seeded
+//! schedule, exactly like the request runner drives requests: each
+//! connection is charged from its virtual arrival, so a backlogged
+//! accept path shows up as connect latency instead of being absorbed
+//! by the harness. Each admitted connection issues a short burst of
+//! requests and disconnects. Typed `Overloaded` refusals are counted
+//! separately from transport failures — a refusal is the server
+//! working as designed at its cap, not an error.
+
+use crate::arrivals::ArrivalSchedule;
+use crate::histogram::LatencyHistogram;
+use nws_server::Transport;
+use nws_wire::{ErrorCode, Request, Response};
+use std::time::{Duration, Instant};
+
+/// How one connection attempt resolved at connect time.
+pub enum ChurnConnect<T> {
+    /// Connected; the transport is ready for requests.
+    Serve(T),
+    /// The connect itself failed (socket error, refused TCP).
+    Failed,
+}
+
+/// What a churn run measured.
+#[derive(Debug)]
+pub struct ChurnOutcome {
+    /// Connection arrivals on the schedule.
+    pub attempted: u64,
+    /// Connections that got at least one non-`Overloaded` reply.
+    pub served: u64,
+    /// Connections answered with a typed `Overloaded` refusal.
+    pub refused: u64,
+    /// Connections that failed at the socket level.
+    pub failed: u64,
+    /// Requests completed across all served connections.
+    pub completed: u64,
+    /// Typed error replies (other than the counted refusals) plus
+    /// mid-burst transport failures.
+    pub errors: u64,
+    /// Wall clock from start to the last completion.
+    pub elapsed: Duration,
+    /// Connect-to-first-reply latency, charged from each connection's
+    /// virtual arrival (includes accept backlog — the point of the
+    /// sweep).
+    pub first_reply: LatencyHistogram,
+    /// Per-request latency from send, across all served connections.
+    pub requests: LatencyHistogram,
+}
+
+impl ChurnOutcome {
+    /// Connections handled (served + refused) per wall-clock second.
+    pub fn achieved_cps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            (self.served + self.refused) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one churn sweep: connection `i` arrives at schedule offset
+/// `i`, issues `requests_per_conn` requests drawn from `requests`
+/// round-robin (request `i·k + j`, modulo the pool), and disconnects.
+/// Workers deal connections round-robin, same as the request runner.
+///
+/// `connect` is called with the connection index; it should establish
+/// a fresh transport (or report the failure). A first reply carrying
+/// the typed `Overloaded` refusal counts the connection as refused and
+/// ends it — that is the accept gate answering, not an error.
+pub fn churn<T, F>(
+    connect: &F,
+    workers: usize,
+    schedule: &ArrivalSchedule,
+    requests: &[Request],
+    requests_per_conn: usize,
+) -> ChurnOutcome
+where
+    T: Transport,
+    F: Fn(usize) -> ChurnConnect<T> + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    assert!(!requests.is_empty(), "need a request pool");
+    assert!(requests_per_conn > 0, "each connection must ask something");
+    let start = Instant::now();
+    let results: Vec<(ChurnOutcome, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = empty_outcome();
+                    let mut last_done = Duration::ZERO;
+                    for i in (w..schedule.len()).step_by(workers) {
+                        let due = Duration::from_secs_f64(schedule.offsets()[i]);
+                        let now = start.elapsed();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        out.attempted += 1;
+                        let mut t = match connect(i) {
+                            ChurnConnect::Serve(t) => t,
+                            ChurnConnect::Failed => {
+                                out.failed += 1;
+                                continue;
+                            }
+                        };
+                        let mut first = true;
+                        for j in 0..requests_per_conn {
+                            let req = &requests[(i * requests_per_conn + j) % requests.len()];
+                            let sent = Instant::now();
+                            match t.call(req) {
+                                Ok(Response::Error(e)) if e.code == ErrorCode::Overloaded => {
+                                    // The accept gate answered: count
+                                    // the refusal and move on.
+                                    out.refused += 1;
+                                    break;
+                                }
+                                Ok(resp) => {
+                                    if first {
+                                        out.served += 1;
+                                        out.first_reply.record(start.elapsed().saturating_sub(due));
+                                        first = false;
+                                    }
+                                    out.completed += 1;
+                                    if matches!(resp, Response::Error(_)) {
+                                        out.errors += 1;
+                                    }
+                                    out.requests.record(sent.elapsed());
+                                }
+                                Err(_) => {
+                                    out.errors += 1;
+                                    break;
+                                }
+                            }
+                            last_done = start.elapsed();
+                        }
+                        // The transport drops here: the disconnect half
+                        // of the churn.
+                    }
+                    (out, last_done)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("churn worker panicked"))
+            .collect()
+    });
+    let mut total = empty_outcome();
+    for (out, last) in results {
+        total.attempted += out.attempted;
+        total.served += out.served;
+        total.refused += out.refused;
+        total.failed += out.failed;
+        total.completed += out.completed;
+        total.errors += out.errors;
+        total.first_reply.merge(&out.first_reply);
+        total.requests.merge(&out.requests);
+        total.elapsed = total.elapsed.max(last);
+    }
+    total
+}
+
+fn empty_outcome() -> ChurnOutcome {
+    ChurnOutcome {
+        attempted: 0,
+        served: 0,
+        refused: 0,
+        failed: 0,
+        completed: 0,
+        errors: 0,
+        elapsed: Duration::ZERO,
+        first_reply: LatencyHistogram::new(),
+        requests: LatencyHistogram::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::InterArrival;
+    use crate::mix::{MixRatios, RequestStream};
+    use nws_grid::{GridMonitor, GridMonitorConfig};
+    use nws_server::{GridState, InMemoryTransport};
+    use nws_sim::HostProfile;
+    use std::sync::{Arc, Mutex};
+
+    fn warm_state() -> Arc<Mutex<GridState>> {
+        let mut grid = GridMonitor::new(
+            &[HostProfile::Thing1, HostProfile::Thing2],
+            13,
+            GridMonitorConfig::default(),
+        );
+        grid.run_steps(40);
+        Arc::new(Mutex::new(GridState::new(grid)))
+    }
+
+    #[test]
+    fn every_connection_arrival_is_accounted_for() {
+        let state = warm_state();
+        let hosts = vec!["thing1".to_string(), "thing2".to_string()];
+        let requests = RequestStream::new(29, &hosts, MixRatios::default(), 8, 3).take(64);
+        let schedule = ArrivalSchedule::generate(InterArrival::poisson(2000.0), 5, 50);
+        let out = churn(
+            &|_i| ChurnConnect::Serve(InMemoryTransport::new(Arc::clone(&state))),
+            3,
+            &schedule,
+            &requests,
+            4,
+        );
+        assert_eq!(out.attempted, 50);
+        assert_eq!(out.served, 50);
+        assert_eq!(out.refused + out.failed, 0);
+        assert_eq!(out.completed, 200, "4 requests per connection");
+        assert_eq!(out.first_reply.count(), 50);
+        assert_eq!(out.requests.count(), 200);
+        assert!(out.achieved_cps() > 0.0);
+    }
+
+    #[test]
+    fn failures_and_refusals_split_correctly() {
+        let state = warm_state();
+        let hosts = vec!["thing1".to_string()];
+        let requests = RequestStream::new(29, &hosts, MixRatios::default(), 8, 3).take(16);
+        let schedule = ArrivalSchedule::generate(InterArrival::poisson(5000.0), 6, 30);
+        // Even connections fail at the socket; odd ones serve.
+        let out = churn(
+            &|i| {
+                if i % 2 == 0 {
+                    ChurnConnect::Failed
+                } else {
+                    ChurnConnect::Serve(InMemoryTransport::new(Arc::clone(&state)))
+                }
+            },
+            2,
+            &schedule,
+            &requests,
+            2,
+        );
+        assert_eq!(out.attempted, 30);
+        assert_eq!(out.failed, 15);
+        assert_eq!(out.served, 15);
+        assert_eq!(out.completed, 30);
+    }
+}

@@ -22,21 +22,32 @@
 //!   with bounded relative error, mergeable across workers.
 //! - [`runner`] drives any [`nws_server::Transport`] open-loop or
 //!   closed-loop and binary-searches the max sustainable request rate.
+//! - [`soak`] runs the open-loop schedule with latencies bucketed into
+//!   fixed time windows keyed by virtual arrival — a p50/p99 series
+//!   over time that exposes trends a whole-run histogram averages away.
+//! - [`churn`] sweeps the *connection-arrival* rate: connections come
+//!   and go open-loop on their own schedule, each issuing a short
+//!   burst, so the accept path is measured per connection the way the
+//!   request path is measured per request.
 //! - [`personas`] are adversarial clients — partial frames, oversize
 //!   length claims, byte-trickling slow writers — that must trip the
 //!   server's deadline and cap handling without hurting healthy peers.
 
 pub mod arrivals;
+pub mod churn;
 pub mod histogram;
 pub mod mix;
 pub mod personas;
 pub mod runner;
+pub mod soak;
 
 pub use arrivals::{ArrivalSchedule, InterArrival};
+pub use churn::{churn, ChurnConnect, ChurnOutcome};
 pub use histogram::LatencyHistogram;
 pub use mix::{MixRatios, QueryKind, RequestStream};
 pub use personas::PersonaReport;
 pub use runner::{closed_loop, max_sustainable_rps, open_loop, LoadOutcome, RateProbe, RateSearch};
+pub use soak::{soak, SoakOutcome, SoakWindow};
 
 /// FNV-1a over a byte slice: the repo's standard order-sensitive
 /// fingerprint for determinism checks in committed artifacts.

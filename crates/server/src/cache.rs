@@ -42,22 +42,28 @@ impl QueryCache {
     /// current at `revision`; stale entries are discarded (and counted
     /// as invalidations).
     pub fn forecast(&mut self, id: ResourceId, revision: u64) -> Option<ForecastReply> {
+        self.forecast_ref(id, revision).cloned()
+    }
+
+    /// Borrowing form of [`QueryCache::forecast`]: validates and counts
+    /// exactly the same way but hands back a reference, so the
+    /// zero-copy reply path encodes a cached answer without cloning
+    /// its strings.
+    pub fn forecast_ref(&mut self, id: ResourceId, revision: u64) -> Option<&ForecastReply> {
         match self.forecasts.get(&id) {
-            Some(c) if c.revision == revision => {
-                self.hits += 1;
-                Some(c.reply.clone())
-            }
+            Some(c) if c.revision == revision => self.hits += 1,
             Some(_) => {
                 self.forecasts.remove(&id);
                 self.invalidations += 1;
                 self.misses += 1;
-                None
+                return None;
             }
             None => {
                 self.misses += 1;
-                None
+                return None;
             }
         }
+        self.forecasts.get(&id).map(|c| &c.reply)
     }
 
     /// Stores a freshly computed forecast answer.

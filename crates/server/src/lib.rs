@@ -13,6 +13,11 @@
 //! - [`NwsServer`] — a threaded `std::net::TcpListener` server speaking
 //!   the [`nws_wire`] protocol, with per-connection read/write deadlines
 //!   and an in-flight connection bound derived from [`nws_runtime`].
+//! - [`ReactorServer`] — the same protocol and semantics on an epoll
+//!   reactor: one listener plus a small pool of event loops serving
+//!   thousands of concurrent, pipelined connections with zero-copy
+//!   replies; deadlines become timer-wheel expirations and the
+//!   connection cap becomes an accept gate.
 //! - [`NwsClient`] — a typed client with retry-and-reconnect behind
 //!   capped exponential backoff and seeded deterministic jitter.
 //! - [`Transport`] / [`InMemoryTransport`] — the same codec and
@@ -32,6 +37,7 @@ mod cache;
 mod client;
 mod driver;
 mod failover;
+mod reactor;
 mod replica;
 mod state;
 mod tcp;
@@ -41,6 +47,7 @@ pub use cache::QueryCache;
 pub use client::{Backoff, ClientConfig, NwsClient};
 pub use driver::TickDriver;
 pub use failover::FailoverClient;
+pub use reactor::{ReactorConfig, ReactorServer};
 pub use replica::{ReplicaError, ReplicaState};
 pub use state::{Dispatch, GridState};
 pub use tcp::{NwsServer, ServerConfig};

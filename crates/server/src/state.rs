@@ -11,18 +11,32 @@ use crate::cache::QueryCache;
 use nws_grid::wal::MAX_RECORD_FRAME;
 use nws_grid::{GridMonitor, Metric};
 use nws_wire::{
-    ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,
-    SnapshotReply, StatsReply, WalChunkReply, MAX_BATCH, MAX_POINTS, MAX_WAL_CHUNK,
+    append_response_frame, begin_response_frame, end_response_frame, ErrorCode, ErrorReply,
+    ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply, SnapshotReply,
+    StatsReply, WalChunkReply, Writer, MAX_BATCH, MAX_POINTS, MAX_WAL_CHUNK,
 };
 
 /// Anything that can answer a decoded request — the primary
 /// ([`GridState`]) and read replicas
 /// ([`ReplicaState`](crate::ReplicaState)) both implement it, so the
-/// TCP server and the in-memory transport serve either one through the
-/// same machinery.
+/// TCP server, the epoll reactor, and the in-memory transport serve
+/// either one through the same machinery.
 pub trait Dispatch: Send {
     /// Turns one decoded request into a response.
     fn dispatch(&mut self, req: &Request) -> Response;
+
+    /// Appends the complete response frame (header + payload) for
+    /// `req` to `out` without clearing it — the write-queue form every
+    /// transport serves through, so replies to pipelined requests
+    /// stack up in request order. The default builds the [`Response`]
+    /// and encodes it; implementations may override with zero-copy
+    /// fast paths, but the appended bytes *and* every observable state
+    /// change must be identical to the default — the equivalence tests
+    /// pin both.
+    fn dispatch_frame(&mut self, req: &Request, out: &mut Vec<u8>) {
+        let resp = self.dispatch(req);
+        append_response_frame(out, &resp);
+    }
 }
 
 /// The state a forecast server fronts: the grid, the cache, and the
@@ -39,6 +53,10 @@ fn error(code: ErrorCode, message: impl Into<String>) -> Response {
         code,
         message: message.into(),
     })
+}
+
+fn encode_error(w: &mut Writer, code: ErrorCode, message: impl Into<String>) {
+    error(code, message).encode_into(w);
 }
 
 impl GridState {
@@ -108,6 +126,13 @@ impl GridState {
             return error(ErrorCode::BadRequest, "no journal attached to this server");
         };
         let total = wal.len() as u64;
+        let start = wal.start_offset() as u64;
+        if offset < start {
+            return error(
+                ErrorCode::BadRequest,
+                format!("wal offset {offset} was rotated away; journal starts at {start}"),
+            );
+        }
         if offset > total {
             return error(
                 ErrorCode::BadRequest,
@@ -241,11 +266,180 @@ impl GridState {
             hosts: self.hosts,
         }
     }
+
+    /// Zero-copy reply encoder: appends the *payload* bytes of `req`'s
+    /// reply to `w`, straight from cache and memory borrows — no
+    /// intermediate `Response`, no cloned strings, no per-reply `Vec`.
+    /// Mirrors [`GridState::dispatch`] exactly: same bytes, same
+    /// request counting, same cache accounting. The `dispatch_frame`
+    /// equivalence tests diff the two paths over the full vocabulary.
+    fn encode_reply(&mut self, req: &Request, allow_batch: bool, w: &mut Writer) {
+        if let Request::Batch(items) = req {
+            if !allow_batch {
+                self.requests += 1;
+                return encode_error(w, ErrorCode::BadRequest, "batches cannot nest");
+            }
+            if items.len() > MAX_BATCH {
+                return encode_error(w, ErrorCode::BadRequest, "batch too large");
+            }
+            w.put_u8(5);
+            w.put_u32(items.len() as u32);
+            for item in items {
+                self.encode_reply(item, false, w);
+            }
+            return;
+        }
+        self.requests += 1;
+        match req {
+            Request::Forecast { host } => self.encode_forecast(host, w),
+            Request::Snapshot => {
+                // The whole reply is encoded from the cache borrow —
+                // the reference path clones every host row instead.
+                let snap = self.current_snapshot();
+                w.put_u8(1);
+                w.put_f64(snap.time);
+                w.put_u32(snap.hosts.len() as u32);
+                for row in &snap.hosts {
+                    row.encode_into(w);
+                }
+            }
+            Request::BestHost => {
+                // Same placement rule as `best_host`, but the winning
+                // row is encoded in place, not cloned out of the cache.
+                let best = self
+                    .current_snapshot()
+                    .hosts
+                    .iter()
+                    .filter(|h| !h.degraded)
+                    .filter(|h| h.forecast.is_some_and(f64::is_finite))
+                    .max_by(|a, b| {
+                        let fa = a.forecast.expect("filtered");
+                        let fb = b.forecast.expect("filtered");
+                        fa.total_cmp(&fb)
+                    });
+                w.put_u8(2);
+                match best {
+                    None => w.put_bool(false),
+                    Some(row) => {
+                        w.put_bool(true);
+                        row.encode_into(w);
+                    }
+                }
+            }
+            Request::SeriesTail { host, n } => self.encode_series_tail(host, *n, w),
+            Request::Stats => Response::Stats(self.stats_reply()).encode_into(w),
+            Request::WalSince { offset, max } => self.encode_wal_since(*offset, *max, w),
+            Request::Batch(_) => unreachable!("batches handled above"),
+        }
+    }
+
+    fn encode_forecast(&mut self, host: &str, w: &mut Writer) {
+        let Some(id) = self
+            .grid
+            .registry()
+            .lookup(host, Metric::CpuAvailabilityHybrid)
+        else {
+            return encode_error(w, ErrorCode::UnknownHost, format!("no such host: {host}"));
+        };
+        let revision = self.grid.forecasts().revision(id);
+        if let Some(reply) = self.cache.forecast_ref(id, revision) {
+            w.put_u8(0);
+            reply.encode_into(w);
+            return;
+        }
+        let now = self.grid.now();
+        let Some(answer) = self.grid.forecasts().forecast_at(id, now) else {
+            return encode_error(
+                w,
+                ErrorCode::ColdForecast,
+                format!("{host} has no measurements yet"),
+            );
+        };
+        let reply = ForecastReply {
+            host: host.to_string(),
+            value: answer.forecast.value,
+            method: answer.forecast.method.to_string(),
+            interval: answer.interval.as_ref().map(|iv| (iv.lo, iv.hi)),
+            observations: answer.observations,
+            staleness: answer.staleness,
+            confidence: answer.confidence,
+        };
+        w.put_u8(0);
+        reply.encode_into(w);
+        self.cache.store_forecast(id, revision, reply);
+    }
+
+    fn encode_series_tail(&mut self, host: &str, n: u32, w: &mut Writer) {
+        let Some(id) = self
+            .grid
+            .registry()
+            .lookup(host, Metric::CpuAvailabilityHybrid)
+        else {
+            return encode_error(w, ErrorCode::UnknownHost, format!("no such host: {host}"));
+        };
+        let n = (n as usize).min(MAX_POINTS);
+        // Borrowed column slices straight out of the ring, encoded
+        // pair by pair — no Vec<SeriesPoint>, no cloned host string.
+        let (times, values) = self.grid.memory().tail(id, n);
+        w.put_u8(3);
+        w.put_str(host);
+        w.put_u32(times.len() as u32);
+        for (&time, &value) in times.iter().zip(values) {
+            w.put_f64(time);
+            w.put_f64(value);
+        }
+    }
+
+    fn encode_wal_since(&mut self, offset: u64, max: u32, w: &mut Writer) {
+        let Some(wal) = self.grid.journal() else {
+            return encode_error(
+                w,
+                ErrorCode::BadRequest,
+                "no journal attached to this server",
+            );
+        };
+        let total = wal.len() as u64;
+        let start = wal.start_offset() as u64;
+        if offset < start {
+            return encode_error(
+                w,
+                ErrorCode::BadRequest,
+                format!("wal offset {offset} was rotated away; journal starts at {start}"),
+            );
+        }
+        if offset > total {
+            return encode_error(
+                w,
+                ErrorCode::BadRequest,
+                format!("wal offset {offset} is past the journal end {total}"),
+            );
+        }
+        let max = (max as usize).clamp(MAX_RECORD_FRAME, MAX_WAL_CHUNK);
+        let revision = self.grid.memory().global_revision();
+        let now = self.grid.now();
+        // The chunk bytes flow from the journal to the write queue
+        // without the reference path's intermediate copy.
+        let bytes = wal.chunk(offset as usize, max);
+        w.put_u8(7);
+        w.put_u64(offset);
+        w.put_u64(total);
+        w.put_u64(revision);
+        w.put_f64(now);
+        w.put_bytes(bytes);
+    }
 }
 
 impl Dispatch for GridState {
     fn dispatch(&mut self, req: &Request) -> Response {
         GridState::dispatch(self, req)
+    }
+
+    fn dispatch_frame(&mut self, req: &Request, out: &mut Vec<u8>) {
+        let start = begin_response_frame(out);
+        let mut w = Writer::with_buf(std::mem::take(out));
+        self.encode_reply(req, true, &mut w);
+        *out = w.finish();
+        end_response_frame(out, start);
     }
 }
 
@@ -379,6 +573,82 @@ mod tests {
                 }
             }
             other => panic!("wrong reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dispatch_frame_matches_the_response_reference_path() {
+        // Two identically seeded states: one served through the
+        // zero-copy frame path, one through the Response reference
+        // path. Every reply must be byte-identical AND the two states
+        // must agree on all observable accounting afterwards (the
+        // final Stats reply carries the counters).
+        let build = || {
+            let mut grid = GridMonitor::new(
+                &[HostProfile::Thing1, HostProfile::Gremlin],
+                7,
+                nws_grid::GridMonitorConfig::default(),
+            );
+            grid.attach_journal(nws_grid::Wal::new());
+            grid.run_steps(30);
+            GridState::new(grid)
+        };
+        let mut fast = build();
+        let mut slow = build();
+        let wal_end = slow.grid().journal().expect("attached").len() as u64;
+        let vocabulary = vec![
+            Request::Forecast {
+                host: "thing1".into(),
+            },
+            Request::Forecast {
+                host: "thing1".into(), // cache hit
+            },
+            Request::Forecast {
+                host: "zardoz".into(), // unknown host
+            },
+            Request::Snapshot,
+            Request::Snapshot, // cache hit
+            Request::BestHost,
+            Request::SeriesTail {
+                host: "gremlin".into(),
+                n: 5,
+            },
+            Request::SeriesTail {
+                host: "zardoz".into(),
+                n: 5,
+            },
+            Request::WalSince {
+                offset: 0,
+                max: 256,
+            },
+            Request::WalSince {
+                offset: wal_end + 1, // past the end
+                max: 256,
+            },
+            Request::Batch(vec![
+                Request::Forecast {
+                    host: "gremlin".into(),
+                },
+                Request::Stats,
+                Request::BestHost,
+            ]),
+            Request::Batch(vec![Request::Batch(vec![])]), // nested
+            Request::Batch(vec![Request::Stats; MAX_BATCH + 1]), // oversized
+            Request::Stats,                               // final accounting pin
+        ];
+        for pass in 0..2 {
+            for req in &vocabulary {
+                let mut fast_bytes = vec![0xA5]; // dirty prefix: append semantics
+                fast.dispatch_frame(req, &mut fast_bytes);
+                let resp = Dispatch::dispatch(&mut slow, req);
+                let mut slow_bytes = vec![0xA5];
+                append_response_frame(&mut slow_bytes, &resp);
+                assert_eq!(fast_bytes, slow_bytes, "pass {pass}: {req:?}");
+            }
+            // Tick between passes so invalidation/recompute paths are
+            // compared too, not just the warm-cache ones.
+            fast.tick(1);
+            slow.tick(1);
         }
     }
 

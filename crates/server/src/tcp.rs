@@ -53,15 +53,27 @@ impl Default for ServerConfig {
 }
 
 /// Accept-loop counters, shared with the server handle so a load
-/// harness can watch admission behavior while traffic runs.
+/// harness can watch admission behavior while traffic runs. The
+/// threaded server and the epoll reactor keep them the same way:
+/// `accepted`/`active` move at admission, `refused` at the cap.
 #[derive(Debug, Default)]
 pub struct ServeCounters {
-    /// Connections admitted to a handler thread.
-    accepted: AtomicU64,
+    /// Connections admitted to service.
+    pub(crate) accepted: AtomicU64,
     /// Connections turned away at the cap with a typed `Overloaded`.
-    refused: AtomicU64,
-    /// Handler threads live right now.
-    active: AtomicUsize,
+    pub(crate) refused: AtomicU64,
+    /// Connections being served right now.
+    pub(crate) active: AtomicUsize,
+}
+
+/// The typed refusal an over-capacity connection is answered with —
+/// shared by the threaded server's detached refusal path and the
+/// reactor's accept gate, so the refusal bytes are identical.
+pub(crate) fn overload_response() -> Response {
+    Response::Error(ErrorReply {
+        code: ErrorCode::Overloaded,
+        message: "server at connection capacity".to_string(),
+    })
 }
 
 /// A running forecast server bound to a local port, generic over what
@@ -193,11 +205,7 @@ fn accept_loop<D: Dispatch + 'static>(
 fn refuse(stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let mut w = BufWriter::new(stream);
-    let resp = Response::Error(ErrorReply {
-        code: ErrorCode::Overloaded,
-        message: "server at connection capacity".to_string(),
-    });
-    if write_response(&mut w, &resp).is_ok() {
+    if write_response(&mut w, &overload_response()).is_ok() {
         let _ = w.flush();
     }
 }
@@ -300,8 +308,11 @@ fn handle_conn<D: Dispatch>(
             // way a killed process would.
             return;
         }
-        let resp = state.lock().expect("server state poisoned").dispatch(&req);
-        encode_response_frame(&mut scratch, &resp);
+        scratch.clear();
+        state
+            .lock()
+            .expect("server state poisoned")
+            .dispatch_frame(&req, &mut scratch);
         if writer.write_all(&scratch).is_err() || writer.flush().is_err() {
             return;
         }

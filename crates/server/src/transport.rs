@@ -9,9 +9,8 @@
 
 use crate::state::{Dispatch, GridState};
 use nws_wire::{
-    encode_request_frame, encode_response_frame, read_request, read_response, ErrorReply,
-    ForecastReply, HostRow, Request, Response, SeriesTailReply, SnapshotReply, StatsReply,
-    WalChunkReply, WireError,
+    encode_request_frame, read_request, read_response, ErrorReply, ForecastReply, HostRow, Request,
+    Response, SeriesTailReply, SnapshotReply, StatsReply, WalChunkReply, WireError,
 };
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -154,14 +153,15 @@ impl<D: Dispatch> Transport for InMemoryTransport<D> {
     fn call_raw(&mut self, req: &Request) -> Result<(Response, Vec<u8>), ServeError> {
         // Client side: frame the request into the "wire".
         encode_request_frame(&mut self.wire, req);
-        // Server side: decode, dispatch, frame the response.
+        // Server side: decode, dispatch straight into the response
+        // frame buffer — the same zero-copy path the socket servers
+        // serve through.
         let decoded = read_request(&mut self.wire.as_slice())?;
-        let resp = self
-            .state
+        self.back.clear();
+        self.state
             .lock()
             .expect("server state poisoned")
-            .dispatch(&decoded);
-        encode_response_frame(&mut self.back, &resp);
+            .dispatch_frame(&decoded, &mut self.back);
         // Client side again: decode the response.
         Ok(read_response(&mut self.back.as_slice())?)
     }

@@ -44,42 +44,26 @@ impl FrameKind {
     }
 }
 
-/// Stamps the 8-byte header into `buf[..HEADER_LEN]`, treating the rest
-/// of the buffer as the already-encoded payload.
-fn finish_header(buf: &mut [u8], kind: FrameKind) {
-    let len = buf.len() - HEADER_LEN;
+/// Stamps the 8-byte header into `buf[start..start + HEADER_LEN]`,
+/// treating everything after it as the already-encoded payload.
+fn finish_header_at(buf: &mut [u8], start: usize, kind: FrameKind) {
+    let len = buf.len() - start - HEADER_LEN;
     debug_assert!(len <= MAX_FRAME, "payload exceeds MAX_FRAME");
-    buf[..2].copy_from_slice(&MAGIC.to_be_bytes());
-    buf[2] = VERSION;
-    buf[3] = kind.tag();
-    buf[4..HEADER_LEN].copy_from_slice(&(len as u32).to_le_bytes());
+    let header = &mut buf[start..start + HEADER_LEN];
+    header[..2].copy_from_slice(&MAGIC.to_be_bytes());
+    header[2] = VERSION;
+    header[3] = kind.tag();
+    header[4..].copy_from_slice(&(len as u32).to_le_bytes());
 }
 
-/// Encodes one request as a complete frame (header + payload) into
-/// `buf`, clearing it first. Reusing one buffer across exchanges keeps
-/// the encode path allocation-free once the buffer has warmed up.
-pub fn encode_request_frame(buf: &mut Vec<u8>, req: &Request) {
-    buf.clear();
-    buf.resize(HEADER_LEN, 0);
-    req.encode_to(buf);
-    finish_header(buf, FrameKind::Request);
-}
-
-/// Encodes one response as a complete frame (header + payload) into
-/// `buf`, clearing it first. The per-connection scratch the server
-/// writes every reply through.
-pub fn encode_response_frame(buf: &mut Vec<u8>, resp: &Response) {
-    buf.clear();
-    buf.resize(HEADER_LEN, 0);
-    resp.encode_to(buf);
-    finish_header(buf, FrameKind::Response);
-}
-
-/// Reads one frame, validating magic, version, kind, and the payload
-/// bound before the payload itself is read.
-pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> {
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
+/// Validates a frame header and returns what it declares: the kind and
+/// the payload length, the latter already checked against
+/// [`MAX_FRAME`](crate::MAX_FRAME). This is the incremental-decoding
+/// entry point: a reactor that has buffered `HEADER_LEN` bytes can
+/// learn exactly how many payload bytes to wait for — with the same
+/// validation order and the same typed errors as [`read_frame`], so
+/// error frames built from either path carry identical messages.
+pub fn parse_frame_header(header: &[u8; HEADER_LEN]) -> Result<(FrameKind, usize), WireError> {
     let magic = u16::from_be_bytes([header[0], header[1]]);
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
@@ -95,6 +79,70 @@ pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> 
             max: MAX_FRAME,
         });
     }
+    Ok((kind, len))
+}
+
+/// Reserves header space for a response frame at the end of `buf` and
+/// returns the frame's start offset, to be passed to
+/// [`end_response_frame`] once the payload has been appended. Lets a
+/// dispatcher encode a reply payload *directly* into a connection's
+/// write queue — straight from borrowed state, no intermediate
+/// per-reply `Vec` — and stamp the header afterwards, when the length
+/// is known.
+pub fn begin_response_frame(buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    buf.resize(start + HEADER_LEN, 0);
+    start
+}
+
+/// Stamps the header of a frame begun with [`begin_response_frame`],
+/// now that the payload (everything appended since) is in place.
+pub fn end_response_frame(buf: &mut [u8], start: usize) {
+    finish_header_at(buf, start, FrameKind::Response);
+}
+
+/// Appends one request as a complete frame (header + payload) to `buf`
+/// without clearing it — the pipelining building block: many frames
+/// queue back to back in one buffer.
+pub fn append_request_frame(buf: &mut Vec<u8>, req: &Request) {
+    let start = buf.len();
+    buf.resize(start + HEADER_LEN, 0);
+    req.encode_to(buf);
+    finish_header_at(buf, start, FrameKind::Request);
+}
+
+/// Appends one response as a complete frame (header + payload) to
+/// `buf` without clearing it, so replies to pipelined requests stack
+/// up in a per-connection write queue in request order.
+pub fn append_response_frame(buf: &mut Vec<u8>, resp: &Response) {
+    let start = buf.len();
+    buf.resize(start + HEADER_LEN, 0);
+    resp.encode_to(buf);
+    finish_header_at(buf, start, FrameKind::Response);
+}
+
+/// Encodes one request as a complete frame (header + payload) into
+/// `buf`, clearing it first. Reusing one buffer across exchanges keeps
+/// the encode path allocation-free once the buffer has warmed up.
+pub fn encode_request_frame(buf: &mut Vec<u8>, req: &Request) {
+    buf.clear();
+    append_request_frame(buf, req);
+}
+
+/// Encodes one response as a complete frame (header + payload) into
+/// `buf`, clearing it first. The per-connection scratch the server
+/// writes every reply through.
+pub fn encode_response_frame(buf: &mut Vec<u8>, resp: &Response) {
+    buf.clear();
+    append_response_frame(buf, resp);
+}
+
+/// Reads one frame, validating magic, version, kind, and the payload
+/// bound before the payload itself is read.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (kind, len) = parse_frame_header(&header)?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok((kind, payload))
@@ -191,6 +239,71 @@ mod tests {
         encode_response_frame(&mut scratch, &resp);
         assert_eq!(scratch, streamed);
         assert_eq!(read_response(&mut scratch.as_slice()).unwrap().0, resp);
+    }
+
+    #[test]
+    fn parse_frame_header_agrees_with_read_frame() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Snapshot).unwrap();
+        let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+        let (kind, len) = parse_frame_header(&header).unwrap();
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(len, buf.len() - HEADER_LEN);
+        // Every corruption read_frame rejects, parse_frame_header
+        // rejects identically (same variant, same Display bytes).
+        type Corruption = Box<dyn Fn(&mut [u8])>;
+        let corruptions: Vec<Corruption> = vec![
+            Box::new(|h| h[0] = 0x00),
+            Box::new(|h| h[2] = 9),
+            Box::new(|h| h[3] = 7),
+            Box::new(|h| h[4..8].copy_from_slice(&u32::MAX.to_le_bytes())),
+        ];
+        for corrupt in corruptions {
+            let mut bad = header;
+            corrupt(&mut bad);
+            let incremental = parse_frame_header(&bad).unwrap_err();
+            let mut framed = buf.clone();
+            framed[..HEADER_LEN].copy_from_slice(&bad);
+            let streaming = read_frame(&mut Cursor::new(&framed)).unwrap_err();
+            assert_eq!(incremental.to_string(), streaming.to_string());
+        }
+    }
+
+    #[test]
+    fn append_encoders_stack_frames_and_match_the_clearing_encoders() {
+        let reqs = [
+            Request::Stats,
+            Request::SeriesTail {
+                host: "kongo".into(),
+                n: 8,
+            },
+        ];
+        let mut stacked = Vec::new();
+        let mut singles = Vec::new();
+        for req in &reqs {
+            append_request_frame(&mut stacked, req);
+            let mut one = Vec::new();
+            encode_request_frame(&mut one, req);
+            singles.extend_from_slice(&one);
+        }
+        assert_eq!(stacked, singles);
+        // Both frames decode back out of the shared buffer in order.
+        let mut cursor = Cursor::new(&stacked);
+        assert_eq!(read_request(&mut cursor).unwrap(), reqs[0]);
+        assert_eq!(read_request(&mut cursor).unwrap(), reqs[1]);
+    }
+
+    #[test]
+    fn begin_end_response_frame_matches_the_whole_frame_encoder() {
+        let resp = Response::BestHost(None);
+        let mut manual = vec![0xEE; 3]; // pre-existing queue content
+        let start = begin_response_frame(&mut manual);
+        resp.encode_to(&mut manual);
+        end_response_frame(&mut manual, start);
+        let mut whole = Vec::new();
+        encode_response_frame(&mut whole, &resp);
+        assert_eq!(&manual[..3], &[0xEE; 3]);
+        assert_eq!(&manual[3..], &whole[..]);
     }
 
     #[test]

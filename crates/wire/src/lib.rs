@@ -32,8 +32,9 @@ mod message;
 
 pub use codec::{Reader, Writer, MAX_STRING};
 pub use frame::{
-    encode_request_frame, encode_response_frame, read_frame, read_request, read_response,
-    write_request, write_response, FrameKind, HEADER_LEN,
+    append_request_frame, append_response_frame, begin_response_frame, encode_request_frame,
+    encode_response_frame, end_response_frame, parse_frame_header, read_frame, read_request,
+    read_response, write_request, write_response, FrameKind, HEADER_LEN,
 };
 pub use message::{
     ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,

@@ -218,7 +218,10 @@ pub struct ForecastReply {
 }
 
 impl ForecastReply {
-    fn encode_into(&self, w: &mut Writer) {
+    /// Appends the reply body (no response tag) to `w`. Public so a
+    /// server can encode a cached reply straight out of a borrow — the
+    /// same bytes `Response::Forecast` would produce after its tag.
+    pub fn encode_into(&self, w: &mut Writer) {
         w.put_str(&self.host);
         w.put_f64(self.value);
         w.put_str(&self.method);
@@ -267,7 +270,9 @@ pub struct HostRow {
 }
 
 impl HostRow {
-    fn encode_into(&self, w: &mut Writer) {
+    /// Appends the row body to `w`. Public so snapshot and best-host
+    /// replies can be encoded row by row from cache borrows.
+    pub fn encode_into(&self, w: &mut Writer) {
         w.put_str(&self.host);
         w.put_opt_f64(self.latest);
         w.put_opt_f64(self.forecast);
@@ -390,7 +395,10 @@ impl Response {
         *out = w.finish();
     }
 
-    fn encode_into(&self, w: &mut Writer) {
+    /// Appends the encoded payload through an existing [`Writer`] —
+    /// the building block the zero-copy dispatch path composes with
+    /// hand-encoded fast paths (both must produce identical bytes).
+    pub fn encode_into(&self, w: &mut Writer) {
         match self {
             Response::Forecast(reply) => {
                 w.put_u8(0);

@@ -42,6 +42,9 @@ REQUIRED_SERVE_SECTIONS = (
     "open_loop",
     "closed_loop",
     "max_sustainable_rps",
+    "soak",
+    "churn",
+    "concurrency",
     "personas",
     "failover",
 )
