@@ -56,6 +56,10 @@ struct Args {
     /// Which socket transport the `load` experiment drives: "threaded",
     /// "reactor", or "all" (both, the default — and what CI diffs).
     transport: String,
+    /// `fleet --quality`: run the forecast-quality sweep (per-predictor
+    /// MAE/MSE error tables over three prediction scenarios) instead of
+    /// the scaling sweep.
+    quality: bool,
     experiments: BTreeSet<String>,
 }
 
@@ -65,6 +69,7 @@ fn parse_args() -> Args {
     let mut seed = None;
     let mut threads = None;
     let mut transport = String::from("all");
+    let mut quality = false;
     let mut experiments = BTreeSet::new();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -99,6 +104,7 @@ fn parse_args() -> Args {
                 }
                 transport = v;
             }
+            "--quality" => quality = true,
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => {
@@ -146,6 +152,7 @@ fn parse_args() -> Args {
         seed,
         threads,
         transport,
+        quality,
         experiments,
     }
 }
@@ -156,7 +163,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--quick] [--smoke] [--seed N] [--threads N] \
-         [--transport threaded|reactor|all] <experiment>...\n\
+         [--transport threaded|reactor|all] [--quality] <experiment>...\n\
          experiments: table1 table2 table3 table4 table5 table6\n\
          \x20            fig1 fig2 fig3 fig4 ablation sweep robustness\n\
          \x20            sched datasched net loadstats faults perf serve fleet\n\
@@ -401,7 +408,7 @@ fn main() {
     // `perf` it only runs when asked for by name.
     if !run_all && args.experiments.contains("fleet") {
         timed(&mut stages, "fleet", || {
-            run_fleet(cfg.seed, args.quick, args.smoke)
+            run_fleet(cfg.seed, args.quick, args.smoke, args.quality)
         });
     }
     // `durability` replays seeded crash plans and spins real sockets for
@@ -897,6 +904,11 @@ fn perf_kernels(
     // the standalone `repro fleet` experiment writes the identity CSV.
     let (fleet_entries, _fleet_csv) = fleet_sweep(cfg.seed, quick, smoke);
 
+    // --- Forecast quality: the panel-v2 error tables (per-predictor
+    // MAE/MSE) over the three prediction scenarios. Deterministic, not
+    // timing — the artifact tracks accuracy next to speed.
+    let (quality_entries, _quality_csv) = fleet_quality(cfg.seed, quick, smoke);
+
     // --- Durability: WAL replay and snapshot recovery over a journaled
     // reference run. Both recovery paths must land on the live run's
     // exact memory fingerprint; the artifact tracks how fast they get
@@ -1034,6 +1046,9 @@ fn perf_kernels(
     let _ = writeln!(json, "  \"fleet\": [");
     let _ = writeln!(json, "{}", fleet_entries.join(",\n"));
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"forecast_quality\": [");
+    let _ = writeln!(json, "{}", quality_entries.join(",\n"));
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
         "  \"durability\": {{ \"steps\": {dur_steps}, \"wal_bytes\": {}, \
@@ -1136,13 +1151,148 @@ fn fleet_sweep(seed: u64, quick: bool, smoke: bool) -> (Vec<String>, String) {
 /// The standalone `fleet` experiment: runs the sweep at the current
 /// thread setting and writes the deterministic columns to
 /// `results/fleet_sweep.csv`, the artifact CI diffs across thread counts.
-fn run_fleet(seed: u64, quick: bool, smoke: bool) {
+/// With `--quality` it runs the forecast-quality sweep instead and
+/// writes `results/fleet_quality.csv`.
+fn run_fleet(seed: u64, quick: bool, smoke: bool, quality: bool) {
+    if quality {
+        println!(
+            "\n== fleet forecast quality sweep (threads={}) ==",
+            nws_runtime::threads()
+        );
+        let (_entries, csv) = fleet_quality(seed, quick, smoke);
+        write_artifact("fleet_quality.csv", &csv);
+        return;
+    }
     println!(
         "\n== fleet scaling sweep (threads={}) ==",
         nws_runtime::threads()
     );
     let (_entries, csv) = fleet_sweep(seed, quick, smoke);
     write_artifact("fleet_sweep.csv", &csv);
+}
+
+/// The forecast-quality sweep behind `repro fleet --quality` and the
+/// `forecast_quality` section of `BENCH_perf.json`: the full predictor
+/// panel (dynamic-selection members plus the ARMA pair) races over
+/// three prediction scenarios, reporting Table 2/3-shaped per-predictor
+/// MAE/MSE rows.
+///
+/// 1. `synthetic-ar1` — the fleet's AR(1)-style synthetic rosters, the
+///    panel scored on every host of an `Extended`-panel fleet;
+/// 2. `trace-mixture` — the same fleet replaying UCSD availability
+///    traces (Eq. 1 of the simulated workstation mixes) under a seeded
+///    fault plan, so the panel is scored across gaps;
+/// 3. `transfer-time` — the Vazhkudai–Schopf scenario: predicting
+///    file-transfer durations over monitored links, where regressing on
+///    bandwidth *and* endpoint CPU beats bandwidth alone.
+///
+/// Every number is a pure function of the seed — byte-identical at any
+/// thread count — so `results/fleet_quality.csv` is CI-diffable.
+fn fleet_quality(seed: u64, quick: bool, smoke: bool) -> (Vec<String>, String) {
+    use nws_faults::{FaultPlan, FaultRates};
+    use nws_forecast::PanelSpec;
+    use nws_grid::{FleetConfig, FleetMonitor, FleetPanel, FleetRoster};
+    use nws_net::TransferScenario;
+    use nws_sim::ucsd_availability_traces;
+
+    let (hosts, steps) = if smoke {
+        (32usize, 160u64)
+    } else if quick {
+        (64, 240)
+    } else {
+        (128, 480)
+    };
+    let transfers = if smoke {
+        160
+    } else if quick {
+        320
+    } else {
+        640
+    };
+    let panel_config = |hosts: usize| FleetConfig {
+        hosts,
+        seed,
+        panel: FleetPanel::Bank(PanelSpec::Extended),
+        ..FleetConfig::default()
+    };
+    let mut scenarios: Vec<(&'static str, Vec<nws_forecast::ErrorRow>)> = Vec::new();
+
+    // Scenario 1: synthetic AR(1)-style rosters, fault-free.
+    let mut fleet = FleetMonitor::with_roster(
+        panel_config(hosts),
+        FleetRoster::Synthetic,
+        &FaultPlan::none(),
+    );
+    fleet.run_steps(steps);
+    scenarios.push(("synthetic-ar1", fleet.quality_table()));
+
+    // Scenario 2: hosts replay UCSD availability traces at seeded phase
+    // offsets, under a fleet-scale fault plan (outages and lost
+    // measurements become forecaster gaps).
+    let traces = ucsd_availability_traces(seed ^ 0x7ACE, steps as usize + 64);
+    let mut fleet = FleetMonitor::with_roster(
+        panel_config(hosts),
+        FleetRoster::TraceMixture(traces),
+        &FaultPlan::seeded(seed ^ 0xFA17, FaultRates::uniform(0.05)),
+    );
+    fleet.run_steps(steps);
+    let gaps = fleet.gaps();
+    assert!(gaps > 0, "the fault plan must produce gaps at fleet scale");
+    scenarios.push(("trace-mixture", fleet.quality_table()));
+
+    // Scenario 3: transfer times over the demo link grid, each link's
+    // endpoint following its own availability trace.
+    let mut links = LinkMonitor::demo_grid(seed);
+    let cpu = ucsd_availability_traces(seed ^ 0x00C4, transfers);
+    let mut transfer = TransferScenario::new(4.0 * 1024.0 * 1024.0, 30);
+    let mut cpu_steps: Vec<_> = cpu.iter().map(|trace| trace.iter()).collect();
+    for _ in 0..transfers {
+        let samples = links.probe_cycle();
+        for (steps, sample) in cpu_steps.iter_mut().zip(samples) {
+            let availability = *steps.next().expect("trace covers every cycle");
+            if let Some(s) = sample {
+                transfer.observe(s.bandwidth, availability);
+            }
+        }
+    }
+    scenarios.push(("transfer-time", transfer.error_table()));
+
+    println!(
+        "  {hosts} hosts x {steps} slots per fleet scenario, {} gap(s) under faults, \
+         {} transfers over {} links",
+        gaps,
+        transfer.observations(),
+        links.len()
+    );
+    let mut entries = Vec::new();
+    let mut csv = String::from("scenario,predictor,scored,mae,mse\n");
+    println!(
+        "  {:<14} {:<22} {:>7} {:>10} {:>10}",
+        "scenario", "predictor", "scored", "mae", "mse"
+    );
+    for (name, rows) in &scenarios {
+        assert!(!rows.is_empty(), "{name} produced no error rows");
+        for row in rows {
+            let (mae, mse) = if row.scored == 0 {
+                (0.0, 0.0)
+            } else {
+                (row.mae(), row.mse())
+            };
+            println!(
+                "  {name:<14} {:<22} {:>7} {mae:>10.4} {mse:>10.4}",
+                row.name, row.scored
+            );
+            // Shortest-round-trip float formatting: full precision, and
+            // deterministic, so the CSV byte-diffs across thread counts.
+            let _ = writeln!(csv, "{name},{},{},{mae},{mse}", row.name, row.scored);
+            entries.push(format!(
+                "    {{ \"scenario\": \"{name}\", \"predictor\": \"{}\", \"scored\": {}, \
+                 \"mae\": {mae:.6}, \"mse\": {mse:.6} }}",
+                row.name, row.scored
+            ));
+        }
+    }
+    (entries, csv)
 }
 
 /// The `durability` experiment: a crash-recovery sweep plus a serving
@@ -1274,11 +1424,25 @@ fn run_durability(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
         cuts.len()
     );
 
-    // --- Phase 2: serving availability through a primary kill.
+    // --- Phase 2: serving availability through replica churn and a
+    // primary kill. A seeded CrashPlan places a replica kill inside the
+    // first half of the request stream; the replica restarts a window
+    // later (fresh state, re-synced over the wire, fresh socket), and
+    // the primary dies at the halfway mark — so the failover target is
+    // the *restarted* replica. Every request must still be answered.
     let requests = if smoke { 40 } else { 200 };
+    let mut churn = CrashPlan::seeded(cfg.seed ^ 0x5EC0);
+    let replica_kill_at = requests / 8 + churn.next_event().cut_at(requests / 8);
+    let replica_restart_at = replica_kill_at + requests / 8;
+    let primary_kill_at = requests / 2;
+    assert!(
+        replica_restart_at < primary_kill_at,
+        "the replica must be back before the primary dies"
+    );
     println!(
-        "\n== durability: failover availability ({requests} requests, primary killed \
-         mid-stream) =="
+        "\n== durability: failover availability ({requests} requests; replica killed at \
+         {replica_kill_at}, restarted at {replica_restart_at}, primary killed at \
+         {primary_kill_at}) =="
     );
     let mut gm = GridMonitor::ucsd(cfg.seed);
     gm.attach_journal(Wal::new());
@@ -1308,10 +1472,14 @@ fn run_durability(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
         "  replica caught up over the wire in {sync_ms:.2} ms ({} journal bytes applied)",
         replica.applied()
     );
-    let replica_server = NwsServer::spawn(replica, ServerConfig::default()).expect("bind replica");
+    let mut replica_server =
+        Some(NwsServer::spawn(replica, ServerConfig::default()).expect("bind replica"));
 
     let mut client = FailoverClient::new(
-        &[primary.addr(), replica_server.addr()],
+        &[
+            primary.addr(),
+            replica_server.as_ref().expect("just spawned").addr(),
+        ],
         ClientConfig {
             io_timeout: std::time::Duration::from_millis(500),
             retries: 0,
@@ -1320,31 +1488,69 @@ fn run_durability(cfg: &ExperimentConfig, quick: bool, smoke: bool) {
             ..ClientConfig::default()
         },
     );
-    let kill_at = requests / 2;
     let mut served = 0usize;
     let mut failover_latency_ms = 0.0f64;
+    let mut restart_sync_ms = 0.0f64;
     for i in 0..requests {
-        if i == kill_at {
+        if i == replica_kill_at {
+            if let Some(mut dying) = replica_server.take() {
+                dying.shutdown();
+            }
+        }
+        if i == replica_restart_at {
+            // The restarted replica is a blank state: it must re-sync
+            // over the wire from the still-live primary, land on the
+            // same fingerprint, and come up on a fresh socket that the
+            // operator repoints the client at.
+            let t0 = Instant::now();
+            let mut feed =
+                NwsClient::connect(primary.addr(), ClientConfig::default()).expect("reconnect");
+            let mut fresh = ReplicaState::new(&host_refs, GridMonitorConfig::default());
+            fresh.sync(&mut feed).expect("re-sync restarted replica");
+            restart_sync_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(fresh.synced(), "restarted replica caught up");
+            assert_eq!(
+                fresh.memory().fingerprint(),
+                expected_fingerprint,
+                "restarted replica is byte-identical to the primary"
+            );
+            let server =
+                NwsServer::spawn(fresh, ServerConfig::default()).expect("bind restarted replica");
+            client.set_endpoint(1, server.addr());
+            replica_server = Some(server);
+        }
+        if i == primary_kill_at {
             primary.shutdown();
         }
         let host = &hosts[i % hosts.len()];
         let t0 = Instant::now();
         client.forecast(host).expect("every request is served");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        if i == kill_at {
+        if i == primary_kill_at {
             failover_latency_ms = ms;
         }
         served += 1;
     }
-    assert_eq!(served, requests, "availability through the kill is 100%");
-    assert!(client.failovers() >= 1, "the kill forced a failover");
+    assert_eq!(served, requests, "availability through the churn is 100%");
+    assert!(
+        client.failovers() >= 1,
+        "the primary kill forced a failover"
+    );
     println!(
-        "  served {served}/{requests} requests through the kill; {} failover(s), \
-         first post-kill request {failover_latency_ms:.2} ms",
+        "  served {served}/{requests} requests through the churn; {} failover(s), \
+         replica restart re-sync {restart_sync_ms:.2} ms, first post-kill request \
+         {failover_latency_ms:.2} ms",
         client.failovers()
     );
-    let mut avail_csv = String::from("requests,served,failovers,replica_synced\n");
-    let _ = writeln!(avail_csv, "{requests},{served},{},true", client.failovers());
+    let mut avail_csv = String::from(
+        "requests,served,failovers,replica_kill_at,replica_restart_at,primary_kill_at,\
+         replica_synced\n",
+    );
+    let _ = writeln!(
+        avail_csv,
+        "{requests},{served},{},{replica_kill_at},{replica_restart_at},{primary_kill_at},true",
+        client.failovers()
+    );
     write_artifact("durability_availability.csv", &avail_csv);
 }
 

@@ -32,7 +32,12 @@ pub fn levinson_durbin(autocov: &[f64], order: usize) -> Option<Vec<f64>> {
 /// refits allocate nothing. `a` and `prev` must both hold exactly `order`
 /// elements; `a` receives the coefficients on success and is unspecified on
 /// failure. Returns whether the fit succeeded.
-fn levinson_durbin_into(autocov: &[f64], order: usize, a: &mut [f64], prev: &mut [f64]) -> bool {
+pub(crate) fn levinson_durbin_into(
+    autocov: &[f64],
+    order: usize,
+    a: &mut [f64],
+    prev: &mut [f64],
+) -> bool {
     if autocov.len() < order + 1 || autocov[0] <= 0.0 {
         return false;
     }
@@ -188,6 +193,32 @@ impl Forecaster for ArPredictor {
         // resumes predicting once `order` fresh values accumulate.
         self.window.clear();
         self.since_refit = 0;
+    }
+
+    fn predict_horizon(&self, k: usize) -> Option<Vec<f64>> {
+        if self.coefficients.is_empty() || self.window.len() < self.order {
+            // No model (or not enough fresh lags): flat extension of the
+            // fallback mean, matching `predict`.
+            let v = self.predict()?;
+            return Some(vec![v; k]);
+        }
+        // Iterated forecasting: most-recent-first lag buffer seeded from
+        // the window; each step's prediction becomes the next step's lag.
+        let n = self.window.len();
+        let mut lags: Vec<f64> = (0..self.order)
+            .map(|i| self.window.get(n - 1 - i).expect("lag in range"))
+            .collect();
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut pred = self.mean;
+            for (i, &a) in self.coefficients.iter().enumerate() {
+                pred += a * (lags[i] - self.mean);
+            }
+            out.push(pred);
+            lags.rotate_right(1);
+            lags[0] = pred;
+        }
+        Some(out)
     }
 }
 

@@ -29,18 +29,23 @@
 
 pub mod adaptive;
 pub mod ar;
+pub mod arma;
 pub mod eval;
 pub mod interval;
 pub mod methods;
 pub mod nws;
+pub mod panel;
 pub mod tracker;
 
 pub use adaptive::{AdaptiveExpSmoothing, AdaptiveWindowMean, StochasticGradient};
 pub use ar::{levinson_durbin, ArPredictor};
+pub use arma::Arma;
 pub use eval::{evaluate_one_step, EvalReport};
 pub use interval::{IntervalTracker, P2Quantile, PredictionInterval};
 pub use methods::{
-    ExpSmoothing, Forecaster, LastValue, RunningMean, SlidingMean, SlidingMedian, TrimmedMean,
+    ewma_step, ExpSmoothing, Forecaster, LastValue, Predictor, RunningMean, SlidingMean,
+    SlidingMedian, TrimmedMean,
 };
-pub use nws::{Forecast, NwsForecaster, Selection};
+pub use nws::NwsForecaster;
+pub use panel::{ErrorRow, Forecast, PanelSpec, PredictorBank, Selection};
 pub use tracker::ErrorTracker;

@@ -8,8 +8,9 @@
 
 use nws_timeseries::SlidingWindow;
 
-/// A streaming one-step-ahead predictor.
-pub trait Forecaster: std::fmt::Debug + Send {
+/// A streaming predictor: one-step-ahead by contract, multi-step by
+/// extension ([`Predictor::predict_horizon`]).
+pub trait Predictor: std::fmt::Debug + Send {
     /// Short display name, e.g. `"sw_mean(20)"`.
     fn name(&self) -> String;
 
@@ -32,6 +33,34 @@ pub trait Forecaster: std::fmt::Debug + Send {
     /// their state: their estimate is still the best guess for what comes
     /// after the gap. The default is therefore a no-op.
     fn note_gap(&mut self) {}
+
+    /// Forecasts the next `k` measurements, or `None` before the
+    /// predictor has enough history.
+    ///
+    /// Level and window predictors have no dynamics: their best `h`-step
+    /// guess is the one-step forecast held flat, which is the default.
+    /// Model-based predictors (AR, ARMA) override this with iterated
+    /// forecasting — predictions feed back as pseudo-lags, so horizons
+    /// decay toward the fitted mean instead of freezing at one step.
+    fn predict_horizon(&self, k: usize) -> Option<Vec<f64>> {
+        let v = self.predict()?;
+        Some(vec![v; k])
+    }
+}
+
+/// The original trait name; kept as an alias so existing panels,
+/// impls, and tests read either way.
+pub use self::Predictor as Forecaster;
+
+/// One exponential-smoothing step: `state + gain·(value − state)`.
+///
+/// The single canonical EWMA kernel — [`ExpSmoothing::observe`] and the
+/// fleet tier's dense per-host forecasts
+/// (`nws_grid::fleet::FleetMonitor`) both evaluate exactly this
+/// expression, so the two paths stay bit-identical by construction.
+#[inline]
+pub fn ewma_step(state: f64, gain: f64, value: f64) -> f64 {
+    state + gain * (value - state)
 }
 
 /// Predicts that the next value equals the most recent one.
@@ -333,7 +362,7 @@ impl Forecaster for ExpSmoothing {
     fn observe(&mut self, value: f64) {
         self.state = Some(match self.state {
             None => value,
-            Some(s) => s + self.gain * (value - s),
+            Some(s) => ewma_step(s, self.gain, value),
         });
     }
 

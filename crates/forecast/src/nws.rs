@@ -1,262 +1,21 @@
-//! The NWS forecaster: a predictor panel with dynamic selection.
+//! The NWS forecaster: the historical name of the predictor bank.
+//!
+//! The engine itself lives in [`panel`](crate::panel) as
+//! [`PredictorBank`] — the unified predictor tier shared by the per-host
+//! forecast service, the fleet shards, and the quality benchmarks.
+//! `NwsForecaster` is an alias kept so the paper-facing name (and every
+//! existing call site) keeps reading naturally.
 
-use crate::adaptive::{AdaptiveExpSmoothing, AdaptiveWindowMean, StochasticGradient};
-use crate::ar::ArPredictor;
-use crate::methods::{
-    ExpSmoothing, Forecaster, LastValue, RunningMean, SlidingMean, SlidingMedian, TrimmedMean,
-};
-use crate::tracker::ErrorTracker;
-use std::sync::Arc;
+use crate::panel::PredictorBank;
+pub use crate::panel::{Forecast, Selection};
 
-/// Which error statistic drives predictor selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Selection {
-    /// Mean absolute error over the recent window (the NWS default:
-    /// "most accurate over the recent set of measurements").
-    #[default]
-    RecentMae,
-    /// Cumulative mean absolute error over the whole series.
-    CumulativeMae,
-    /// Cumulative mean squared error.
-    CumulativeMse,
-}
-
-/// One issued forecast.
-///
-/// The method name is a shared, immutable string cached per panel member
-/// at construction, so issuing a forecast never formats or allocates.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Forecast {
-    /// The predicted next value.
-    pub value: f64,
-    /// Panel index of the predictor that issued it.
-    pub method_index: usize,
-    /// Name of that predictor.
-    pub method: Arc<str>,
-}
-
-/// The NWS forecasting engine.
-///
-/// Feed measurements with [`NwsForecaster::update`]; each call scores every
-/// panel member against the arriving measurement, updates them, and returns
-/// the forecast of the currently best member for the *next* measurement.
-///
-/// # Examples
-///
-/// ```
-/// use nws_forecast::NwsForecaster;
-///
-/// let mut nws = NwsForecaster::nws_default();
-/// for v in [0.8, 0.78, 0.82, 0.8, 0.79, 0.81] {
-///     nws.update(v);
-/// }
-/// let f = nws.forecast().unwrap();
-/// assert!((f.value - 0.8).abs() < 0.05);
-/// println!("next 10s: {:.0}% available (chosen: {})", f.value * 100.0, f.method);
-/// ```
-#[derive(Debug)]
-pub struct NwsForecaster {
-    panel: Vec<Box<dyn Forecaster>>,
-    trackers: Vec<ErrorTracker>,
-    /// Panel member names, cached once so the per-measurement paths never
-    /// re-run the `format!`-based [`Forecaster::name`].
-    names: Vec<Arc<str>>,
-    selection: Selection,
-    observations: u64,
-    selected: usize,
-}
-
-impl NwsForecaster {
-    /// Builds a forecaster around a custom panel.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the panel is empty or `recent_window == 0`.
-    pub fn new(
-        panel: Vec<Box<dyn Forecaster>>,
-        selection: Selection,
-        recent_window: usize,
-    ) -> Self {
-        assert!(
-            !panel.is_empty(),
-            "panel must contain at least one predictor"
-        );
-        let trackers = panel
-            .iter()
-            .map(|_| ErrorTracker::new(recent_window))
-            .collect();
-        let names = panel.iter().map(|f| Arc::from(f.name())).collect();
-        Self {
-            panel,
-            trackers,
-            names,
-            selection,
-            observations: 0,
-            selected: 0,
-        }
-    }
-
-    /// The full NWS panel used throughout the reproduction: last value,
-    /// running mean, sliding means/medians over several windows, trimmed
-    /// means, an exponential-smoothing gain bank, adaptive-gain smoothing,
-    /// an adaptive-length window, and a stochastic-gradient AR(1).
-    pub fn nws_default() -> Self {
-        let mut panel: Vec<Box<dyn Forecaster>> =
-            vec![Box::new(LastValue::new()), Box::new(RunningMean::new())];
-        for k in [5, 10, 20, 50, 100] {
-            panel.push(Box::new(SlidingMean::new(k)));
-        }
-        for k in [5, 11, 21, 51] {
-            panel.push(Box::new(SlidingMedian::new(k)));
-        }
-        for k in [11, 31] {
-            panel.push(Box::new(TrimmedMean::new(k, 0.2)));
-        }
-        for s in ExpSmoothing::bank() {
-            panel.push(Box::new(s));
-        }
-        panel.push(Box::new(AdaptiveExpSmoothing::new(0.2)));
-        panel.push(Box::new(AdaptiveWindowMean::new(3, 100)));
-        panel.push(Box::new(StochasticGradient::new(0.05)));
-        panel.push(Box::new(ArPredictor::new(3, 120, 25)));
-        Self::new(panel, Selection::default(), 30)
-    }
-
-    /// Panel size.
-    pub fn panel_len(&self) -> usize {
-        self.panel.len()
-    }
-
-    /// Names of the panel members, in index order.
-    pub fn method_names(&self) -> Vec<String> {
-        self.panel.iter().map(|f| f.name()).collect()
-    }
-
-    /// Number of measurements consumed.
-    pub fn observations(&self) -> u64 {
-        self.observations
-    }
-
-    /// Index of the currently selected predictor.
-    pub fn selected_index(&self) -> usize {
-        self.selected
-    }
-
-    /// Per-method `(name, cumulative MAE)` for every method that has been
-    /// scored at least once.
-    pub fn error_summary(&self) -> Vec<(String, f64)> {
-        self.panel
-            .iter()
-            .zip(&self.trackers)
-            .filter_map(|(f, t)| t.mae().map(|m| (f.name(), m)))
-            .collect()
-    }
-
-    fn score_of(&self, i: usize) -> Option<f64> {
-        let t = &self.trackers[i];
-        match self.selection {
-            Selection::RecentMae => t.recent_mae(),
-            Selection::CumulativeMae => t.mae(),
-            Selection::CumulativeMse => t.mse(),
-        }
-    }
-
-    fn reselect(&mut self) {
-        let mut best = self.selected;
-        let mut best_score = f64::INFINITY;
-        for i in 0..self.panel.len() {
-            // Methods that cannot predict yet are not eligible.
-            if self.panel[i].predict().is_none() {
-                continue;
-            }
-            let score = self.score_of(i).unwrap_or(f64::INFINITY);
-            if score < best_score {
-                best_score = score;
-                best = i;
-            }
-        }
-        // With no scores yet, prefer the first method able to predict.
-        if best_score.is_infinite() {
-            if let Some(i) = self.panel.iter().position(|f| f.predict().is_some()) {
-                best = i;
-            }
-        }
-        self.selected = best;
-    }
-
-    /// Feeds one measurement. Every predictor that had a live forecast is
-    /// scored against `value`; all predictors then absorb `value`; the best
-    /// predictor (under the selection criterion) issues the forecast for
-    /// the next measurement.
-    ///
-    /// Returns `None` only before any predictor has enough history (i.e.
-    /// never after the first call, since the last-value predictor needs a
-    /// single point).
-    pub fn update(&mut self, value: f64) -> Option<Forecast> {
-        for (f, t) in self.panel.iter_mut().zip(&mut self.trackers) {
-            if let Some(pred) = f.predict() {
-                t.record(pred, value);
-            }
-            f.observe(value);
-        }
-        self.observations += 1;
-        self.reselect();
-        self.forecast()
-    }
-
-    /// The current forecast for the next measurement without feeding data.
-    pub fn forecast(&self) -> Option<Forecast> {
-        let i = self.selected;
-        self.panel[i].predict().map(|value| Forecast {
-            value,
-            method_index: i,
-            method: Arc::clone(&self.names[i]),
-        })
-    }
-
-    /// The selected predictor's point forecast alone — the allocation-free
-    /// path for callers that score or track the value and do not need the
-    /// method attribution a full [`Forecast`] carries.
-    pub fn predicted_value(&self) -> Option<f64> {
-        self.panel[self.selected].predict()
-    }
-
-    /// Notes a gap in the measurement stream (a slot with no reading).
-    ///
-    /// Window-based panel members age out their stale history instead of
-    /// bridging the gap; level-tracking members keep their estimate. No
-    /// observation is counted and no member is scored — there is no value
-    /// to score against. The current selection is kept, but members whose
-    /// forecast went dark (cleared windows) are no longer served:
-    /// [`NwsForecaster::forecast`] returns what the selected member can
-    /// still predict, and the next real measurement reselects.
-    pub fn note_gap(&mut self) {
-        for f in &mut self.panel {
-            f.note_gap();
-        }
-        // If the selected member lost its forecast to the gap, fall back
-        // to any member that can still predict (a level smoother).
-        if self.panel[self.selected].predict().is_none() {
-            self.reselect();
-        }
-    }
-
-    /// Resets every predictor and tracker.
-    pub fn reset(&mut self) {
-        for f in &mut self.panel {
-            f.reset();
-        }
-        for t in &mut self.trackers {
-            t.reset();
-        }
-        self.observations = 0;
-        self.selected = 0;
-    }
-}
+/// The NWS forecasting engine — an alias of [`PredictorBank`].
+pub type NwsForecaster = PredictorBank;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::methods::{LastValue, RunningMean, SlidingMean, SlidingMedian};
 
     #[test]
     fn first_update_already_forecasts() {

@@ -1,0 +1,491 @@
+//! The unified predictor panel: a bank of [`Predictor`]s under dynamic
+//! best-predictor selection.
+//!
+//! [`PredictorBank`] is the one forecasting engine every tier consumes:
+//! the per-host `ForecastService` path runs the paper's full 1999 panel
+//! per series, the fleet tier runs a configurable subset per shard, and
+//! the quality benchmarks run the extended panel v2. Which members a
+//! bank holds is a [`PanelSpec`] — a `Copy` selector cheap enough to
+//! live in fleet configs — and everything else (scoring, selection, gap
+//! semantics, horizons, error tables) is shared.
+
+use crate::adaptive::{AdaptiveExpSmoothing, AdaptiveWindowMean, StochasticGradient};
+use crate::ar::ArPredictor;
+use crate::arma::Arma;
+use crate::methods::{
+    ExpSmoothing, LastValue, Predictor, RunningMean, SlidingMean, SlidingMedian, TrimmedMean,
+};
+use crate::tracker::ErrorTracker;
+use std::sync::Arc;
+
+/// Which error statistic drives predictor selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// Mean absolute error over the recent window (the NWS default:
+    /// "most accurate over the recent set of measurements").
+    #[default]
+    RecentMae,
+    /// Cumulative mean absolute error over the whole series.
+    CumulativeMae,
+    /// Cumulative mean squared error.
+    CumulativeMse,
+}
+
+/// A named panel composition: which predictors a [`PredictorBank`]
+/// holds. `Copy`, so it can ride in fleet configs and sweep tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PanelSpec {
+    /// A single exponential smoother — the fleet tier's zero-cost
+    /// default, bit-identical to a dense EWMA.
+    EwmaOnly {
+        /// Smoothing gain in `(0, 1]`.
+        gain: f64,
+    },
+    /// O(1)-state members only (last value, running mean, the smoothing
+    /// gain bank): the cheap subset for memory-tight fleets.
+    Cheap,
+    /// The paper's full 1999 panel — identical to
+    /// [`PredictorBank::nws_default`].
+    Nws1999,
+    /// Panel v2: the 1999 set plus online ARMA(1,1) and ARMA(2,1)
+    /// members (Sandholm's computational-demand study).
+    Extended,
+}
+
+impl PanelSpec {
+    /// Builds the panel members, in their canonical order.
+    pub fn members(self) -> Vec<Box<dyn Predictor>> {
+        match self {
+            PanelSpec::EwmaOnly { gain } => vec![Box::new(ExpSmoothing::new(gain))],
+            PanelSpec::Cheap => {
+                let mut panel: Vec<Box<dyn Predictor>> =
+                    vec![Box::new(LastValue::new()), Box::new(RunningMean::new())];
+                for s in ExpSmoothing::bank() {
+                    panel.push(Box::new(s));
+                }
+                panel
+            }
+            PanelSpec::Nws1999 | PanelSpec::Extended => {
+                let mut panel: Vec<Box<dyn Predictor>> =
+                    vec![Box::new(LastValue::new()), Box::new(RunningMean::new())];
+                for k in [5, 10, 20, 50, 100] {
+                    panel.push(Box::new(SlidingMean::new(k)));
+                }
+                for k in [5, 11, 21, 51] {
+                    panel.push(Box::new(SlidingMedian::new(k)));
+                }
+                for k in [11, 31] {
+                    panel.push(Box::new(TrimmedMean::new(k, 0.2)));
+                }
+                for s in ExpSmoothing::bank() {
+                    panel.push(Box::new(s));
+                }
+                panel.push(Box::new(AdaptiveExpSmoothing::new(0.2)));
+                panel.push(Box::new(AdaptiveWindowMean::new(3, 100)));
+                panel.push(Box::new(StochasticGradient::new(0.05)));
+                panel.push(Box::new(ArPredictor::new(3, 120, 25)));
+                if matches!(self, PanelSpec::Extended) {
+                    panel.push(Box::new(Arma::new(1, 1, 120, 25)));
+                    panel.push(Box::new(Arma::new(2, 1, 120, 25)));
+                }
+                panel
+            }
+        }
+    }
+
+    /// Builds a bank over this spec with the NWS defaults (recent-MAE
+    /// selection over a 30-measurement window).
+    pub fn build(self) -> PredictorBank {
+        PredictorBank::new(self.members(), Selection::default(), 30)
+    }
+}
+
+/// One issued forecast.
+///
+/// The method name is a shared, immutable string cached per panel member
+/// at construction, so issuing a forecast never formats or allocates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forecast {
+    /// The predicted next value.
+    pub value: f64,
+    /// Panel index of the predictor that issued it.
+    pub method_index: usize,
+    /// Name of that predictor.
+    pub method: Arc<str>,
+}
+
+/// One row of a per-predictor error table (paper Tables 2/3 shape).
+///
+/// Carries the raw sums rather than the means so rows from many banks
+/// (one per fleet host) aggregate exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorRow {
+    /// Panel member name.
+    pub name: Arc<str>,
+    /// Forecasts scored.
+    pub scored: u64,
+    /// Sum of absolute one-step errors.
+    pub abs_sum: f64,
+    /// Sum of squared one-step errors.
+    pub sq_sum: f64,
+}
+
+impl ErrorRow {
+    /// Mean absolute error (NaN when nothing was scored).
+    pub fn mae(&self) -> f64 {
+        if self.scored == 0 {
+            f64::NAN
+        } else {
+            self.abs_sum / self.scored as f64
+        }
+    }
+
+    /// Mean squared error (NaN when nothing was scored).
+    pub fn mse(&self) -> f64 {
+        if self.scored == 0 {
+            f64::NAN
+        } else {
+            self.sq_sum / self.scored as f64
+        }
+    }
+
+    /// Folds another bank's row for the same panel member into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows name different members.
+    pub fn merge(&mut self, other: &ErrorRow) {
+        assert_eq!(self.name, other.name, "merging rows of different members");
+        self.scored += other.scored;
+        self.abs_sum += other.abs_sum;
+        self.sq_sum += other.sq_sum;
+    }
+}
+
+/// The forecasting engine: a predictor panel with dynamic selection.
+///
+/// Feed measurements with [`PredictorBank::update`]; each call scores
+/// every panel member against the arriving measurement, updates them,
+/// and returns the forecast of the currently best member for the *next*
+/// measurement.
+///
+/// # Examples
+///
+/// ```
+/// use nws_forecast::NwsForecaster;
+///
+/// let mut nws = NwsForecaster::nws_default();
+/// for v in [0.8, 0.78, 0.82, 0.8, 0.79, 0.81] {
+///     nws.update(v);
+/// }
+/// let f = nws.forecast().unwrap();
+/// assert!((f.value - 0.8).abs() < 0.05);
+/// println!("next 10s: {:.0}% available (chosen: {})", f.value * 100.0, f.method);
+/// ```
+#[derive(Debug)]
+pub struct PredictorBank {
+    panel: Vec<Box<dyn Predictor>>,
+    trackers: Vec<ErrorTracker>,
+    /// Panel member names, cached once so the per-measurement paths never
+    /// re-run the `format!`-based [`Predictor::name`].
+    names: Vec<Arc<str>>,
+    selection: Selection,
+    observations: u64,
+    selected: usize,
+}
+
+impl PredictorBank {
+    /// Builds a bank around a custom panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the panel is empty or `recent_window == 0`.
+    pub fn new(panel: Vec<Box<dyn Predictor>>, selection: Selection, recent_window: usize) -> Self {
+        assert!(
+            !panel.is_empty(),
+            "panel must contain at least one predictor"
+        );
+        let trackers = panel
+            .iter()
+            .map(|_| ErrorTracker::new(recent_window))
+            .collect();
+        let names = panel.iter().map(|f| Arc::from(f.name())).collect();
+        Self {
+            panel,
+            trackers,
+            names,
+            selection,
+            observations: 0,
+            selected: 0,
+        }
+    }
+
+    /// Builds a bank from a named composition.
+    pub fn from_spec(spec: PanelSpec) -> Self {
+        spec.build()
+    }
+
+    /// The full NWS panel used throughout the reproduction: last value,
+    /// running mean, sliding means/medians over several windows, trimmed
+    /// means, an exponential-smoothing gain bank, adaptive-gain smoothing,
+    /// an adaptive-length window, and a stochastic-gradient AR(1).
+    pub fn nws_default() -> Self {
+        PanelSpec::Nws1999.build()
+    }
+
+    /// Panel size.
+    pub fn panel_len(&self) -> usize {
+        self.panel.len()
+    }
+
+    /// Names of the panel members, in index order.
+    pub fn method_names(&self) -> Vec<String> {
+        self.panel.iter().map(|f| f.name()).collect()
+    }
+
+    /// Number of measurements consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Index of the currently selected predictor.
+    pub fn selected_index(&self) -> usize {
+        self.selected
+    }
+
+    /// Name of the currently selected predictor.
+    pub fn selected_name(&self) -> Arc<str> {
+        Arc::clone(&self.names[self.selected])
+    }
+
+    /// Per-method `(name, cumulative MAE)` for every method that has been
+    /// scored at least once.
+    pub fn error_summary(&self) -> Vec<(String, f64)> {
+        self.panel
+            .iter()
+            .zip(&self.trackers)
+            .filter_map(|(f, t)| t.mae().map(|m| (f.name(), m)))
+            .collect()
+    }
+
+    /// The full per-predictor error table, one row per panel member in
+    /// index order (unscored members report zero sums). Rows carry raw
+    /// sums, so tables from many banks merge exactly via
+    /// [`ErrorRow::merge`].
+    pub fn error_table(&self) -> Vec<ErrorRow> {
+        self.names
+            .iter()
+            .zip(&self.trackers)
+            .map(|(name, t)| {
+                let (abs_sum, sq_sum, scored) = t.totals();
+                ErrorRow {
+                    name: Arc::clone(name),
+                    scored,
+                    abs_sum,
+                    sq_sum,
+                }
+            })
+            .collect()
+    }
+
+    fn score_of(&self, i: usize) -> Option<f64> {
+        let t = &self.trackers[i];
+        match self.selection {
+            Selection::RecentMae => t.recent_mae(),
+            Selection::CumulativeMae => t.mae(),
+            Selection::CumulativeMse => t.mse(),
+        }
+    }
+
+    fn reselect(&mut self) {
+        let mut best = self.selected;
+        let mut best_score = f64::INFINITY;
+        for i in 0..self.panel.len() {
+            // Methods that cannot predict yet are not eligible.
+            if self.panel[i].predict().is_none() {
+                continue;
+            }
+            let score = self.score_of(i).unwrap_or(f64::INFINITY);
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        // With no scores yet, prefer the first method able to predict.
+        if best_score.is_infinite() {
+            if let Some(i) = self.panel.iter().position(|f| f.predict().is_some()) {
+                best = i;
+            }
+        }
+        self.selected = best;
+    }
+
+    /// Feeds one measurement. Every predictor that had a live forecast is
+    /// scored against `value`; all predictors then absorb `value`; the best
+    /// predictor (under the selection criterion) issues the forecast for
+    /// the next measurement.
+    ///
+    /// Returns `None` only before any predictor has enough history (i.e.
+    /// never after the first call, since the last-value predictor needs a
+    /// single point).
+    pub fn update(&mut self, value: f64) -> Option<Forecast> {
+        for (f, t) in self.panel.iter_mut().zip(&mut self.trackers) {
+            if let Some(pred) = f.predict() {
+                t.record(pred, value);
+            }
+            f.observe(value);
+        }
+        self.observations += 1;
+        self.reselect();
+        self.forecast()
+    }
+
+    /// The current forecast for the next measurement without feeding data.
+    pub fn forecast(&self) -> Option<Forecast> {
+        let i = self.selected;
+        self.panel[i].predict().map(|value| Forecast {
+            value,
+            method_index: i,
+            method: Arc::clone(&self.names[i]),
+        })
+    }
+
+    /// The selected predictor's point forecast alone — the allocation-free
+    /// path for callers that score or track the value and do not need the
+    /// method attribution a full [`Forecast`] carries.
+    pub fn predicted_value(&self) -> Option<f64> {
+        self.panel[self.selected].predict()
+    }
+
+    /// The selected predictor's `k`-step horizon forecast — step 1 is the
+    /// one-step forecast, later steps follow the member's dynamics (flat
+    /// for level/window members, mean-reverting for AR/ARMA).
+    pub fn predict_horizon(&self, k: usize) -> Option<Vec<f64>> {
+        self.panel[self.selected].predict_horizon(k)
+    }
+
+    /// Notes a gap in the measurement stream (a slot with no reading).
+    ///
+    /// Window-based panel members age out their stale history instead of
+    /// bridging the gap; level-tracking members keep their estimate. No
+    /// observation is counted and no member is scored — there is no value
+    /// to score against. The current selection is kept, but members whose
+    /// forecast went dark (cleared windows) are no longer served:
+    /// [`PredictorBank::forecast`] returns what the selected member can
+    /// still predict, and the next real measurement reselects.
+    pub fn note_gap(&mut self) {
+        for f in &mut self.panel {
+            f.note_gap();
+        }
+        // If the selected member lost its forecast to the gap, fall back
+        // to any member that can still predict (a level smoother).
+        if self.panel[self.selected].predict().is_none() {
+            self.reselect();
+        }
+    }
+
+    /// Resets every predictor and tracker.
+    pub fn reset(&mut self) {
+        for f in &mut self.panel {
+            f.reset();
+        }
+        for t in &mut self.trackers {
+            t.reset();
+        }
+        self.observations = 0;
+        self.selected = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nws_default_is_exactly_the_1999_spec() {
+        let a = PredictorBank::nws_default();
+        let b = PanelSpec::Nws1999.build();
+        assert_eq!(a.method_names(), b.method_names());
+    }
+
+    #[test]
+    fn extended_panel_appends_arma_members() {
+        let base = PanelSpec::Nws1999.build();
+        let ext = PanelSpec::Extended.build();
+        let names = ext.method_names();
+        assert_eq!(
+            &names[..base.panel_len()],
+            base.method_names().as_slice(),
+            "v2 extends the 1999 panel in place"
+        );
+        assert_eq!(
+            &names[base.panel_len()..],
+            &["arma(1,1)".to_string(), "arma(2,1)".to_string()]
+        );
+    }
+
+    #[test]
+    fn ewma_only_bank_is_bit_identical_to_the_raw_kernel() {
+        let gain = 0.25;
+        let mut bank = PanelSpec::EwmaOnly { gain }.build();
+        let mut state = f64::NAN;
+        let mut rng: u64 = 99;
+        for i in 0..500 {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            let v = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            bank.update(v);
+            state = if i == 0 {
+                v
+            } else {
+                crate::methods::ewma_step(state, gain, v)
+            };
+            assert_eq!(
+                bank.predicted_value().unwrap().to_bits(),
+                state.to_bits(),
+                "step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_table_rows_merge_exactly() {
+        let mut a = PanelSpec::Cheap.build();
+        let mut b = PanelSpec::Cheap.build();
+        for i in 0..100 {
+            a.update((i % 5) as f64 / 5.0);
+            b.update((i % 7) as f64 / 7.0);
+        }
+        let mut merged = a.error_table();
+        for (m, r) in merged.iter_mut().zip(b.error_table()) {
+            m.merge(&r);
+        }
+        let ta = a.error_table();
+        let tb = b.error_table();
+        for (i, m) in merged.iter().enumerate() {
+            assert_eq!(m.scored, ta[i].scored + tb[i].scored);
+            assert_eq!(m.abs_sum, ta[i].abs_sum + tb[i].abs_sum);
+            assert!(m.mae().is_finite());
+            assert!(m.mse().is_finite());
+        }
+    }
+
+    #[test]
+    fn horizon_step_one_matches_the_one_step_forecast() {
+        let mut bank = PanelSpec::Extended.build();
+        let mut x = 0.5f64;
+        let mut rng: u64 = 7;
+        for _ in 0..400 {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            let u = (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            x = (0.5 + 0.8 * (x - 0.5) + 0.1 * (u - 0.5)).clamp(0.0, 1.0);
+            bank.update(x);
+        }
+        let h = bank.predict_horizon(16).expect("warm bank");
+        assert_eq!(h.len(), 16);
+        assert_eq!(h[0], bank.predicted_value().unwrap());
+    }
+}

@@ -69,6 +69,15 @@ impl ErrorTracker {
         self.recent_abs.mean()
     }
 
+    /// The raw sums behind the means: `(abs_sum, sq_sum, count)`.
+    ///
+    /// Error tables built from many trackers (one per fleet host) merge
+    /// these sums exactly, where merging the already-divided means would
+    /// not.
+    pub fn totals(&self) -> (f64, f64, u64) {
+        (self.abs_sum, self.sq_sum, self.count)
+    }
+
     /// Clears all recorded errors.
     pub fn reset(&mut self) {
         self.abs_sum = 0.0;

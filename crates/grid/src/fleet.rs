@@ -10,6 +10,35 @@
 //! layer, so engine throughput and fleet-wide queries can be measured at
 //! sizes the kernel simulation cannot reach.
 //!
+//! # Per-host forecasting
+//!
+//! Every fleet host carries a forecaster chosen by
+//! [`FleetConfig::panel`]:
+//!
+//! - [`FleetPanel::Ewma`] (the default) keeps one dense `f64` per host
+//!   and steps it through the canonical exponential-smoothing kernel
+//!   ([`nws_forecast::ewma_step`] — the same expression
+//!   `ExpSmoothing::observe` evaluates), so steady state allocates
+//!   nothing and a 100k-host fleet costs 800 KB of forecast state;
+//! - [`FleetPanel::Bank`] runs a full [`PredictorBank`] per host —
+//!   any [`PanelSpec`] subset up to the extended panel v2 — with the
+//!   same dynamic best-predictor selection and gap semantics as the
+//!   per-host `ForecastService` path, plus per-predictor error tables
+//!   ([`FleetMonitor::quality_table`]) for Table 2/3-style reporting at
+//!   fleet scale.
+//!
+//! # Rosters and faults
+//!
+//! [`FleetRoster`] picks what the hosts replay: the synthetic AR(1)
+//! model of PR 6, or a recorded trace mixture (each host loops one of a
+//! set of availability traces at a seeded phase offset — the UCSD
+//! profile traces via `nws_sim::ucsd_availability_traces`). A seeded
+//! [`FaultPlan`] applies per-host outage/dropout streams at fleet scale:
+//! a faulted slot records no measurement, window predictors age out
+//! (gap semantics), and the tournament keeps the host's last standing
+//! forecast. [`FaultPlan::none`] draws nothing and leaves every artifact
+//! bit-identical to the fault-free fleet.
+//!
 //! # Hierarchical aggregation
 //!
 //! Hosts are grouped into racks of [`FleetConfig::rack_size`]; each rack
@@ -23,16 +52,32 @@
 //!
 //! # Determinism
 //!
-//! Each host's trajectory is a pure function of `(index, seed)`, events
-//! commit slot-major in shard order through the engine, and the
-//! tournament replays are input-deterministic — so a fleet run is
-//! bit-identical at any thread count and any batch size, which
+//! Each host's trajectory is a pure function of `(index, seed)`, fault
+//! streams are pure functions of `(plan seed, host name)`, events commit
+//! slot-major in shard order through the engine, and the tournament
+//! replays are input-deterministic — so a fleet run is bit-identical at
+//! any thread count and any batch size, which
 //! [`FleetMonitor::fingerprint`] pins cheaply.
 
 use crate::memory::{Memory, MemoryConfig};
 use crate::registry::ResourceId;
+use nws_faults::{FaultPlan, HostFaults};
+use nws_forecast::{ewma_step, ErrorRow, PanelSpec, PredictorBank};
 use nws_runtime::{Cadence, Engine, EngineConfig, Source, Stage};
-use nws_sim::SyntheticHost;
+use nws_sim::{synthetic_host_name, SyntheticHost};
+use std::sync::Arc;
+
+/// Which forecaster each fleet host runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FleetPanel {
+    /// One dense EWMA per host — the zero-allocation default,
+    /// bit-identical to the PR 6 fleet.
+    #[default]
+    Ewma,
+    /// A [`PredictorBank`] per host, built from the spec, with dynamic
+    /// best-predictor selection and per-predictor error tracking.
+    Bank(PanelSpec),
+}
 
 /// Fleet sizing and tuning.
 #[derive(Debug, Clone, Copy)]
@@ -49,8 +94,11 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Engine batch window (slots produced per commit barrier).
     pub batch_slots: usize,
-    /// EWMA gain of the per-host availability forecaster.
+    /// EWMA gain of the per-host availability forecaster (the
+    /// [`FleetPanel::Ewma`] path).
     pub ewma_gain: f64,
+    /// Per-host forecaster selection.
+    pub panel: FleetPanel,
 }
 
 impl Default for FleetConfig {
@@ -62,8 +110,21 @@ impl Default for FleetConfig {
             seed: 4242,
             batch_slots: 64,
             ewma_gain: 0.25,
+            panel: FleetPanel::Ewma,
         }
     }
+}
+
+/// What the fleet hosts replay.
+#[derive(Debug, Clone, Default)]
+pub enum FleetRoster {
+    /// Synthetic AR(1) hosts with regime shifts (PR 6's roster).
+    #[default]
+    Synthetic,
+    /// Each host loops one of the availability traces (host `i` takes
+    /// trace `i % traces.len()` at a seeded phase offset), so a fleet of
+    /// any size replays a real workload mixture.
+    TraceMixture(Vec<Vec<f64>>),
 }
 
 /// A max-tournament over a fixed leaf set: `update` replays the path
@@ -138,48 +199,125 @@ impl Tournament {
     }
 }
 
-/// One fleet shard: a synthetic host behind the engine's
-/// [`Source`] contract.
+/// The availability process one fleet shard replays.
 #[derive(Debug)]
-struct FleetShard {
-    host: SyntheticHost,
+enum HostModel {
+    /// Synthetic AR(1) with regime shifts.
+    Synthetic(SyntheticHost),
+    /// Looping replay of a recorded availability trace.
+    Trace {
+        levels: Arc<[f64]>,
+        /// Next sample to replay.
+        pos: usize,
+    },
 }
 
-impl Source for FleetShard {
-    type Event = f64;
-
-    fn produce(&mut self, _slot: u64) -> f64 {
-        self.host.step()
+impl HostModel {
+    fn step(&mut self) -> f64 {
+        match self {
+            HostModel::Synthetic(host) => host.step(),
+            HostModel::Trace { levels, pos } => {
+                let v = levels[*pos];
+                *pos = (*pos + 1) % levels.len();
+                v
+            }
+        }
     }
 }
 
-/// The commit side: sharded memory ingest, per-host EWMA forecasts, and
-/// the two-level tournament roll-up.
+/// One measurement slot's outcome on one host: the availability reading,
+/// or a gap when the fault plan took the slot out.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSample {
+    /// Measured availability (meaningless when `gap`).
+    value: f64,
+    /// The measurement was lost (host outage or sensor dropout).
+    gap: bool,
+}
+
+/// One fleet shard: a host model plus its seeded fault stream behind the
+/// engine's [`Source`] contract.
+#[derive(Debug)]
+struct FleetShard {
+    host: HostModel,
+    faults: HostFaults,
+}
+
+impl Source for FleetShard {
+    type Event = FleetSample;
+
+    fn produce(&mut self, slot: u64) -> FleetSample {
+        // The host's clock advances whether or not the measurement
+        // survives; a faulted slot loses the reading, not the time.
+        let value = self.host.step();
+        let sf = self.faults.slot(slot, false);
+        FleetSample {
+            value,
+            gap: sf.outage || sf.drop_load,
+        }
+    }
+}
+
+/// Per-host forecast state: the dense EWMA lane or a bank per host.
+enum ForecastLane {
+    Ewma,
+    Bank(Vec<PredictorBank>),
+}
+
+/// The commit side: sharded memory ingest, per-host forecasts, and the
+/// two-level tournament roll-up.
 struct FleetStage<'a> {
     memory: &'a mut Memory,
     forecasts: &'a mut [f64],
+    lane: &'a mut ForecastLane,
     racks: &'a mut [Tournament],
     region: &'a mut Tournament,
     cadence: Cadence,
     rack_size: usize,
     ewma_gain: f64,
     events: &'a mut u64,
+    gaps: &'a mut u64,
 }
 
 impl Stage<FleetShard> for FleetStage<'_> {
-    fn commit(&mut self, shard: usize, _source: &mut FleetShard, slot: u64, event: &f64) {
-        let availability = *event;
+    fn commit(&mut self, shard: usize, _source: &mut FleetShard, slot: u64, event: &FleetSample) {
+        if event.gap {
+            // Gap-aware semantics: no measurement is stored, window
+            // predictors age out, level predictors (the EWMA lane) keep
+            // their estimate, and the tournament keeps the host's last
+            // standing key.
+            if let ForecastLane::Bank(banks) = self.lane {
+                banks[shard].note_gap();
+            }
+            *self.gaps += 1;
+            return;
+        }
+        let availability = event.value;
         self.memory.append(
             ResourceId(shard as u64),
             self.cadence.slot_time(slot),
             availability,
         );
         let forecast = &mut self.forecasts[shard];
-        *forecast = if slot == 0 {
-            availability
-        } else {
-            *forecast + self.ewma_gain * (availability - *forecast)
-        };
+        match self.lane {
+            ForecastLane::Ewma => {
+                // Slot 0 initializes; later slots step the shared EWMA
+                // kernel (the exact PR 6 arithmetic — `ewma_step` is the
+                // expression the old inline kernel evaluated).
+                *forecast = if slot == 0 {
+                    availability
+                } else {
+                    ewma_step(*forecast, self.ewma_gain, availability)
+                };
+            }
+            ForecastLane::Bank(banks) => {
+                let bank = &mut banks[shard];
+                bank.update(availability);
+                *forecast = bank
+                    .predicted_value()
+                    .expect("a bank that just observed can predict");
+            }
+        }
         let rack = shard / self.rack_size;
         self.racks[rack].update(shard % self.rack_size, *forecast);
         if let Some((_, rack_best)) = self.racks[rack].best() {
@@ -189,33 +327,80 @@ impl Stage<FleetShard> for FleetStage<'_> {
     }
 }
 
-/// The fleet: an engine over synthetic shards plus the rolled-up state
-/// the commit stage maintains.
+/// The fleet: an engine over host shards plus the rolled-up state the
+/// commit stage maintains.
 pub struct FleetMonitor {
     config: FleetConfig,
     engine: Engine<FleetShard>,
     memory: Memory,
-    /// Per-host EWMA availability forecast.
+    /// Per-host availability forecast (dense; both lanes keep it).
     forecasts: Vec<f64>,
+    lane: ForecastLane,
     /// First aggregation level: one tournament per rack.
     racks: Vec<Tournament>,
     /// Second level: tournament over rack winners.
     region: Tournament,
     events: u64,
+    /// Slots lost to the fault plan (0 without one).
+    gaps: u64,
 }
 
 impl FleetMonitor {
-    /// Builds the fleet from its config.
+    /// Builds the default fleet: synthetic roster, no faults.
     ///
     /// # Panics
     ///
     /// Panics if `hosts` or `rack_size` is zero.
     pub fn new(config: FleetConfig) -> Self {
+        Self::with_roster(config, FleetRoster::Synthetic, &FaultPlan::none())
+    }
+
+    /// Builds the fleet over a roster with a fault plan. Host `i`'s fault
+    /// stream derives from its display name
+    /// ([`synthetic_host_name`]), so the same plan hits the same hosts at
+    /// any fleet size ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` or `rack_size` is zero, or the trace mixture is
+    /// empty / contains an empty trace.
+    pub fn with_roster(config: FleetConfig, roster: FleetRoster, faults: &FaultPlan) -> Self {
         assert!(config.hosts > 0, "fleet needs at least one host");
         assert!(config.rack_size > 0, "racks must hold at least one host");
+        let traces: Vec<Arc<[f64]>> = match &roster {
+            FleetRoster::Synthetic => Vec::new(),
+            FleetRoster::TraceMixture(traces) => {
+                assert!(!traces.is_empty(), "trace mixture needs at least one trace");
+                traces
+                    .iter()
+                    .map(|t| {
+                        assert!(!t.is_empty(), "cannot replay an empty trace");
+                        Arc::from(t.as_slice())
+                    })
+                    .collect()
+            }
+        };
         let shards: Vec<FleetShard> = (0..config.hosts as u64)
-            .map(|i| FleetShard {
-                host: SyntheticHost::new(i, config.seed),
+            .map(|i| {
+                let host = if traces.is_empty() {
+                    HostModel::Synthetic(SyntheticHost::new(i, config.seed))
+                } else {
+                    let levels = Arc::clone(&traces[(i as usize) % traces.len()]);
+                    // Seeded phase offset (FNV-1a over the index, xor'd
+                    // with the seed — the SyntheticHost derivation), so
+                    // hosts sharing a trace don't move in lockstep.
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in i.to_le_bytes() {
+                        h ^= u64::from(b);
+                        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    let pos = ((h ^ config.seed) % levels.len() as u64) as usize;
+                    HostModel::Trace { levels, pos }
+                };
+                FleetShard {
+                    host,
+                    faults: faults.host_faults(&synthetic_host_name(i as usize)),
+                }
             })
             .collect();
         let engine = Engine::new(
@@ -232,6 +417,12 @@ impl FleetMonitor {
                 Tournament::new(in_rack)
             })
             .collect();
+        let lane = match config.panel {
+            FleetPanel::Ewma => ForecastLane::Ewma,
+            FleetPanel::Bank(spec) => {
+                ForecastLane::Bank((0..config.hosts).map(|_| spec.build()).collect())
+            }
+        };
         Self {
             config,
             engine,
@@ -239,9 +430,11 @@ impl FleetMonitor {
                 retain: config.retain,
             }),
             forecasts: vec![0.0; config.hosts],
+            lane,
             racks,
             region: Tournament::new(rack_count),
             events: 0,
+            gaps: 0,
         }
     }
 
@@ -250,12 +443,14 @@ impl FleetMonitor {
         let mut stage = FleetStage {
             memory: &mut self.memory,
             forecasts: &mut self.forecasts,
+            lane: &mut self.lane,
             racks: &mut self.racks,
             region: &mut self.region,
             cadence: *self.engine.cadence(),
             rack_size: self.config.rack_size,
             ewma_gain: self.config.ewma_gain,
             events: &mut self.events,
+            gaps: &mut self.gaps,
         };
         self.engine.run(slots, &mut stage);
     }
@@ -285,9 +480,14 @@ impl FleetMonitor {
         self.racks.len()
     }
 
-    /// Events committed so far.
+    /// Events committed so far (gap slots are not events).
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Measurement slots lost to the fault plan so far.
+    pub fn gaps(&self) -> u64 {
+        self.gaps
     }
 
     /// Slots completed so far.
@@ -295,7 +495,7 @@ impl FleetMonitor {
         self.engine.slot()
     }
 
-    /// The current EWMA forecast for one host.
+    /// The current availability forecast for one host.
     pub fn forecast(&self, host: usize) -> f64 {
         self.forecasts[host]
     }
@@ -305,8 +505,31 @@ impl FleetMonitor {
         &self.memory
     }
 
+    /// The fleet-wide per-predictor error table: every host bank's rows
+    /// merged exactly (raw error sums, in panel order). Empty on the
+    /// [`FleetPanel::Ewma`] lane, which tracks no per-member errors.
+    pub fn quality_table(&self) -> Vec<ErrorRow> {
+        let ForecastLane::Bank(banks) = &self.lane else {
+            return Vec::new();
+        };
+        let mut merged: Vec<ErrorRow> = Vec::new();
+        for bank in banks {
+            let table = bank.error_table();
+            if merged.is_empty() {
+                merged = table;
+            } else {
+                for (m, row) in merged.iter_mut().zip(&table) {
+                    m.merge(row);
+                }
+            }
+        }
+        merged
+    }
+
     /// FNV-1a over every forecast's bits, the event count, and the best
     /// host — a cheap bit-identity pin for cross-thread/batch checks.
+    /// Fault-plan runs additionally mix the gap count; fault-free runs
+    /// hash exactly the PR 6 stream.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |word: u64| {
@@ -319,6 +542,9 @@ impl FleetMonitor {
             mix(f.to_bits());
         }
         mix(self.events);
+        if self.gaps > 0 {
+            mix(self.gaps);
+        }
         if let Some((host, key)) = self.best_host() {
             mix(host as u64);
             mix(key.to_bits());
@@ -334,6 +560,7 @@ impl std::fmt::Debug for FleetMonitor {
             .field("racks", &self.racks.len())
             .field("slots", &self.engine.slot())
             .field("events", &self.events)
+            .field("gaps", &self.gaps)
             .finish()
     }
 }
@@ -341,6 +568,7 @@ impl std::fmt::Debug for FleetMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nws_faults::FaultRates;
 
     #[test]
     fn tournament_tracks_max_with_low_index_ties() {
@@ -427,5 +655,150 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ewma_only_bank_matches_the_dense_ewma_lane_bit_for_bit() {
+        let base = FleetConfig {
+            hosts: 40,
+            rack_size: 8,
+            ..FleetConfig::default()
+        };
+        let mut dense = FleetMonitor::new(base);
+        let mut bank = FleetMonitor::new(FleetConfig {
+            panel: FleetPanel::Bank(PanelSpec::EwmaOnly {
+                gain: base.ewma_gain,
+            }),
+            ..base
+        });
+        dense.run_steps(60);
+        bank.run_steps(60);
+        for h in 0..40 {
+            assert_eq!(
+                dense.forecast(h).to_bits(),
+                bank.forecast(h).to_bits(),
+                "host {h}"
+            );
+        }
+        assert_eq!(dense.best_host(), bank.best_host());
+    }
+
+    #[test]
+    fn panel_fleet_is_bit_identical_across_threads_and_batches() {
+        // The full satellite matrix: panel-backed fleet over a trace
+        // mixture with a live fault plan, threads {1, 4} × batch {1, 64}.
+        let traces = vec![
+            (0..97)
+                .map(|i| 0.3 + 0.4 * ((i % 13) as f64 / 13.0))
+                .collect::<Vec<f64>>(),
+            (0..61)
+                .map(|i| 0.8 - 0.5 * ((i % 7) as f64 / 7.0))
+                .collect(),
+            (0..41)
+                .map(|i| 0.5 + 0.3 * ((i % 5) as f64 / 5.0))
+                .collect(),
+        ];
+        let run = |threads: usize, batch: usize| {
+            nws_runtime::set_threads(Some(threads));
+            let mut fleet = FleetMonitor::with_roster(
+                FleetConfig {
+                    hosts: 72,
+                    rack_size: 16,
+                    batch_slots: batch,
+                    panel: FleetPanel::Bank(PanelSpec::Extended),
+                    ..FleetConfig::default()
+                },
+                FleetRoster::TraceMixture(traces.clone()),
+                &FaultPlan::seeded(0xFEE7, FaultRates::uniform(0.15)),
+            );
+            fleet.run_steps(80);
+            nws_runtime::set_threads(None);
+            assert!(fleet.gaps() > 0, "the fault plan must bite");
+            (fleet.fingerprint(), fleet.events(), fleet.gaps())
+        };
+        let reference = run(1, 64);
+        for threads in [1, 4] {
+            for batch in [1, 64] {
+                assert_eq!(
+                    run(threads, batch),
+                    reference,
+                    "threads={threads} batch={batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical_to_no_plan() {
+        let cfg = FleetConfig {
+            hosts: 48,
+            rack_size: 16,
+            ..FleetConfig::default()
+        };
+        let mut a = FleetMonitor::new(cfg);
+        let mut b = FleetMonitor::with_roster(cfg, FleetRoster::Synthetic, &FaultPlan::none());
+        a.run_steps(40);
+        b.run_steps(40);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(b.gaps(), 0);
+    }
+
+    #[test]
+    fn trace_roster_replays_the_mixture() {
+        let traces = vec![vec![0.25; 10], vec![0.75; 10]];
+        let mut fleet = FleetMonitor::with_roster(
+            FleetConfig {
+                hosts: 8,
+                rack_size: 4,
+                ..FleetConfig::default()
+            },
+            FleetRoster::TraceMixture(traces),
+            &FaultPlan::none(),
+        );
+        fleet.run_steps(30);
+        // Even hosts replay the 0.25 trace, odd hosts the 0.75 trace;
+        // constant traces pin the EWMA exactly.
+        for h in 0..8 {
+            let want = if h % 2 == 0 { 0.25 } else { 0.75 };
+            assert!(
+                (fleet.forecast(h) - want).abs() < 1e-12,
+                "host {h}: {}",
+                fleet.forecast(h)
+            );
+        }
+        let (best, key) = fleet.best_host().unwrap();
+        assert_eq!(best, 1, "first odd host wins on the low-index tie-break");
+        assert!((key - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_table_aggregates_across_hosts() {
+        let mut fleet = FleetMonitor::with_roster(
+            FleetConfig {
+                hosts: 12,
+                rack_size: 4,
+                panel: FleetPanel::Bank(PanelSpec::Extended),
+                ..FleetConfig::default()
+            },
+            FleetRoster::Synthetic,
+            &FaultPlan::none(),
+        );
+        fleet.run_steps(120);
+        let table = fleet.quality_table();
+        assert_eq!(
+            table.len(),
+            PanelSpec::Extended.build().panel_len(),
+            "one row per panel member"
+        );
+        // Every member scored on every host for (almost) every slot.
+        for row in &table {
+            assert!(row.scored > 0, "{} never scored", row.name);
+            assert!(row.mae().is_finite());
+            assert!(row.mse().is_finite());
+        }
+        // EWMA lane tracks no per-member errors.
+        let mut ewma = FleetMonitor::new(FleetConfig::default());
+        ewma.run_steps(5);
+        assert!(ewma.quality_table().is_empty());
     }
 }

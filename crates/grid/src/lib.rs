@@ -37,7 +37,7 @@ pub mod service;
 pub mod wal;
 pub mod weather;
 
-pub use fleet::{FleetConfig, FleetMonitor};
+pub use fleet::{FleetConfig, FleetMonitor, FleetPanel, FleetRoster};
 pub use memory::{Memory, MemoryConfig, StoreOutcome};
 pub use monitor::{GridMonitor, GridMonitorConfig, GridSnapshot, HostReport};
 pub use registry::{Metric, Registry, ResourceId, ResourceInfo};

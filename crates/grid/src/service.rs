@@ -161,6 +161,18 @@ impl ForecastService {
         })
     }
 
+    /// The selected predictor's `k`-step horizon forecast for a resource:
+    /// step 1 is the one-step forecast, later steps follow the selected
+    /// member's dynamics (flat for level/window members, mean-reverting
+    /// for AR/ARMA). `None` before the resource has a live forecaster or
+    /// when `k == 0`.
+    pub fn forecast_horizon(&self, id: ResourceId, k: usize) -> Option<Vec<f64>> {
+        if k == 0 {
+            return None;
+        }
+        self.state.get(&id)?.nws.predict_horizon(k)
+    }
+
     /// Resources with live forecasters.
     pub fn resource_ids(&self) -> Vec<ResourceId> {
         self.state.keys().copied().collect()
@@ -268,6 +280,20 @@ mod tests {
         svc.observe(rid(2), 0.0, 0.5);
         assert_eq!(svc.revision(rid(1)), 2, "resources are isolated");
         assert_eq!(svc.global_revision(), 3);
+    }
+
+    #[test]
+    fn horizon_starts_at_the_one_step_forecast() {
+        let mut svc = ForecastService::new(0.9);
+        assert!(svc.forecast_horizon(rid(1), 8).is_none(), "no data yet");
+        for i in 0..60 {
+            svc.observe(rid(1), i as f64 * 10.0, 0.4 + 0.2 * ((i % 5) as f64 / 5.0));
+        }
+        let h = svc.forecast_horizon(rid(1), 8).expect("live");
+        assert_eq!(h.len(), 8);
+        let one_step = svc.forecast(rid(1)).unwrap().forecast.value;
+        assert_eq!(h[0], one_step, "horizon step 1 is the one-step forecast");
+        assert!(svc.forecast_horizon(rid(1), 0).is_none());
     }
 
     #[test]

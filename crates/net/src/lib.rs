@@ -22,10 +22,12 @@
 pub mod link;
 pub mod monitor;
 pub mod sensors;
+pub mod transfer;
 
 pub use link::{Link, LinkConfig};
 pub use monitor::{LinkMonitor, LinkMonitorConfig, LinkReport, LinkSample};
 pub use sensors::{BandwidthSensor, LatencySensor};
+pub use transfer::{TransferScenario, TRANSFER_METHODS};
 
 /// Seconds (simulation time).
 pub type Seconds = f64;

@@ -70,6 +70,21 @@ impl FailoverClient {
         self.failovers
     }
 
+    /// Repoints endpoint `idx` at a new address — the operator move
+    /// after a replica restarts on a fresh socket. Drops the slot's
+    /// connection and clears its health; the preference order is
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the replica set.
+    pub fn set_endpoint(&mut self, idx: usize, addr: SocketAddr) {
+        let ep = &mut self.endpoints[idx];
+        ep.addr = addr;
+        ep.client = None;
+        ep.consecutive_failures = 0;
+    }
+
     /// Transport failures recorded against each endpoint since its
     /// last successful exchange, in constructor order.
     pub fn health(&self) -> Vec<u32> {
@@ -238,6 +253,27 @@ mod tests {
         assert!((0.0..=1.0).contains(&fc.value));
         assert_eq!(client.failovers(), 1);
         assert_eq!(client.preferred(), replica.addr());
+    }
+
+    #[test]
+    fn a_repointed_replica_slot_catches_the_next_failover() {
+        let primary = warm_server();
+        let doomed = warm_server();
+        let mut client = FailoverClient::new(&[primary.addr(), doomed.addr()], quick_config());
+        client.stats().expect("primary serves");
+        // The replica dies and comes back on a fresh socket; the
+        // operator repoints slot 1 before anything else goes wrong.
+        drop(doomed);
+        let restarted = warm_server();
+        client.set_endpoint(1, restarted.addr());
+        assert_eq!(client.health(), vec![0, 0], "repointing clears health");
+        // Now the primary dies too: the failover must land on the
+        // restarted replica, not the stale address.
+        drop(primary);
+        std::thread::sleep(Duration::from_millis(50));
+        client.stats().expect("served by the restarted replica");
+        assert_eq!(client.failovers(), 1);
+        assert_eq!(client.preferred(), restarted.addr());
     }
 
     #[test]

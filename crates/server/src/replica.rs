@@ -25,8 +25,9 @@ use nws_grid::{
     ForecastService, GridMonitorConfig, Memory, Metric, Registry, ResourceId, WalError, WalRecord,
 };
 use nws_wire::{
-    ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,
-    SnapshotReply, StatsReply, WalChunkReply, MAX_BATCH, MAX_POINTS, MAX_WAL_CHUNK,
+    ErrorCode, ErrorReply, ForecastReply, HorizonReply, HostRow, Request, Response, SeriesPoint,
+    SeriesTailReply, SnapshotReply, StatsReply, WalChunkReply, MAX_BATCH, MAX_HORIZON, MAX_POINTS,
+    MAX_WAL_CHUNK,
 };
 
 /// Everything that can go wrong applying the replication stream.
@@ -239,8 +240,38 @@ impl ReplicaState {
                 ErrorCode::BadRequest,
                 "replicas do not serve the journal; pull from the primary",
             ),
+            Request::ForecastHorizon { host, k } => self.forecast_horizon(host, *k),
             Request::Batch(_) => Self::error(ErrorCode::BadRequest, "batches cannot nest"),
         }
+    }
+
+    /// Multi-step forecasts from the replica's replayed forecasters —
+    /// the same panel state the primary holds once synced, so a failed-
+    /// over client keeps getting horizons.
+    fn forecast_horizon(&mut self, host: &str, k: u32) -> Response {
+        let Some(id) = self.hybrid_id(host) else {
+            return Self::error(ErrorCode::UnknownHost, format!("no such host: {host}"));
+        };
+        if k == 0 {
+            return Self::error(ErrorCode::BadRequest, "horizon must be at least one step");
+        }
+        let k = (k as usize).min(MAX_HORIZON);
+        let Some(steps) = self.service.forecast_horizon(id, k) else {
+            return Self::error(
+                ErrorCode::ColdForecast,
+                format!("{host} has no replicated measurements yet"),
+            );
+        };
+        let method = self
+            .service
+            .forecast(id)
+            .map(|a| a.forecast.method.to_string())
+            .unwrap_or_default();
+        Response::ForecastHorizon(HorizonReply {
+            host: host.to_string(),
+            method,
+            steps,
+        })
     }
 
     fn forecast(&mut self, host: &str) -> Response {

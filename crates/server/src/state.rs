@@ -12,8 +12,9 @@ use nws_grid::wal::MAX_RECORD_FRAME;
 use nws_grid::{GridMonitor, Metric};
 use nws_wire::{
     append_response_frame, begin_response_frame, end_response_frame, ErrorCode, ErrorReply,
-    ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply, SnapshotReply,
-    StatsReply, WalChunkReply, Writer, MAX_BATCH, MAX_POINTS, MAX_WAL_CHUNK,
+    ForecastReply, HorizonReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,
+    SnapshotReply, StatsReply, WalChunkReply, Writer, MAX_BATCH, MAX_HORIZON, MAX_POINTS,
+    MAX_WAL_CHUNK,
 };
 
 /// Anything that can answer a decoded request — the primary
@@ -114,8 +115,44 @@ impl GridState {
             Request::SeriesTail { host, n } => self.series_tail(host, *n),
             Request::Stats => Response::Stats(self.stats_reply()),
             Request::WalSince { offset, max } => self.wal_since(*offset, *max),
+            Request::ForecastHorizon { host, k } => self.forecast_horizon(host, *k),
             Request::Batch(_) => error(ErrorCode::BadRequest, "batches cannot nest"),
         }
+    }
+
+    /// Serves a multi-step forecast from the currently selected panel
+    /// predictor. Horizons are recomputed per request (no cache row):
+    /// iterating a fitted AR/ARMA model `k` steps is cheaper than the
+    /// bookkeeping a revision-checked cache entry would add.
+    fn forecast_horizon(&mut self, host: &str, k: u32) -> Response {
+        let Some(id) = self
+            .grid
+            .registry()
+            .lookup(host, Metric::CpuAvailabilityHybrid)
+        else {
+            return error(ErrorCode::UnknownHost, format!("no such host: {host}"));
+        };
+        if k == 0 {
+            return error(ErrorCode::BadRequest, "horizon must be at least one step");
+        }
+        let k = (k as usize).min(MAX_HORIZON);
+        let Some(steps) = self.grid.forecasts().forecast_horizon(id, k) else {
+            return error(
+                ErrorCode::ColdForecast,
+                format!("{host} has no measurements yet"),
+            );
+        };
+        let method = self
+            .grid
+            .forecasts()
+            .forecast(id)
+            .map(|a| a.forecast.method.to_string())
+            .unwrap_or_default();
+        Response::ForecastHorizon(HorizonReply {
+            host: host.to_string(),
+            method,
+            steps,
+        })
     }
 
     /// Serves one bounded chunk of the journal for replication. The
@@ -329,6 +366,11 @@ impl GridState {
             Request::SeriesTail { host, n } => self.encode_series_tail(host, *n, w),
             Request::Stats => Response::Stats(self.stats_reply()).encode_into(w),
             Request::WalSince { offset, max } => self.encode_wal_since(*offset, *max, w),
+            Request::ForecastHorizon { host, k } => {
+                // Horizons are recomputed per request on both paths, so
+                // encoding the built reply is already the fast path.
+                self.forecast_horizon(host, *k).encode_into(w)
+            }
             Request::Batch(_) => unreachable!("batches handled above"),
         }
     }
@@ -625,6 +667,18 @@ mod tests {
                 offset: wal_end + 1, // past the end
                 max: 256,
             },
+            Request::ForecastHorizon {
+                host: "thing1".into(),
+                k: 12,
+            },
+            Request::ForecastHorizon {
+                host: "zardoz".into(), // unknown host
+                k: 12,
+            },
+            Request::ForecastHorizon {
+                host: "thing1".into(),
+                k: 0, // degenerate horizon
+            },
             Request::Batch(vec![
                 Request::Forecast {
                     host: "gremlin".into(),
@@ -649,6 +703,55 @@ mod tests {
             // compared too, not just the warm-cache ones.
             fast.tick(1);
             slow.tick(1);
+        }
+    }
+
+    #[test]
+    fn forecast_horizon_is_served_capped_and_typed() {
+        let mut st = warm_state();
+        let resp = st.dispatch(&Request::ForecastHorizon {
+            host: "thing1".into(),
+            k: 16,
+        });
+        let horizon = match resp {
+            Response::ForecastHorizon(h) => h,
+            other => panic!("wrong reply: {other:?}"),
+        };
+        assert_eq!(horizon.host, "thing1");
+        assert_eq!(horizon.steps.len(), 16);
+        assert!(!horizon.method.is_empty());
+        // Step 1 agrees with the one-step forecast endpoint.
+        match st.dispatch(&Request::Forecast {
+            host: "thing1".into(),
+        }) {
+            Response::Forecast(f) => {
+                assert_eq!(f.value, horizon.steps[0]);
+                assert_eq!(f.method, horizon.method);
+            }
+            other => panic!("wrong reply: {other:?}"),
+        }
+        // Oversized horizons are capped at the protocol bound, not errored.
+        match st.dispatch(&Request::ForecastHorizon {
+            host: "thing1".into(),
+            k: 10_000,
+        }) {
+            Response::ForecastHorizon(h) => assert_eq!(h.steps.len(), MAX_HORIZON),
+            other => panic!("wrong reply: {other:?}"),
+        }
+        // Zero steps and unknown hosts are typed errors.
+        match st.dispatch(&Request::ForecastHorizon {
+            host: "thing1".into(),
+            k: 0,
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("wrong reply: {other:?}"),
+        }
+        match st.dispatch(&Request::ForecastHorizon {
+            host: "zardoz".into(),
+            k: 4,
+        }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownHost),
+            other => panic!("wrong reply: {other:?}"),
         }
     }
 

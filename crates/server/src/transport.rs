@@ -9,8 +9,9 @@
 
 use crate::state::{Dispatch, GridState};
 use nws_wire::{
-    encode_request_frame, read_request, read_response, ErrorReply, ForecastReply, HostRow, Request,
-    Response, SeriesTailReply, SnapshotReply, StatsReply, WalChunkReply, WireError,
+    encode_request_frame, read_request, read_response, ErrorReply, ForecastReply, HorizonReply,
+    HostRow, Request, Response, SeriesTailReply, SnapshotReply, StatsReply, WalChunkReply,
+    WireError,
 };
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -116,6 +117,19 @@ pub trait Transport {
             Response::WalChunk(r) => Ok(r),
             Response::Error(e) => Err(ServeError::Remote(e)),
             _ => Err(ServeError::Unexpected("wal chunk")),
+        }
+    }
+
+    /// Typed multi-step forecast query. `k` is clamped server-side to
+    /// at most [`MAX_HORIZON`](nws_wire::MAX_HORIZON) steps.
+    fn forecast_horizon(&mut self, host: &str, k: u32) -> Result<HorizonReply, ServeError> {
+        match self.call(&Request::ForecastHorizon {
+            host: host.to_string(),
+            k,
+        })? {
+            Response::ForecastHorizon(r) => Ok(r),
+            Response::Error(e) => Err(ServeError::Remote(e)),
+            _ => Err(ServeError::Unexpected("forecast horizon")),
         }
     }
 }

@@ -343,9 +343,55 @@ pub fn synthetic_roster(n: usize, base_seed: u64) -> Vec<SyntheticHost> {
         .collect()
 }
 
+/// Records one availability trace per UCSD profile host: each host is
+/// built from `base_seed`, warmed past its load-average spin-up, sampled
+/// at the paper's 10-second cadence for `samples` slots, and each
+/// run-queue level is mapped through Eq. 1 — a new process joining `r`
+/// runnable competitors receives `1 / (1 + r)` of the CPU.
+///
+/// The result is the fleet tier's trace-mixture roster: six real
+/// workload shapes (interactive sessions, batch hogs, self-similar
+/// on/off sources) a fleet of any size can replay.
+pub fn ucsd_availability_traces(base_seed: u64, samples: usize) -> Vec<Vec<f64>> {
+    ucsd_hosts(base_seed)
+        .into_iter()
+        .map(|mut host| {
+            // Let sessions spawn and the load average settle before
+            // recording, as the paper's traces start on warm machines.
+            host.advance(600.0);
+            crate::trace::record_load_trace(&mut host, 10.0, samples)
+                .levels
+                .iter()
+                .map(|&l| 1.0 / (1.0 + f64::from(l)))
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn availability_traces_are_deterministic_and_in_range() {
+        let a = ucsd_availability_traces(7, 50);
+        let b = ucsd_availability_traces(7, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6, "one trace per UCSD profile");
+        for trace in &a {
+            assert_eq!(trace.len(), 50);
+            assert!(trace.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        // The profiles are genuinely different workloads: the busiest
+        // and idlest machines must not record the same mean availability.
+        let means: Vec<f64> = a
+            .iter()
+            .map(|t| t.iter().sum::<f64>() / t.len() as f64)
+            .collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo > 0.05, "means: {means:?}");
+    }
 
     #[test]
     fn names_round_trip() {

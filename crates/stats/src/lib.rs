@@ -46,5 +46,5 @@ pub use hurst::{
     aggregated_variance_hurst, aggregated_variance_hurst_naive, hurst_rs, periodogram_hurst,
     pox_plot, pox_plot_naive, rs_statistic, HurstEstimate, PoxPoint,
 };
-pub use regress::{linear_fit, LinearFit};
+pub use regress::{linear_fit, linear_fit2, LinearFit, LinearFit2};
 pub use rng::Rng;

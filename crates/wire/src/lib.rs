@@ -37,8 +37,9 @@ pub use frame::{
     read_response, write_request, write_response, FrameKind, HEADER_LEN,
 };
 pub use message::{
-    ErrorCode, ErrorReply, ForecastReply, HostRow, Request, Response, SeriesPoint, SeriesTailReply,
-    SnapshotReply, StatsReply, WalChunkReply, MAX_BATCH, MAX_HOSTS, MAX_POINTS, MAX_WAL_CHUNK,
+    ErrorCode, ErrorReply, ForecastReply, HorizonReply, HostRow, Request, Response, SeriesPoint,
+    SeriesTailReply, SnapshotReply, StatsReply, WalChunkReply, MAX_BATCH, MAX_HORIZON, MAX_HOSTS,
+    MAX_POINTS, MAX_WAL_CHUNK,
 };
 
 /// Frame magic: `"NW"` in big-endian byte order on the wire.

@@ -18,6 +18,11 @@ pub const MAX_POINTS: usize = 65_536;
 /// [`crate::MAX_FRAME`], so a chunk frame always fits).
 pub const MAX_WAL_CHUNK: usize = 64 * 1024;
 
+/// Most steps a horizon forecast may carry (128 ten-second slots is
+/// already a 21-minute lookahead — far beyond where iterated forecasts
+/// have flattened to the mean).
+pub const MAX_HORIZON: usize = 128;
+
 /// A query a client sends to the forecast server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -43,6 +48,16 @@ pub enum Request {
     /// Several requests answered in one round trip, in order. Nested
     /// batches are rejected at decode time.
     Batch(Vec<Request>),
+    /// A multi-step forecast: the next `k` ten-second slots of one
+    /// host's CPU availability, from the currently selected panel
+    /// predictor.
+    ForecastHorizon {
+        /// Host name as registered with the grid's name service.
+        host: String,
+        /// Steps wanted (server caps at [`MAX_HORIZON`]; zero is a
+        /// [`ErrorCode::BadRequest`]).
+        k: u32,
+    },
     /// The replication pull: "stream me the primary's WAL from this
     /// byte offset". The server replies with a [`Response::WalChunk`]
     /// of at most `max` bytes, ending on a record boundary.
@@ -101,6 +116,11 @@ impl Request {
                 w.put_u64(*offset);
                 w.put_u32(*max);
             }
+            Request::ForecastHorizon { host, k } => {
+                w.put_u8(7);
+                w.put_str(host);
+                w.put_u32(*k);
+            }
         }
     }
 
@@ -138,6 +158,10 @@ impl Request {
             6 => Ok(Request::WalSince {
                 offset: r.take_u64()?,
                 max: r.take_u32()?,
+            }),
+            7 => Ok(Request::ForecastHorizon {
+                host: r.take_str()?,
+                k: r.take_u32()?,
             }),
             tag => Err(WireError::UnknownTag {
                 what: "request",
@@ -356,6 +380,51 @@ pub struct WalChunkReply {
     pub bytes: Vec<u8>,
 }
 
+/// A multi-step forecast for one host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HorizonReply {
+    /// Host name.
+    pub host: String,
+    /// Name of the panel predictor that issued the horizon.
+    pub method: String,
+    /// Forecast availability per future slot: `steps[0]` is the next
+    /// measurement (the one-step forecast), `steps[i]` the slot `i + 1`
+    /// ahead.
+    pub steps: Vec<f64>,
+}
+
+impl HorizonReply {
+    /// Appends the reply body (no response tag) to `w`. Public so the
+    /// zero-copy dispatch path can encode it straight out of a borrow.
+    pub fn encode_into(&self, w: &mut Writer) {
+        debug_assert!(
+            self.steps.len() <= MAX_HORIZON,
+            "horizon exceeds protocol bound"
+        );
+        w.put_str(&self.host);
+        w.put_str(&self.method);
+        w.put_u32(self.steps.len() as u32);
+        for v in &self.steps {
+            w.put_f64(*v);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let host = r.take_str()?;
+        let method = r.take_str()?;
+        let len = r.take_len("horizon", MAX_HORIZON)?;
+        let mut steps = Vec::with_capacity(len);
+        for _ in 0..len {
+            steps.push(r.take_f64()?);
+        }
+        Ok(Self {
+            host,
+            method,
+            steps,
+        })
+    }
+}
+
 /// A reply the forecast server sends back.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -376,6 +445,8 @@ pub enum Response {
     Error(ErrorReply),
     /// Answer to [`Request::WalSince`].
     WalChunk(WalChunkReply),
+    /// Answer to [`Request::ForecastHorizon`].
+    ForecastHorizon(HorizonReply),
 }
 
 impl Response {
@@ -466,6 +537,10 @@ impl Response {
                 w.put_f64(c.now);
                 w.put_bytes(&c.bytes);
             }
+            Response::ForecastHorizon(reply) => {
+                w.put_u8(8);
+                reply.encode_into(w);
+            }
         }
     }
 
@@ -536,6 +611,7 @@ impl Response {
                 now: r.take_f64()?,
                 bytes: r.take_bytes("wal chunk", MAX_WAL_CHUNK)?,
             })),
+            8 => Ok(Response::ForecastHorizon(HorizonReply::decode_from(r)?)),
             tag => Err(WireError::UnknownTag {
                 what: "response",
                 tag,
@@ -583,6 +659,10 @@ mod tests {
             Request::WalSince {
                 offset: 123_456,
                 max: 65_536,
+            },
+            Request::ForecastHorizon {
+                host: "thing1".into(),
+                k: 32,
             },
         ];
         for req in requests {
@@ -662,6 +742,16 @@ mod tests {
                 now: 0.0,
                 bytes: Vec::new(),
             }),
+            Response::ForecastHorizon(HorizonReply {
+                host: "kongo".into(),
+                method: "arma(2,1)".into(),
+                steps: vec![0.8, 0.76, 0.73, 0.71],
+            }),
+            Response::ForecastHorizon(HorizonReply {
+                host: "gremlin".into(),
+                method: "last-value".into(),
+                steps: Vec::new(),
+            }),
         ];
         for resp in responses {
             let bytes = resp.encode();
@@ -739,6 +829,23 @@ mod tests {
             Response::decode(&bytes),
             Err(WireError::LengthOutOfBounds {
                 what: "wal chunk",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_horizon_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u8(8);
+        w.put_str("thing1");
+        w.put_str("last-value");
+        w.put_u32(MAX_HORIZON as u32 + 1); // claims more than the bound
+        let bytes = w.finish();
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(WireError::LengthOutOfBounds {
+                what: "horizon",
                 ..
             })
         ));

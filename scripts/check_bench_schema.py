@@ -28,6 +28,7 @@ REQUIRED_PERF_SECTIONS = (
     "drivers",
     "engine",
     "fleet",
+    "forecast_quality",
     "durability",
     "serve",
 )

@@ -49,7 +49,19 @@ fn fixed_sequence(hosts: &[String]) -> Vec<Request> {
             host: h.clone(),
             n: 24,
         });
+        seq.push(Request::ForecastHorizon {
+            host: h.clone(),
+            k: 24,
+        });
     }
+    seq.push(Request::ForecastHorizon {
+        host: "zardoz".into(), // unknown host: typed error on every transport
+        k: 8,
+    });
+    seq.push(Request::ForecastHorizon {
+        host: hosts[0].clone(),
+        k: 0, // degenerate horizon: BadRequest on every transport
+    });
     seq.push(Request::Batch(
         hosts
             .iter()

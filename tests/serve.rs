@@ -20,6 +20,10 @@ fn fixed_sequence(hosts: &[String]) -> Vec<Request> {
             host: h.clone(),
             n: 24,
         });
+        seq.push(Request::ForecastHorizon {
+            host: h.clone(),
+            k: 24,
+        });
     }
     seq.push(Request::Batch(
         hosts
